@@ -1,0 +1,369 @@
+//! A set-associative cache with LRU replacement and
+//! write-back/write-allocate policy — the building block of the paper's
+//! three-level hierarchy.
+
+/// Kind of a cache access, for statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand load.
+    Read,
+    /// Demand store (write-allocate).
+    Write,
+    /// Software prefetch (never stalls; counted separately).
+    Prefetch,
+}
+
+/// Hit/miss/eviction counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand loads observed.
+    pub reads: u64,
+    /// Demand loads that hit.
+    pub read_hits: u64,
+    /// Demand stores observed.
+    pub writes: u64,
+    /// Demand stores that hit.
+    pub write_hits: u64,
+    /// Prefetch probes observed.
+    pub prefetches: u64,
+    /// Prefetch probes that were already resident.
+    pub prefetch_hits: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand misses (reads + writes).
+    #[must_use]
+    pub fn demand_misses(&self) -> u64 {
+        (self.reads - self.read_hits) + (self.writes - self.write_hits)
+    }
+
+    /// Load misses only (the paper's `L1-dcache-load-misses`).
+    #[must_use]
+    pub fn read_misses(&self) -> u64 {
+        self.reads - self.read_hits
+    }
+
+    /// Load miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses() as f64 / self.reads as f64
+        }
+    }
+}
+
+/// One set-associative cache level.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line: usize,
+    line_bits: u32,
+    // way-major state: index = set * ways + way
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    lru: Vec<u64>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Cache of `size` bytes, `ways`-way associative, `line`-byte lines.
+    /// All three must be powers of two with `size = sets·ways·line`.
+    #[must_use]
+    pub fn new(size: usize, ways: usize, line: usize) -> Self {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size.is_multiple_of(ways * line),
+            "size must divide into sets"
+        );
+        let sets = size / (ways * line);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocCache {
+            sets,
+            ways,
+            line,
+            line_bits: line.trailing_zeros(),
+            tags: vec![0; sets * ways],
+            valid: vec![false; sets * ways],
+            dirty: vec![false; sets * ways],
+            lru: vec![0; sets * ways],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Aligned line address of `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_bits << self.line_bits
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line_no = addr >> self.line_bits;
+        (
+            (line_no as usize) & (self.sets - 1),
+            line_no >> self.sets.trailing_zeros(),
+        )
+    }
+
+    /// Non-mutating residency probe.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        (0..self.ways).any(|w| {
+            let i = set * self.ways + w;
+            self.valid[i] && self.tags[i] == tag
+        })
+    }
+
+    /// Probe for `addr`; on hit, touch LRU (and mark dirty for writes).
+    /// Returns whether it hit. Statistics are updated. **No fill happens
+    /// on a miss** — the hierarchy decides where fills go.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> bool {
+        self.stamp += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let mut hit = false;
+        for w in 0..self.ways {
+            let i = set * self.ways + w;
+            if self.valid[i] && self.tags[i] == tag {
+                self.lru[i] = self.stamp;
+                if kind == AccessKind::Write {
+                    self.dirty[i] = true;
+                }
+                hit = true;
+                break;
+            }
+        }
+        match kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                if hit {
+                    self.stats.read_hits += 1;
+                }
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                if hit {
+                    self.stats.write_hits += 1;
+                }
+            }
+            AccessKind::Prefetch => {
+                self.stats.prefetches += 1;
+                if hit {
+                    self.stats.prefetch_hits += 1;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Insert the line containing `addr`, evicting the LRU way if the set
+    /// is full. Returns the evicted line's address if it was dirty (needs
+    /// write-back). `dirty` marks the incoming line dirty (write-allocate
+    /// stores).
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<u64> {
+        self.stamp += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        // already resident? (races between access and fill don't occur in
+        // this single-threaded model, but prefetch-after-fill does)
+        for w in 0..self.ways {
+            let i = set * self.ways + w;
+            if self.valid[i] && self.tags[i] == tag {
+                self.lru[i] = self.stamp;
+                self.dirty[i] |= dirty;
+                return None;
+            }
+        }
+        // choose victim: first invalid way, else LRU
+        let base = set * self.ways;
+        let victim = (0..self.ways)
+            .find(|&w| !self.valid[base + w])
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.lru[base + w])
+                    .expect("ways > 0")
+            });
+        let i = base + victim;
+        let mut writeback = None;
+        if self.valid[i] {
+            self.stats.evictions += 1;
+            if self.dirty[i] {
+                self.stats.writebacks += 1;
+                let set_bits = self.sets.trailing_zeros();
+                let line_no = (self.tags[i] << set_bits) | set as u64;
+                writeback = Some(line_no << self.line_bits);
+            }
+        }
+        self.tags[i] = tag;
+        self.valid[i] = true;
+        self.dirty[i] = dirty;
+        self.lru[i] = self.stamp;
+        writeback
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zero the counters (contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drop all contents and counters.
+    pub fn flush(&mut self) {
+        self.valid.fill(false);
+        self.dirty.fill(false);
+        self.lru.fill(0);
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512 B
+        SetAssocCache::new(512, 2, 64)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.sets(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.line_addr(0x1234), 0x1200);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, AccessKind::Read));
+        c.fill(0x1000, false);
+        assert!(c.access(0x1008, AccessKind::Read), "same line must hit");
+        assert_eq!(c.stats().reads, 2);
+        assert_eq!(c.stats().read_hits, 1);
+        assert!((c.stats().read_miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // set 0 holds lines with addr bits [8:6] == 0: stride = sets*line = 256
+        c.fill(0x0000, false);
+        c.fill(0x0100, false);
+        // touch 0x0000 so 0x0100 becomes LRU
+        assert!(c.access(0x0000, AccessKind::Read));
+        c.fill(0x0200, false); // evicts 0x0100
+        assert!(c.contains(0x0000));
+        assert!(!c.contains(0x0100));
+        assert!(c.contains(0x0200));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.fill(0x0000, true); // dirty
+        c.fill(0x0100, false);
+        let wb = c.fill(0x0200, false); // evicts LRU = 0x0000
+        assert_eq!(wb, Some(0x0000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0x0000, false);
+        assert!(c.access(0x0000, AccessKind::Write));
+        c.fill(0x0100, false);
+        let wb = c.fill(0x0200, false);
+        assert_eq!(wb, Some(0x0000), "written line must write back");
+    }
+
+    #[test]
+    fn refill_existing_line_is_idempotent() {
+        let mut c = tiny();
+        c.fill(0x0000, false);
+        assert_eq!(c.fill(0x0000, true), None);
+        // but the dirty bit sticks
+        c.fill(0x0100, false);
+        assert_eq!(c.fill(0x0200, false), Some(0x0000));
+    }
+
+    #[test]
+    fn prefetch_counted_separately() {
+        let mut c = tiny();
+        assert!(!c.access(0x40, AccessKind::Prefetch));
+        c.fill(0x40, false);
+        assert!(c.access(0x40, AccessKind::Prefetch));
+        assert_eq!(c.stats().prefetches, 2);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        assert_eq!(c.stats().reads, 0);
+    }
+
+    #[test]
+    fn sets_isolate_addresses() {
+        let mut c = tiny();
+        // different sets: line addresses 0x00, 0x40, 0x80, 0xC0
+        for a in [0x00u64, 0x40, 0x80, 0xC0] {
+            c.fill(a, false);
+        }
+        for a in [0x00u64, 0x40, 0x80, 0xC0] {
+            assert!(c.contains(a));
+        }
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn paper_l1_geometry_conflict_behaviour() {
+        // 32 KB 4-way 64B: 128 sets; addresses 32KB/4 = 8 KB apart map to
+        // the same set. Five such lines must overflow a 4-way set.
+        let mut l1 = SetAssocCache::new(32 * 1024, 4, 64);
+        assert_eq!(l1.sets(), 128);
+        for i in 0..5u64 {
+            l1.fill(i * 8192, false);
+        }
+        assert!(!l1.contains(0), "LRU way evicted on 5th conflicting fill");
+        assert!(l1.contains(4 * 8192));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = tiny();
+        c.fill(0x0000, true);
+        c.access(0x0000, AccessKind::Read);
+        c.flush();
+        assert!(!c.contains(0x0000));
+        assert_eq!(c.stats().reads, 0);
+    }
+}

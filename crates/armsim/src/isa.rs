@@ -1,0 +1,299 @@
+//! The A64 instruction subset used by the paper's GEBP kernels.
+//!
+//! This is typed IR, not encoded machine code: the kernel generator in the
+//! `kernels` crate emits it, the functional interpreter executes it, and
+//! the pipeline model times it. [`Instr::asm`] renders GNU-style assembly
+//! text matching the paper's Figure 8 snippet.
+
+use core::fmt;
+
+/// A NEON vector register index, `v0`–`v31`.
+pub type VReg = u8;
+
+/// A general-purpose register index, `x0`–`x30`.
+pub type XReg = u8;
+
+/// Prefetch operation kinds (the two the paper uses, plus L3 for
+/// completeness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrfOp {
+    /// `PLDL1KEEP` — prefetch for load into L1 (A-stream prefetch).
+    Pldl1Keep,
+    /// `PLDL2KEEP` — prefetch for load into L2 (B-stream prefetch).
+    Pldl2Keep,
+    /// `PLDL3KEEP` — prefetch for load into L3.
+    Pldl3Keep,
+}
+
+/// One instruction of the kernel IR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// `ldr q<qd>, [x<base>], #<post>` — 128-bit load, post-indexed.
+    LdrQ {
+        /// Destination vector register.
+        qd: VReg,
+        /// Base address register.
+        base: XReg,
+        /// Post-increment in bytes (0 = no writeback).
+        post: i64,
+    },
+    /// `ldr q<qd>, [x<base>, #<off>]` — 128-bit load, immediate offset.
+    LdrQOff {
+        /// Destination vector register.
+        qd: VReg,
+        /// Base address register.
+        base: XReg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `str q<qs>, [x<base>], #<post>` — 128-bit store, post-indexed.
+    StrQ {
+        /// Source vector register.
+        qs: VReg,
+        /// Base address register.
+        base: XReg,
+        /// Post-increment in bytes.
+        post: i64,
+    },
+    /// `str q<qs>, [x<base>, #<off>]` — 128-bit store, immediate offset.
+    StrQOff {
+        /// Source vector register.
+        qs: VReg,
+        /// Base address register.
+        base: XReg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `fmla v<vd>.2d, v<vn>.2d, v<vm>.d[lane]` (lane form) or
+    /// `fmla v<vd>.2d, v<vn>.2d, v<vm>.2d` (vector form):
+    /// `vd[i] += vn[i] * (lane ? vm[lane] : vm[i])`. 4 flops.
+    Fmla {
+        /// Accumulator register.
+        vd: VReg,
+        /// First multiplicand.
+        vn: VReg,
+        /// Second multiplicand.
+        vm: VReg,
+        /// Broadcast lane of `vm`, or `None` for element-wise.
+        lane: Option<u8>,
+    },
+    /// `fmul v<vd>.2d, v<vn>.2d, v<vm>.d[lane]` — like `Fmla` without
+    /// accumulation.
+    Fmul {
+        /// Destination register.
+        vd: VReg,
+        /// First multiplicand.
+        vn: VReg,
+        /// Second multiplicand.
+        vm: VReg,
+        /// Broadcast lane of `vm`, or `None` for element-wise.
+        lane: Option<u8>,
+    },
+    /// `movi v<vd>.2d, #0` — zero a vector register.
+    MovIZero {
+        /// Destination register.
+        vd: VReg,
+    },
+    /// `prfm <op>, [x<base>, #<off>]` — software prefetch hint.
+    Prfm {
+        /// Prefetch kind.
+        op: PrfOp,
+        /// Base address register.
+        base: XReg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `mov x<xd>, #<imm>` — load an immediate (used to set base
+    /// pointers; the real kernels receive them as arguments).
+    MovX {
+        /// Destination register.
+        xd: XReg,
+        /// Immediate value (an address in the simulated memory).
+        imm: u64,
+    },
+    /// `add x<xd>, x<xn>, #<imm>` — address arithmetic.
+    AddX {
+        /// Destination register.
+        xd: XReg,
+        /// Source register.
+        xn: XReg,
+        /// Immediate addend (may be negative).
+        imm: i64,
+    },
+    /// `cbnz x<xn>, #<offset>` — branch by `offset` *instructions*
+    /// (relative to this instruction) when the register is nonzero; the
+    /// loop back-edge of the real kernels.
+    CbnzX {
+        /// Register tested.
+        xn: XReg,
+        /// Branch offset in instructions (negative = backwards).
+        offset: i64,
+    },
+    /// `nop`.
+    Nop,
+}
+
+impl Instr {
+    /// GNU-assembler text for this instruction.
+    #[must_use]
+    pub fn asm(&self) -> String {
+        match *self {
+            Instr::LdrQ { qd, base, post } => {
+                if post == 0 {
+                    format!("ldr q{qd}, [x{base}]")
+                } else {
+                    format!("ldr q{qd}, [x{base}], #{post}")
+                }
+            }
+            Instr::LdrQOff { qd, base, off } => format!("ldr q{qd}, [x{base}, #{off}]"),
+            Instr::StrQ { qs, base, post } => {
+                if post == 0 {
+                    format!("str q{qs}, [x{base}]")
+                } else {
+                    format!("str q{qs}, [x{base}], #{post}")
+                }
+            }
+            Instr::StrQOff { qs, base, off } => format!("str q{qs}, [x{base}, #{off}]"),
+            Instr::Fmla { vd, vn, vm, lane } => match lane {
+                Some(l) => format!("fmla v{vd}.2d, v{vn}.2d, v{vm}.d[{l}]"),
+                None => format!("fmla v{vd}.2d, v{vn}.2d, v{vm}.2d"),
+            },
+            Instr::Fmul { vd, vn, vm, lane } => match lane {
+                Some(l) => format!("fmul v{vd}.2d, v{vn}.2d, v{vm}.d[{l}]"),
+                None => format!("fmul v{vd}.2d, v{vn}.2d, v{vm}.2d"),
+            },
+            Instr::MovIZero { vd } => format!("movi v{vd}.2d, #0"),
+            Instr::Prfm { op, base, off } => {
+                let opname = match op {
+                    PrfOp::Pldl1Keep => "PLDL1KEEP",
+                    PrfOp::Pldl2Keep => "PLDL2KEEP",
+                    PrfOp::Pldl3Keep => "PLDL3KEEP",
+                };
+                format!("prfm {opname}, [x{base}, #{off}]")
+            }
+            Instr::MovX { xd, imm } => format!("mov x{xd}, #{imm}"),
+            Instr::AddX { xd, xn, imm } => format!("add x{xd}, x{xn}, #{imm}"),
+            Instr::CbnzX { xn, offset } => format!("cbnz x{xn}, #{offset}"),
+            Instr::Nop => "nop".to_string(),
+        }
+    }
+
+    /// Does this instruction access data memory (load/store)?
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Instr::LdrQ { .. } | Instr::LdrQOff { .. } | Instr::StrQ { .. } | Instr::StrQOff { .. }
+        )
+    }
+
+    /// Is this a floating-point arithmetic instruction?
+    #[must_use]
+    pub fn is_fp_arith(&self) -> bool {
+        matches!(self, Instr::Fmla { .. } | Instr::Fmul { .. })
+    }
+
+    /// Double-precision flops performed (4 for a 2-lane FMA, 2 for a
+    /// 2-lane multiply).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        match self {
+            Instr::Fmla { .. } => 4,
+            Instr::Fmul { .. } => 2,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.asm())
+    }
+}
+
+/// Render a whole instruction stream as assembly text.
+#[must_use]
+pub fn render_asm(stream: &[Instr]) -> String {
+    let mut out = String::new();
+    for ins in stream {
+        out.push_str("    ");
+        out.push_str(&ins.asm());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asm_matches_figure8_style() {
+        // Paper Figure 8: "ldr q1,[x14],#16", "fmla v8.2d, v0.2d, v4.d[0]",
+        // "prfm PLDL1KEEP, [x14,#PREFA]"
+        assert_eq!(
+            Instr::LdrQ {
+                qd: 1,
+                base: 14,
+                post: 16
+            }
+            .asm(),
+            "ldr q1, [x14], #16"
+        );
+        assert_eq!(
+            Instr::Fmla {
+                vd: 8,
+                vn: 0,
+                vm: 4,
+                lane: Some(0)
+            }
+            .asm(),
+            "fmla v8.2d, v0.2d, v4.d[0]"
+        );
+        assert_eq!(
+            Instr::Prfm {
+                op: PrfOp::Pldl1Keep,
+                base: 14,
+                off: 1024
+            }
+            .asm(),
+            "prfm PLDL1KEEP, [x14, #1024]"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        let ld = Instr::LdrQ {
+            qd: 0,
+            base: 0,
+            post: 16,
+        };
+        let fma = Instr::Fmla {
+            vd: 8,
+            vn: 0,
+            vm: 4,
+            lane: None,
+        };
+        assert!(ld.is_mem() && !ld.is_fp_arith());
+        assert!(fma.is_fp_arith() && !fma.is_mem());
+        assert_eq!(fma.flops(), 4);
+        assert_eq!(ld.flops(), 0);
+        assert_eq!(
+            Instr::Fmul {
+                vd: 1,
+                vn: 2,
+                vm: 3,
+                lane: Some(1)
+            }
+            .flops(),
+            2
+        );
+    }
+
+    #[test]
+    fn render_stream() {
+        let text = render_asm(&[Instr::Nop, Instr::MovX { xd: 14, imm: 4096 }]);
+        assert!(text.contains("nop\n"));
+        assert!(text.contains("mov x14, #4096"));
+    }
+}

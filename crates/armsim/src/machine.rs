@@ -1,0 +1,403 @@
+//! The eight-core machine: per-core L1s, per-module L2s (two cores per
+//! module, Figure 1), one shared L3, plus the trace-replay API the
+//! evaluation harness uses for multi-threaded cache studies.
+
+use crate::cache::{AccessKind, CacheStats, SetAssocCache};
+use crate::hierarchy::{demand_access, prefetch, HitLevel, LatencyConfig};
+use crate::isa::PrfOp;
+use crate::tlb::{Tlb, TlbStats};
+use perfmodel::MachineDesc;
+
+/// One memory operation of an address trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Demand load.
+    Read(u64),
+    /// Demand store.
+    Write(u64),
+    /// Software prefetch.
+    Prefetch(u64, PrfOp),
+}
+
+/// Per-level hit counts and total latency of a replayed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Accesses satisfied by L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied by L2.
+    pub l2_hits: u64,
+    /// Accesses satisfied by L3.
+    pub l3_hits: u64,
+    /// Accesses that went to memory.
+    pub mem_accesses: u64,
+    /// Total demand accesses.
+    pub accesses: u64,
+    /// Sum of per-access latencies (no overlap modelled here; the
+    /// evaluation harness applies the paper's overlap factor).
+    pub total_latency: u64,
+    /// Prefetch transfers sourced from L2 (one line each).
+    pub pf_from_l2: u64,
+    /// Prefetch transfers sourced from L3.
+    pub pf_from_l3: u64,
+    /// Prefetch transfers sourced from memory.
+    pub pf_from_mem: u64,
+    /// Data-TLB misses (page walks) among demand accesses.
+    pub tlb_misses: u64,
+}
+
+impl TraceReport {
+    fn record(&mut self, level: HitLevel, lat: &LatencyConfig) {
+        self.accesses += 1;
+        self.total_latency += lat.for_level(level);
+        match level {
+            HitLevel::L1 => self.l1_hits += 1,
+            HitLevel::L2 => self.l2_hits += 1,
+            HitLevel::L3 => self.l3_hits += 1,
+            HitLevel::Mem => self.mem_accesses += 1,
+        }
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &TraceReport) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.l3_hits += other.l3_hits;
+        self.mem_accesses += other.mem_accesses;
+        self.accesses += other.accesses;
+        self.total_latency += other.total_latency;
+        self.pf_from_l2 += other.pf_from_l2;
+        self.pf_from_l3 += other.pf_from_l3;
+        self.pf_from_mem += other.pf_from_mem;
+        self.tlb_misses += other.tlb_misses;
+    }
+}
+
+/// The simulated multi-core cache system.
+#[derive(Clone, Debug)]
+pub struct SimMachine {
+    desc: MachineDesc,
+    lat: LatencyConfig,
+    l1s: Vec<SetAssocCache>,
+    l2s: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    tlbs: Vec<Tlb>,
+}
+
+impl SimMachine {
+    /// Build the machine described by `desc`.
+    #[must_use]
+    pub fn new(desc: MachineDesc, lat: LatencyConfig) -> Self {
+        let l1s = (0..desc.cores)
+            .map(|_| SetAssocCache::new(desc.l1.size, desc.l1.assoc, desc.l1.line))
+            .collect();
+        let l2s = (0..desc.modules())
+            .map(|_| SetAssocCache::new(desc.l2.size, desc.l2.assoc, desc.l2.line))
+            .collect();
+        let l3 = SetAssocCache::new(desc.l3.size, desc.l3.assoc, desc.l3.line);
+        let tlbs = (0..desc.cores).map(|_| Tlb::xgene_dtlb()).collect();
+        SimMachine {
+            desc,
+            lat,
+            l1s,
+            l2s,
+            l3,
+            tlbs,
+        }
+    }
+
+    /// The paper's platform with default latencies.
+    #[must_use]
+    pub fn xgene() -> Self {
+        Self::new(MachineDesc::xgene(), LatencyConfig::default())
+    }
+
+    /// Machine description.
+    #[must_use]
+    pub fn desc(&self) -> &MachineDesc {
+        &self.desc
+    }
+
+    /// Latency configuration.
+    #[must_use]
+    pub fn latencies(&self) -> &LatencyConfig {
+        &self.lat
+    }
+
+    /// Module owning `core` (two cores per module on this machine).
+    #[must_use]
+    pub fn module_of(&self, core: usize) -> usize {
+        core / self.desc.cores_per_module
+    }
+
+    /// One demand access from `core`; returns the satisfying level and
+    /// its load-to-use latency. The core's data TLB is consulted first
+    /// (its misses are counted; the walk penalty is the consumer's
+    /// policy decision).
+    pub fn access(&mut self, core: usize, addr: u64, kind: AccessKind) -> (HitLevel, u64) {
+        let _ = self.tlbs[core].access(addr);
+        let module = self.module_of(core);
+        let level = demand_access(
+            &mut self.l1s[core],
+            &mut self.l2s[module],
+            &mut self.l3,
+            addr,
+            kind,
+        );
+        (level, self.lat.for_level(level))
+    }
+
+    /// One software prefetch from `core`. Returns the source level when
+    /// a transfer occurred.
+    pub fn prefetch(&mut self, core: usize, addr: u64, op: PrfOp) -> Option<HitLevel> {
+        let module = self.module_of(core);
+        prefetch(
+            &mut self.l1s[core],
+            &mut self.l2s[module],
+            &mut self.l3,
+            addr,
+            op,
+        )
+    }
+
+    /// Replay a trace on one core.
+    pub fn run_trace(&mut self, core: usize, trace: &[TraceOp]) -> TraceReport {
+        let mut report = TraceReport::default();
+        for &op in trace {
+            self.step(core, op, &mut report);
+        }
+        report
+    }
+
+    fn step(&mut self, core: usize, op: TraceOp, report: &mut TraceReport) {
+        match op {
+            TraceOp::Read(a) => {
+                if !self.tlbs[core].contains(a) {
+                    report.tlb_misses += 1;
+                }
+                let (lvl, _) = self.access(core, a, AccessKind::Read);
+                report.record(lvl, &self.lat);
+            }
+            TraceOp::Write(a) => {
+                if !self.tlbs[core].contains(a) {
+                    report.tlb_misses += 1;
+                }
+                let (lvl, _) = self.access(core, a, AccessKind::Write);
+                report.record(lvl, &self.lat);
+            }
+            TraceOp::Prefetch(a, p) => match self.prefetch(core, a, p) {
+                Some(HitLevel::L2) => report.pf_from_l2 += 1,
+                Some(HitLevel::L3) => report.pf_from_l3 += 1,
+                Some(HitLevel::Mem) => report.pf_from_mem += 1,
+                _ => {}
+            },
+        }
+    }
+
+    /// Replay several per-core traces concurrently by round-robin
+    /// interleaving `chunk` operations at a time — the approximation of
+    /// simultaneous execution the multi-threaded cache experiments use.
+    /// Returns one report per input trace.
+    pub fn run_traces_interleaved(
+        &mut self,
+        traces: &[(usize, Vec<TraceOp>)],
+        chunk: usize,
+    ) -> Vec<TraceReport> {
+        assert!(chunk > 0);
+        let mut reports = vec![TraceReport::default(); traces.len()];
+        let mut cursors = vec![0usize; traces.len()];
+        loop {
+            let mut progressed = false;
+            for (t, (core, trace)) in traces.iter().enumerate() {
+                let start = cursors[t];
+                let end = (start + chunk).min(trace.len());
+                for &op in &trace[start..end] {
+                    self.step(*core, op, &mut reports[t]);
+                }
+                cursors[t] = end;
+                progressed |= end > start;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        reports
+    }
+
+    /// L1 counters of one core.
+    #[must_use]
+    pub fn l1_stats(&self, core: usize) -> &CacheStats {
+        self.l1s[core].stats()
+    }
+
+    /// L2 counters of one module.
+    #[must_use]
+    pub fn l2_stats(&self, module: usize) -> &CacheStats {
+        self.l2s[module].stats()
+    }
+
+    /// L3 counters.
+    #[must_use]
+    pub fn l3_stats(&self) -> &CacheStats {
+        self.l3.stats()
+    }
+
+    /// Data-TLB counters of one core.
+    #[must_use]
+    pub fn tlb_stats(&self, core: usize) -> &TlbStats {
+        self.tlbs[core].stats()
+    }
+
+    /// Zero all counters, keep contents.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1s {
+            c.reset_stats();
+        }
+        for c in &mut self.l2s {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+        for t in &mut self.tlbs {
+            t.reset_stats();
+        }
+    }
+
+    /// Drop all cache contents and counters (cold machine).
+    pub fn flush(&mut self) {
+        for c in &mut self.l1s {
+            c.flush();
+        }
+        for c in &mut self.l2s {
+            c.flush();
+        }
+        self.l3.flush();
+        for t in &mut self.tlbs {
+            t.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_figure1() {
+        let m = SimMachine::xgene();
+        assert_eq!(m.l1s.len(), 8);
+        assert_eq!(m.l2s.len(), 4);
+        assert_eq!(m.module_of(0), 0);
+        assert_eq!(m.module_of(1), 0);
+        assert_eq!(m.module_of(2), 1);
+        assert_eq!(m.module_of(7), 3);
+    }
+
+    #[test]
+    fn cores_of_one_module_share_l2() {
+        let mut m = SimMachine::xgene();
+        // core 0 warms a line; core 1 (same module) should hit L2, core 2
+        // (other module) should have to go to L3.
+        m.access(0, 0x10000, AccessKind::Read);
+        let (lvl1, _) = m.access(1, 0x10000, AccessKind::Read);
+        assert_eq!(lvl1, HitLevel::L2);
+        let (lvl2, _) = m.access(2, 0x10000, AccessKind::Read);
+        assert_eq!(lvl2, HitLevel::L3);
+    }
+
+    #[test]
+    fn l1s_are_private() {
+        let mut m = SimMachine::xgene();
+        m.access(0, 0x40, AccessKind::Read);
+        let (lvl, _) = m.access(0, 0x40, AccessKind::Read);
+        assert_eq!(lvl, HitLevel::L1);
+        // another core's first touch cannot hit its own L1
+        let (lvl, _) = m.access(3, 0x40, AccessKind::Read);
+        assert_ne!(lvl, HitLevel::L1);
+    }
+
+    #[test]
+    fn trace_report_counts() {
+        let mut m = SimMachine::xgene();
+        let trace = vec![
+            TraceOp::Read(0x0),
+            TraceOp::Read(0x8),
+            TraceOp::Read(0x40),
+            TraceOp::Write(0x40),
+        ];
+        let r = m.run_trace(0, &trace);
+        assert_eq!(r.accesses, 4);
+        assert_eq!(r.mem_accesses, 2); // two distinct lines, cold
+        assert_eq!(r.l1_hits, 2);
+        assert_eq!(
+            r.total_latency,
+            2 * m.latencies().mem + 2 * m.latencies().l1
+        );
+    }
+
+    #[test]
+    fn prefetch_in_trace_hides_miss() {
+        let mut m = SimMachine::xgene();
+        let r = m.run_trace(
+            0,
+            &[
+                TraceOp::Prefetch(0x1000, PrfOp::Pldl1Keep),
+                TraceOp::Read(0x1000),
+            ],
+        );
+        assert_eq!(r.l1_hits, 1);
+        assert_eq!(r.accesses, 1, "prefetches are not demand accesses");
+    }
+
+    #[test]
+    fn interleaved_traces_contend_for_shared_l2() {
+        let mut m = SimMachine::xgene();
+        // Two cores of one module streaming disjoint buffers bigger than
+        // half the L2 each: together they thrash the shared L2.
+        let mk = |base: u64| -> Vec<TraceOp> {
+            (0..4096u64).map(|i| TraceOp::Read(base + i * 64)).collect()
+        };
+        // pass 1 warms, pass 2 measures
+        let t0 = mk(0x0010_0000);
+        let t1 = mk(0x0100_0000);
+        m.run_traces_interleaved(&[(0, t0.clone()), (1, t1.clone())], 8);
+        m.reset_stats();
+        let reports = m.run_traces_interleaved(&[(0, t0), (1, t1)], 8);
+        // 4096 lines * 64B = 256KB each stream; two streams > 256KB L2:
+        // most L2 probes must miss even after warming.
+        let l2_hit_share = (reports[0].l2_hits + reports[1].l2_hits) as f64 / (2.0 * 4096.0);
+        assert!(l2_hit_share < 0.5, "shared L2 cannot hold both streams");
+    }
+
+    #[test]
+    fn single_core_reuses_l2_without_contention() {
+        let mut m = SimMachine::xgene();
+        // One core, one 128KB stream: fits L2 easily after warmup.
+        let trace: Vec<TraceOp> = (0..2048u64)
+            .map(|i| TraceOp::Read(0x10_0000 + i * 64))
+            .collect();
+        m.run_trace(0, &trace);
+        // evict from tiny L1 with an unrelated stream
+        let evict: Vec<TraceOp> = (0..1024u64)
+            .map(|i| TraceOp::Read(0x200_0000 + i * 64))
+            .collect();
+        m.run_trace(0, &evict);
+        m.reset_stats();
+        let r = m.run_trace(0, &trace);
+        assert!(
+            r.l2_hits as f64 / r.accesses as f64 > 0.9,
+            "stream must still be L2-resident: {r:?}"
+        );
+    }
+
+    #[test]
+    fn reset_and_flush() {
+        let mut m = SimMachine::xgene();
+        m.access(0, 0x40, AccessKind::Read);
+        m.reset_stats();
+        assert_eq!(m.l1_stats(0).reads, 0);
+        let (lvl, _) = m.access(0, 0x40, AccessKind::Read);
+        assert_eq!(lvl, HitLevel::L1, "contents survive reset_stats");
+        m.flush();
+        let (lvl, _) = m.access(0, 0x40, AccessKind::Read);
+        assert_eq!(lvl, HitLevel::Mem, "flush drops contents");
+    }
+}

@@ -1,0 +1,131 @@
+//! Flat simulated data memory with a bump allocator.
+//!
+//! Addresses are plain `u64` byte offsets into one contiguous region —
+//! enough for the kernel working sets (packed blocks, slivers and C
+//! tiles), which top out well under the default 64 MB.
+
+/// Simulated byte-addressable memory.
+#[derive(Clone, Debug)]
+pub struct SimMemory {
+    data: Vec<u8>,
+    brk: u64,
+}
+
+impl SimMemory {
+    /// Memory of `size` bytes, zero-initialized. Allocation starts at 64
+    /// (address 0 is kept unused to catch null-pointer style bugs).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        SimMemory {
+            data: vec![0u8; size],
+            brk: 64,
+        }
+    }
+
+    /// Default memory: 64 MB.
+    #[must_use]
+    pub fn default_size() -> Self {
+        Self::new(64 << 20)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bump-allocate `bytes` with the given power-of-two `align`; returns
+    /// the base address.
+    pub fn alloc(&mut self, bytes: usize, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.brk + align - 1) & !(align - 1);
+        let end = base + bytes as u64;
+        assert!(
+            end <= self.data.len() as u64,
+            "simulated memory exhausted: need {end}, have {}",
+            self.data.len()
+        );
+        self.brk = end;
+        base
+    }
+
+    /// Read one `f64`.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        let a = addr as usize;
+        f64::from_le_bytes(self.data[a..a + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Write one `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        let a = addr as usize;
+        self.data[a..a + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a 128-bit register's worth: two consecutive `f64` lanes.
+    #[must_use]
+    pub fn read_q(&self, addr: u64) -> [f64; 2] {
+        [self.read_f64(addr), self.read_f64(addr + 8)]
+    }
+
+    /// Write two consecutive `f64` lanes.
+    pub fn write_q(&mut self, addr: u64, v: [f64; 2]) {
+        self.write_f64(addr, v[0]);
+        self.write_f64(addr + 8, v[1]);
+    }
+
+    /// Copy a slice of doubles into memory at `addr`.
+    pub fn store_slice(&mut self, addr: u64, src: &[f64]) {
+        for (i, &v) in src.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, v);
+        }
+    }
+
+    /// Read `len` doubles starting at `addr`.
+    #[must_use]
+    pub fn load_slice(&self, addr: u64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| self.read_f64(addr + 8 * i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let mut m = SimMemory::new(1024);
+        m.write_f64(64, -3.25);
+        assert_eq!(m.read_f64(64), -3.25);
+        m.write_q(128, [1.5, 2.5]);
+        assert_eq!(m.read_q(128), [1.5, 2.5]);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_order() {
+        let mut m = SimMemory::new(4096);
+        let a = m.alloc(10, 64);
+        let b = m.alloc(16, 64);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+        assert_ne!(a, 0, "address 0 reserved");
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut m = SimMemory::new(4096);
+        let base = m.alloc(8 * 5, 8);
+        m.store_slice(base, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(m.load_slice(base, 5), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn overflow_detected() {
+        let mut m = SimMemory::new(256);
+        let _ = m.alloc(512, 8);
+    }
+}

@@ -1,0 +1,440 @@
+//! In-order-issue timing model of one core.
+//!
+//! Calibrated to the paper's platform:
+//!
+//! - four-wide in-order dispatch (the X-Gene class core is a four-issue
+//!   superscalar; out-of-order completion is approximated by scoreboarded
+//!   in-order issue, which is accurate for the compiler/hand-scheduled
+//!   straight-line kernels this model executes);
+//! - **one NEON FMA pipe with a 2-cycle initiation interval** — one
+//!   128-bit `fmla v.2d` (4 flops) every 2 cycles = 2 flops/cycle =
+//!   4.8 Gflops at 2.4 GHz, exactly the paper's per-core peak;
+//! - one load/store pipe (one 128-bit access per cycle);
+//! - a vector load's write-back **steals one NEON issue cycle** (shared
+//!   NEON register-file write port), charged when the NEON pipe is busy:
+//!   a stream of F FMAs and L loads takes `2F + L` cycles when
+//!   FMA-bound, reproducing the monotone efficiency-vs-`LDR:FMLA` curve
+//!   of the paper's Table IV;
+//! - register scoreboarding: an instruction waits for its source (and
+//!   accumulator) registers, so under-scheduled loads stall the FMA pipe
+//!   — the effect register rotation (eq. (12)) and load scheduling
+//!   (eq. (13)) exist to avoid.
+//!
+//! WAR hazards are ignored, matching the paper's measurement that they do
+//! not matter on this core ("due to possibly the register renaming
+//! mechanism used", Section V-A).
+
+use crate::isa::Instr;
+
+/// Microarchitectural parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Max instructions issued per cycle.
+    pub issue_width: u32,
+    /// NEON FMA initiation interval (cycles between FMA issues).
+    pub fma_ii: u64,
+    /// NEON FMA result latency.
+    pub fma_lat: u64,
+    /// Load/store pipe initiation interval.
+    pub ls_ii: u64,
+    /// Scalar ALU result latency (address arithmetic).
+    pub scalar_lat: u64,
+    /// Vector-load write-backs steal a NEON issue cycle.
+    pub load_wb_steals_neon: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            issue_width: 4,
+            fma_ii: 2,
+            fma_lat: 6,
+            ls_ii: 1,
+            scalar_lat: 1,
+            load_wb_steals_neon: true,
+        }
+    }
+}
+
+/// Cycle accounting of a simulated stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Instructions issued.
+    pub instrs: u64,
+    /// Double-precision flops performed.
+    pub flops: u64,
+    /// Vector loads issued.
+    pub loads: u64,
+    /// Vector stores issued.
+    pub stores: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Cycles lost waiting for source registers (RAW).
+    pub raw_stall_cycles: u64,
+    /// Cycles lost to unit contention (NEON II, LS pipe, write-back
+    /// steals).
+    pub struct_stall_cycles: u64,
+}
+
+/// The in-order issue engine. Feed instructions via [`Pipeline::issue`];
+/// read total time via [`Pipeline::cycles`].
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    v_ready: [u64; 32],
+    x_ready: [u64; 31],
+    neon_free: u64,
+    ls_free: u64,
+    last_issue: u64,
+    issued_at_last: u32,
+    stats: PipelineStats,
+}
+
+impl Pipeline {
+    /// Fresh pipeline at cycle 0.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline {
+            cfg,
+            v_ready: [0; 32],
+            x_ready: [0; 31],
+            neon_free: 0,
+            ls_free: 0,
+            last_issue: 0,
+            issued_at_last: 0,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Issue one instruction. `mem_lat` must be provided for loads (the
+    /// load-to-use latency determined by the cache hierarchy) and is
+    /// ignored otherwise. Returns the issue cycle.
+    pub fn issue(&mut self, ins: &Instr, mem_lat: Option<u64>) -> u64 {
+        self.stats.instrs += 1;
+        self.stats.flops += ins.flops();
+
+        // in-order constraint (+ issue width at the current cycle)
+        let mut t_inorder = self.last_issue;
+        if self.issued_at_last >= self.cfg.issue_width {
+            t_inorder += 1;
+        }
+
+        let (t_src, t_unit) = match *ins {
+            Instr::Fmla { vd, vn, vm, .. } => (
+                self.v_ready[vd as usize]
+                    .max(self.v_ready[vn as usize])
+                    .max(self.v_ready[vm as usize]),
+                self.neon_free,
+            ),
+            Instr::Fmul { vn, vm, .. } => (
+                self.v_ready[vn as usize].max(self.v_ready[vm as usize]),
+                self.neon_free,
+            ),
+            Instr::LdrQ { base, .. } | Instr::LdrQOff { base, .. } => {
+                (self.x_ready[base as usize], self.ls_free)
+            }
+            Instr::StrQ { qs, base, .. } | Instr::StrQOff { qs, base, .. } => (
+                self.v_ready[qs as usize].max(self.x_ready[base as usize]),
+                self.ls_free,
+            ),
+            Instr::Prfm { base, .. } => (self.x_ready[base as usize], self.ls_free),
+            Instr::AddX { xn, .. } | Instr::CbnzX { xn, .. } => (self.x_ready[xn as usize], 0),
+            Instr::MovX { .. } | Instr::MovIZero { .. } | Instr::Nop => (0, 0),
+        };
+
+        let t = t_inorder.max(t_src).max(t_unit);
+
+        // stall attribution (vs the pure in-order schedule): cycles up to
+        // the source-ready time are RAW, the rest structural
+        if t > t_inorder {
+            let raw = t_src.saturating_sub(t_inorder).min(t - t_inorder);
+            self.stats.raw_stall_cycles += raw;
+            self.stats.struct_stall_cycles += (t - t_inorder) - raw;
+        }
+
+        // book resources and results
+        match *ins {
+            Instr::Fmla { vd, .. } | Instr::Fmul { vd, .. } => {
+                self.neon_free = t + self.cfg.fma_ii;
+                self.v_ready[vd as usize] = t + self.cfg.fma_lat;
+            }
+            Instr::LdrQ { qd, base, post } => {
+                self.ls_free = t + self.cfg.ls_ii;
+                let lat = mem_lat.expect("loads need a memory latency");
+                self.v_ready[qd as usize] = t + lat;
+                if post != 0 {
+                    self.x_ready[base as usize] = t + 1;
+                }
+                self.steal_neon_writeback_slot(t);
+                self.stats.loads += 1;
+            }
+            Instr::LdrQOff { qd, .. } => {
+                self.ls_free = t + self.cfg.ls_ii;
+                let lat = mem_lat.expect("loads need a memory latency");
+                self.v_ready[qd as usize] = t + lat;
+                self.steal_neon_writeback_slot(t);
+                self.stats.loads += 1;
+            }
+            Instr::StrQ { base, post, .. } => {
+                self.ls_free = t + self.cfg.ls_ii;
+                if post != 0 {
+                    self.x_ready[base as usize] = t + 1;
+                }
+                self.stats.stores += 1;
+            }
+            Instr::StrQOff { .. } => {
+                self.ls_free = t + self.cfg.ls_ii;
+                self.stats.stores += 1;
+            }
+            Instr::Prfm { .. } => {
+                self.ls_free = t + self.cfg.ls_ii;
+                self.stats.prefetches += 1;
+            }
+            Instr::MovX { xd, .. } => {
+                self.x_ready[xd as usize] = t + self.cfg.scalar_lat;
+            }
+            Instr::AddX { xd, .. } => {
+                self.x_ready[xd as usize] = t + self.cfg.scalar_lat;
+            }
+            Instr::MovIZero { vd } => {
+                self.v_ready[vd as usize] = t + self.cfg.scalar_lat;
+            }
+            // a correctly predicted loop back-edge costs no extra cycles
+            Instr::CbnzX { .. } | Instr::Nop => {}
+        }
+
+        // advance the in-order pointer
+        if t == self.last_issue {
+            self.issued_at_last += 1;
+        } else {
+            self.last_issue = t;
+            self.issued_at_last = 1;
+        }
+        t
+    }
+
+    /// A vector load's write-back consumes one cycle of the shared NEON
+    /// register-file write port. When the NEON pipe is busy (back-logged
+    /// past the load's issue cycle) this delays it by one cycle; an idle
+    /// pipe absorbs the write-back for free.
+    fn steal_neon_writeback_slot(&mut self, t: u64) {
+        if self.cfg.load_wb_steals_neon && self.neon_free > t {
+            self.neon_free += 1;
+        }
+    }
+
+    /// Total busy cycles so far (issue drained; in-flight latencies of
+    /// unread results are not charged).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.neon_free.max(self.ls_free).max(self.last_issue + 1)
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Achieved fraction of the FMA-throughput peak so far:
+    /// `flops / (cycles · flops_per_cycle)` where `flops_per_cycle =
+    /// 4 / fma_ii` (one 2-lane FMA per II).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let peak = 4.0 / self.cfg.fma_ii as f64;
+        self.stats.flops as f64 / (self.cycles() as f64 * peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, PrfOp};
+
+    fn fmla(vd: u8, vn: u8, vm: u8) -> Instr {
+        Instr::Fmla {
+            vd,
+            vn,
+            vm,
+            lane: None,
+        }
+    }
+
+    fn ldr(qd: u8) -> Instr {
+        Instr::LdrQ {
+            qd,
+            base: 14,
+            post: 16,
+        }
+    }
+
+    /// Accumulator register for the i-th FMA of an independent stream:
+    /// cycles over v8..v23 so loads can target v24..v31 without RAW.
+    fn acc(i: u64) -> u8 {
+        (8 + (i % 16)) as u8
+    }
+
+    /// Load target for the i-th independent load: v24..v31.
+    fn ldreg(i: u64) -> u8 {
+        (24 + (i % 8)) as u8
+    }
+
+    #[test]
+    fn pure_fma_stream_hits_peak() {
+        // independent FMAs: one per II -> efficiency 1.0
+        let mut p = Pipeline::new(PipelineConfig::default());
+        for i in 0..1000u64 {
+            let r = (8 + (i % 24)) as u8;
+            p.issue(&fmla(r, 0, 4), None);
+        }
+        assert!(
+            (p.efficiency() - 1.0).abs() < 0.01,
+            "eff {}",
+            p.efficiency()
+        );
+    }
+
+    #[test]
+    fn load_writebacks_steal_neon_cycles() {
+        // 1:1 ldr:fmla, independent: ~3 cycles per pair -> eff ~2/3
+        let mut p = Pipeline::new(PipelineConfig::default());
+        for i in 0..2000u64 {
+            p.issue(&fmla(acc(i), 0, 4), None);
+            p.issue(&ldr(ldreg(i)), Some(4));
+        }
+        let eff = p.efficiency();
+        assert!(
+            (0.60..0.72).contains(&eff),
+            "1:1 efficiency should be near 2/3, got {eff}"
+        );
+    }
+
+    #[test]
+    fn efficiency_monotone_in_fma_fraction() {
+        // Table IV property: more FMAs per load -> higher efficiency.
+        let ratios = [(1usize, 1usize), (2, 1), (3, 1), (4, 1), (5, 1)];
+        let mut last = 0.0;
+        for (f, l) in ratios {
+            let mut p = Pipeline::new(PipelineConfig::default());
+            for g in 0..500u64 {
+                for i in 0..f {
+                    p.issue(&fmla(acc(g * f as u64 + i as u64), 0, 4), None);
+                }
+                for i in 0..l {
+                    p.issue(&ldr(ldreg(g * l as u64 + i as u64)), Some(4));
+                }
+            }
+            let eff = p.efficiency();
+            assert!(eff > last, "{f}:{l} gave {eff}, not above {last}");
+            last = eff;
+        }
+        assert!(last > 0.85, "1:5 should be close to peak, got {last}");
+    }
+
+    #[test]
+    fn raw_stall_on_unscheduled_load() {
+        // load immediately feeding an FMA stalls it by ~the load latency
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.issue(&ldr(0), Some(4));
+        let t = p.issue(&fmla(8, 0, 4), None);
+        assert!(t >= 4, "fmla must wait for the load, issued at {t}");
+        assert!(p.stats().raw_stall_cycles > 0);
+    }
+
+    #[test]
+    fn scheduled_load_hides_latency() {
+        // load 5 independent FMAs ahead of its use: no stall
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.issue(&ldr(0), Some(4));
+        for i in 0..5 {
+            p.issue(&fmla(8 + i, 1, 4), None);
+        }
+        let before = p.stats().raw_stall_cycles;
+        p.issue(&fmla(20, 0, 4), None);
+        assert_eq!(p.stats().raw_stall_cycles, before, "latency fully hidden");
+    }
+
+    #[test]
+    fn fma_accumulator_dependency_respected() {
+        // same vd back to back: second waits fma_lat, not just II
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let t0 = p.issue(&fmla(8, 0, 4), None);
+        let t1 = p.issue(&fmla(8, 1, 5), None);
+        assert!(t1 >= t0 + p.config().fma_lat);
+    }
+
+    #[test]
+    fn ls_pipe_serializes_loads() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let t0 = p.issue(&ldr(0), Some(4));
+        let t1 = p.issue(&ldr(1), Some(4));
+        assert_eq!(t1, t0 + 1);
+    }
+
+    #[test]
+    fn issue_width_bounds_per_cycle() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        // 6 scalar movs: at width 4, at most 4 share cycle 0
+        let cycles: Vec<u64> = (0..6)
+            .map(|i| p.issue(&Instr::MovX { xd: i, imm: 0 }, None))
+            .collect();
+        assert_eq!(cycles[3], 0);
+        assert!(cycles[4] >= 1);
+    }
+
+    #[test]
+    fn stores_and_prefetches_use_ls_pipe() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let t0 = p.issue(
+            &Instr::StrQ {
+                qs: 8,
+                base: 10,
+                post: 16,
+            },
+            None,
+        );
+        let t1 = p.issue(
+            &Instr::Prfm {
+                op: PrfOp::Pldl1Keep,
+                base: 14,
+                off: 1024,
+            },
+            None,
+        );
+        assert_eq!(t1, t0 + 1);
+        assert_eq!(p.stats().stores, 1);
+        assert_eq!(p.stats().prefetches, 1);
+    }
+
+    #[test]
+    fn post_increment_chains_address_register() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let t0 = p.issue(&ldr(0), Some(4));
+        let t1 = p.issue(&ldr(1), Some(4)); // same base x14
+        assert_eq!(t1, t0 + 1, "AGU update forwards next cycle");
+    }
+
+    #[test]
+    fn disabling_wb_steal_removes_structural_penalty() {
+        let cfg = PipelineConfig {
+            load_wb_steals_neon: false,
+            ..PipelineConfig::default()
+        };
+        let mut p = Pipeline::new(cfg);
+        for i in 0..2000u64 {
+            p.issue(&fmla(acc(i), 0, 4), None);
+            p.issue(&ldr(ldreg(i)), Some(4));
+        }
+        assert!(
+            p.efficiency() > 0.95,
+            "without the port steal 1:1 runs at peak: {}",
+            p.efficiency()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Architectural register files: 32 128-bit NEON registers (two `f64`
+//! lanes each) and 31 64-bit general-purpose registers.
+
+/// Register state of one simulated core.
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    v: [[f64; 2]; 32],
+    x: [u64; 31],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// All-zero register file.
+    #[must_use]
+    pub fn new() -> Self {
+        RegFile {
+            v: [[0.0; 2]; 32],
+            x: [0; 31],
+        }
+    }
+
+    /// Read NEON register `r`.
+    #[must_use]
+    pub fn v(&self, r: u8) -> [f64; 2] {
+        self.v[r as usize]
+    }
+
+    /// Write NEON register `r`.
+    pub fn set_v(&mut self, r: u8, val: [f64; 2]) {
+        self.v[r as usize] = val;
+    }
+
+    /// Read general register `r`.
+    #[must_use]
+    pub fn x(&self, r: u8) -> u64 {
+        self.x[r as usize]
+    }
+
+    /// Write general register `r`.
+    pub fn set_x(&mut self, r: u8, val: u64) {
+        self.x[r as usize] = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut r = RegFile::new();
+        r.set_v(31, [1.0, -2.0]);
+        assert_eq!(r.v(31), [1.0, -2.0]);
+        r.set_x(30, 0xdead_beef);
+        assert_eq!(r.x(30), 0xdead_beef);
+        assert_eq!(r.v(0), [0.0, 0.0]);
+    }
+}

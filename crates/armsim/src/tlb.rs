@@ -1,0 +1,203 @@
+//! Data TLB model — the paper's Section VI names TLB analysis as future
+//! work ("we will analyze the TLB misses and improve our selection of
+//! block sizes"); this module provides the machinery for that analysis.
+//!
+//! A fully associative, LRU data TLB of configurable capacity over 4 KB
+//! pages (the SoC-class configuration). The extended experiment
+//! `ext_tlb_study` replays the GEBP access pattern through it to show
+//! how the blocking parameters determine the TLB working set.
+
+/// TLB hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translations requested.
+    pub accesses: u64,
+    /// Translations served from the TLB.
+    pub hits: u64,
+}
+
+impl TlbStats {
+    /// Misses (page walks).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A fully associative, LRU data TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    capacity: usize,
+    page_bits: u32,
+    // (page number, last-use stamp)
+    entries: Vec<(u64, u64)>,
+    stamp: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// TLB with `capacity` entries over pages of `page_size` bytes
+    /// (power of two).
+    #[must_use]
+    pub fn new(capacity: usize, page_size: usize) -> Self {
+        assert!(capacity > 0);
+        assert!(page_size.is_power_of_two());
+        Tlb {
+            capacity,
+            page_bits: page_size.trailing_zeros(),
+            entries: Vec::with_capacity(capacity),
+            stamp: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The SoC-class default: 48 entries, 4 KB pages.
+    #[must_use]
+    pub fn xgene_dtlb() -> Self {
+        Self::new(48, 4096)
+    }
+
+    /// Entry count.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        1usize << self.page_bits
+    }
+
+    /// Translate the page of `addr`; returns whether it hit. On a miss
+    /// the translation is installed (evicting the LRU entry when full).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let page = addr >> self.page_bits;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.stamp;
+            self.stats.hits += 1;
+            return true;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.stamp));
+        false
+    }
+
+    /// Non-mutating residency probe.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let page = addr >> self.page_bits;
+        self.entries.iter().any(|e| e.0 == page)
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Zero counters, keep contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Drop everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(0x1234));
+        assert!(t.access(0x1FFF), "same page");
+        assert!(!t.access(0x2000), "next page");
+        assert_eq!(t.stats().accesses, 3);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // touch page 0 -> page 1 is LRU
+        t.access(0x2000); // evicts page 1
+        assert!(t.contains(0x0000));
+        assert!(!t.contains(0x1000));
+        assert!(t.contains(0x2000));
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_twice() {
+        let mut t = Tlb::new(8, 4096);
+        for round in 0..3 {
+            for p in 0..8u64 {
+                let hit = t.access(p * 4096);
+                assert_eq!(hit, round > 0, "round {round} page {p}");
+            }
+        }
+        assert!((t.stats().miss_rate() - 8.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_beyond_capacity_thrashes() {
+        let mut t = Tlb::new(8, 4096);
+        // cyclic sweep over 16 pages with LRU: every access misses
+        for _ in 0..4 {
+            for p in 0..16u64 {
+                t.access(p * 4096);
+            }
+        }
+        assert_eq!(
+            t.stats().hits,
+            0,
+            "LRU pathological for cyclic oversized sets"
+        );
+    }
+
+    #[test]
+    fn xgene_defaults() {
+        let t = Tlb::xgene_dtlb();
+        assert_eq!(t.capacity(), 48);
+        assert_eq!(t.page_size(), 4096);
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0);
+        t.reset_stats();
+        assert_eq!(t.stats().accesses, 0);
+        assert!(t.contains(0));
+        t.flush();
+        assert!(!t.contains(0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the factorization layer built on the GEBP
+//! engine: LU (the LINPACK core), Cholesky and the triangular solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgemm_core::cholesky::{cholesky, cholesky_flops};
+use dgemm_core::gemm::GemmConfig;
+use dgemm_core::level3::{dtrsm, Diag, UpLo};
+use dgemm_core::lu::{lu_factor, lu_flops};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::reference::naive_gemm;
+use dgemm_core::Transpose;
+use std::hint::black_box;
+
+fn well_conditioned(n: usize, seed: u64) -> Matrix {
+    let r = Matrix::random(n, n, seed);
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            n as f64 + r.get(i, j)
+        } else {
+            r.get(i, j)
+        }
+    })
+}
+
+fn spd(n: usize, seed: u64) -> Matrix {
+    let g = Matrix::random(n, n, seed);
+    let mut ggt = Matrix::zeros(n, n);
+    naive_gemm(
+        Transpose::No,
+        Transpose::Yes,
+        1.0,
+        &g.view(),
+        &g.view(),
+        0.0,
+        &mut ggt.view_mut(),
+    );
+    Matrix::from_fn(n, n, |i, j| {
+        ggt.get(i, j) + if i == j { n as f64 } else { 0.0 }
+    })
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factor");
+    let cfg = GemmConfig::default();
+    for &n in &[128usize, 256, 512] {
+        let a = well_conditioned(n, 1);
+        group.throughput(Throughput::Elements(lu_flops(n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(lu_factor(&a, &cfg).unwrap().pivots[0]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    let cfg = GemmConfig::default();
+    for &n in &[128usize, 256, 512] {
+        let a = spd(n, 2);
+        group.throughput(Throughput::Elements(cholesky_flops(n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(cholesky(&a, &cfg).unwrap().get(0, 0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtrsm");
+    let cfg = GemmConfig::default();
+    let m = 384usize;
+    let nrhs = 128usize;
+    let base: Matrix = Matrix::random(m, m, 3);
+    let tri = Matrix::from_fn(m, m, |i, j| {
+        if i == j {
+            3.0 + base.get(i, j).abs()
+        } else if i > j {
+            0.5 * base.get(i, j)
+        } else {
+            0.0
+        }
+    });
+    let b = Matrix::random(m, nrhs, 4);
+    group.throughput(Throughput::Elements((m * m * nrhs) as u64));
+    group.bench_function("lower_384x128", |bench| {
+        bench.iter(|| {
+            let mut x = b.clone();
+            dtrsm(
+                UpLo::Lower,
+                Transpose::No,
+                Diag::NonUnit,
+                1.0,
+                &tri.view(),
+                &mut x.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+            black_box(x.get(0, 0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_cholesky, bench_trsm);
+criterion_main!(benches);

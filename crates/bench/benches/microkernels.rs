@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the bare micro-kernels: one GESS call
+//! (`mr×nr` tile, full `kc` depth) per kernel shape — the native
+//! analogue of the paper's register-kernel study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::{run_microkernel, MicroKernelKind};
+use dgemm_core::pack::{PackedA, PackedB};
+use dgemm_core::tile::TileMut;
+use dgemm_core::Transpose;
+use std::hint::black_box;
+
+fn bench_microkernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microkernel");
+    for kind in MicroKernelKind::ALL {
+        let (mr, nr) = (kind.mr(), kind.nr());
+        let kc = 512usize;
+        let a = Matrix::random(mr, kc, 1);
+        let b = Matrix::random(kc, nr, 2);
+        let mut pa = PackedA::new(mr);
+        pa.pack(&a.view(), Transpose::No, 0, 0, mr, kc);
+        let mut pb = PackedB::new(nr);
+        pb.pack(&b.view(), Transpose::No, 0, 0, kc, nr);
+        let flops = 2 * mr * nr * kc;
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(BenchmarkId::new(kind.label(), kc), &kc, |bench, _| {
+            let mut cbuf = vec![0.0f64; mr * nr];
+            bench.iter(|| {
+                let mut tile = TileMut::from_slice(mr, nr, mr, &mut cbuf);
+                run_microkernel(kind, kc, pa.sliver(0), pb.sliver(0), 1.0, &mut tile, mr, nr);
+                black_box(cbuf[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_microkernels);
+criterion_main!(benches);

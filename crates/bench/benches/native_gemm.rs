@@ -1,0 +1,153 @@
+//! Criterion benchmarks of the portable DGEMM on the host machine:
+//! all four kernels vs the naive reference across sizes, plus the
+//! paper's blocking against the half-cache heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgemm_core::gemm::{gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::{MicroKernelKind, SgemmKernelKind};
+use dgemm_core::reference::naive_gemm;
+use dgemm_core::sgemm::{sgemm, SgemmConfig};
+use dgemm_core::util::gemm_flops;
+use dgemm_core::Transpose;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_dgemm");
+    for &n in &[96usize, 192, 384] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+        for kind in MicroKernelKind::ALL {
+            let cfg = GemmConfig::for_kernel(kind, 1);
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |bench, _| {
+                let mut cmat = Matrix::zeros(n, n);
+                bench.iter(|| {
+                    gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &a.view(),
+                        &b.view(),
+                        0.0,
+                        &mut cmat.view_mut(),
+                        &cfg,
+                    );
+                    black_box(cmat.get(0, 0))
+                });
+            });
+        }
+        // the naive oracle for scale (only at the smallest size: O(n^3)
+        // without blocking gets slow fast)
+        if n <= 96 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                let mut cmat = Matrix::zeros(n, n);
+                bench.iter(|| {
+                    naive_gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &a.view(),
+                        &b.view(),
+                        0.0,
+                        &mut cmat.view_mut(),
+                    );
+                    black_box(cmat.get(0, 0))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_blocking_choice(c: &mut Criterion) {
+    // Table VI, native edition: the paper's analytic serial blocking vs
+    // the half-cache heuristic, same 8x6 kernel.
+    let mut group = c.benchmark_group("blocking_choice");
+    let n = 384usize;
+    let a = Matrix::random(n, n, 3);
+    let b = Matrix::random(n, n, 4);
+    group.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+    let ours = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1);
+    let goto = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1).with_blocks(320, 96, 1536);
+    for (label, cfg) in [("paper_512x56x1920", ours), ("goto_320x96x1536", goto)] {
+        group.bench_function(label, |bench| {
+            let mut cmat = Matrix::zeros(n, n);
+            bench.iter(|| {
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    &a.view(),
+                    &b.view(),
+                    0.0,
+                    &mut cmat.view_mut(),
+                    &cfg,
+                );
+                black_box(cmat.get(0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_precisions(c: &mut Criterion) {
+    // SGEMM (12x8 kernel from the same analytic design) vs DGEMM (8x6)
+    // at equal element counts: single precision should push roughly
+    // twice the flops/sec through the same engine.
+    let mut group = c.benchmark_group("precision");
+    let n = 384usize;
+    group.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+
+    let a64: Matrix = Matrix::random(n, n, 1);
+    let b64: Matrix = Matrix::random(n, n, 2);
+    let cfg64 = GemmConfig::default();
+    group.bench_function("dgemm_8x6_384", |bench| {
+        let mut c64: Matrix = Matrix::zeros(n, n);
+        bench.iter(|| {
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a64.view(),
+                &b64.view(),
+                0.0,
+                &mut c64.view_mut(),
+                &cfg64,
+            );
+            black_box(c64.get(0, 0))
+        });
+    });
+
+    let a32: Matrix<f32> = Matrix::random(n, n, 3);
+    let b32: Matrix<f32> = Matrix::random(n, n, 4);
+    for kind in SgemmKernelKind::ALL {
+        let cfg32 = SgemmConfig::for_kernel(kind, 1);
+        group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |bench, _| {
+            let mut c32: Matrix<f32> = Matrix::zeros(n, n);
+            bench.iter(|| {
+                sgemm(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    &a32.view(),
+                    &b32.view(),
+                    0.0,
+                    &mut c32.view_mut(),
+                    &cfg32,
+                )
+                .unwrap();
+                black_box(c32.get(0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_blocking_choice,
+    bench_precisions
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the packing routines (Figure 3): A-block and
+//! B-panel packing at the paper's block sizes, straight and transposed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::pack::{PackedA, PackedB};
+use dgemm_core::Transpose;
+use std::hint::black_box;
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    let (mc, kc, nc) = (56usize, 512usize, 768usize);
+    let a: Matrix = Matrix::random(mc, kc, 1);
+    let at = a.transposed();
+    let b: Matrix = Matrix::random(kc, nc, 2);
+
+    group.throughput(Throughput::Bytes((mc * kc * 8) as u64));
+    group.bench_function("pack_a_56x512", |bench| {
+        let mut p = PackedA::new(8);
+        bench.iter(|| {
+            p.pack(&a.view(), Transpose::No, 0, 0, mc, kc);
+            black_box(p.buf()[0])
+        });
+    });
+    group.bench_function("pack_a_56x512_transposed", |bench| {
+        let mut p = PackedA::new(8);
+        bench.iter(|| {
+            p.pack(&at.view(), Transpose::Yes, 0, 0, mc, kc);
+            black_box(p.buf()[0])
+        });
+    });
+
+    group.throughput(Throughput::Bytes((kc * nc * 8) as u64));
+    group.bench_function("pack_b_512x768", |bench| {
+        let mut p = PackedB::new(6);
+        bench.iter(|| {
+            p.pack(&b.view(), Transpose::No, 0, 0, kc, nc);
+            black_box(p.buf()[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

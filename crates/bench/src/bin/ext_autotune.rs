@@ -1,0 +1,76 @@
+//! Extension (paper Section VI future work): block-size auto-tuning —
+//! run the coordinate-descent tuner from a bad corner and compare its
+//! optimum with the paper's analytic blocking, validating the paper's
+//! model-over-tuning thesis.
+
+use dgemm_bench::{banner, pct};
+use perfmodel::cacheblock::solve_blocking;
+use perfmodel::MachineDesc;
+use simgemm::autotune::{autotune, TuneOptions};
+use simgemm::estimate::{Estimator, SimConfig};
+use simgemm::kernelsim::KernelVariant;
+
+fn main() {
+    banner(
+        "Extension — auto-tuning vs the analytic model",
+        "coordinate descent over (kc, mc, nc) on the simulated machine, n = 2048",
+    );
+    let mut est = Estimator::new();
+    let opts = TuneOptions {
+        n: 2048,
+        threads: 1,
+        max_sweeps: 3,
+    };
+    println!("starting from the deliberately bad corner 128x8x256 ...");
+    let result = autotune(&mut est, KernelVariant::OpenBlas8x6, (128, 8, 256), &opts);
+    println!(
+        "tuned optimum:   {}x{}x{} at {} ({} evaluations)",
+        result.best.kc,
+        result.best.mc,
+        result.best.nc,
+        pct(result.best.efficiency),
+        result.evaluations
+    );
+
+    let analytic = solve_blocking(8, 6, 1, &MachineDesc::xgene()).unwrap();
+    let cfg = SimConfig::paper(KernelVariant::OpenBlas8x6, 1).with_blocks(
+        analytic.kc,
+        analytic.mc,
+        analytic.nc,
+    );
+    let analytic_eff = est.estimate(&cfg, opts.n).efficiency;
+    println!(
+        "analytic choice: {}x{}x{} at {} (zero search)",
+        analytic.kc,
+        analytic.mc,
+        analytic.nc,
+        pct(analytic_eff)
+    );
+    println!();
+    let delta = 100.0 * (result.best.efficiency - analytic_eff);
+    println!("the model's closed-form blocking is within {delta:+.2} percentage points of a",);
+    println!(
+        "{}-evaluation search — the paper's argument for analytic selection over",
+        result.evaluations
+    );
+    println!("ATLAS-style empirical tuning. (What little the search finds is n-specific:");
+    println!("e.g. an nc equal to the probe size avoids one ragged panel — a gain that");
+    println!("evaporates at other sizes, while the analytic choice is size-robust.)");
+
+    println!();
+    println!("search trajectory (best-so-far):");
+    let mut best = 0.0f64;
+    for (i, p) in result.trace.iter().enumerate() {
+        if p.efficiency > best {
+            best = p.efficiency;
+            println!(
+                "  eval {:>3}: {:>4}x{:<3}x{:<5} -> {}",
+                i,
+                p.kc,
+                p.mc,
+                p.nc,
+                pct(p.efficiency)
+            );
+        }
+    }
+}

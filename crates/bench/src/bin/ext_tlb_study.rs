@@ -1,0 +1,76 @@
+//! Extension (paper Section VI future work): TLB analysis of the GEBP
+//! blocking. Replays one macro-iteration per configuration through the
+//! simulated 48-entry data TLB and reports page-walk counts — showing
+//! how the block sizes determine the TLB working set, which is the
+//! study the paper defers.
+
+use armsim::machine::SimMachine;
+use dgemm_bench::banner;
+use perfmodel::cacheblock::BlockSizes;
+use simgemm::trace::{trace_gebp, trace_macro_iteration, CoreLayout};
+
+fn study(label: &str, blocks: &BlockSizes) {
+    let (mc, kc, nc) = (blocks.mc, blocks.kc, blocks.nc);
+    let layout = CoreLayout::for_core(0, 4096, blocks);
+    let mut machine = SimMachine::xgene();
+    let prefa = 1024u64;
+    let prefb = (kc * blocks.nr * 8) as u64;
+    // warm, then measure one GEBP
+    let warm = trace_macro_iteration(&layout, blocks, mc, kc, nc, prefa, prefb);
+    machine.run_trace(0, &warm);
+    machine.reset_stats();
+    let t = trace_gebp(&layout, blocks, mc, kc, nc, prefa, prefb);
+    let r = machine.run_trace(0, &t);
+    let flops = 2.0 * mc as f64 * kc as f64 * nc as f64;
+    let a_pages = (mc * kc * 8).div_ceil(4096);
+    let b_pages = (kc * nc * 8).div_ceil(4096);
+    println!(
+        "{label:<28} {:>5}x{:<4}x{:<5} A:{a_pages:>4}p B:{b_pages:>5}p  walks/GEBP {:>8}  walks/Mflop {:>7.1}",
+        kc, mc, nc,
+        r.tlb_misses,
+        r.tlb_misses as f64 / (flops / 1e6)
+    );
+}
+
+fn main() {
+    banner(
+        "Extension — data-TLB behaviour of the GEBP blocking (48-entry, 4 KB)",
+        "the analysis the paper's Section VI defers to future work",
+    );
+    println!(
+        "{:<28} {:<17} {:<14} {:>18} {:>15}",
+        "configuration", "kc x mc x nc", "footprint", "", ""
+    );
+    study(
+        "paper serial (8x6)",
+        &BlockSizes::custom(8, 6, 512, 56, 1920),
+    );
+    study(
+        "paper parallel (8x6)",
+        &BlockSizes::custom(8, 6, 512, 24, 1792),
+    );
+    study(
+        "Goto heuristic (8x6)",
+        &BlockSizes::custom(8, 6, 320, 96, 1536),
+    );
+    study("serial, mc=40", &BlockSizes::custom(8, 6, 512, 40, 1920));
+    study("serial, mc=32", &BlockSizes::custom(8, 6, 512, 32, 1920));
+    study(
+        "TLB-fit serial, mc=24",
+        &BlockSizes::custom(8, 6, 512, 24, 1920),
+    );
+    study("small nc", &BlockSizes::custom(8, 6, 512, 56, 384));
+    study("tiny kc", &BlockSizes::custom(8, 6, 128, 56, 1920));
+    println!();
+    println!("Reading: each B-sliver pass touches the A block's mc*kc*8/4096 pages");
+    println!("(recurring) plus ~6 fresh B-sliver and ~6 fresh C-tile pages. Under LRU");
+    println!("the A pages survive only if  A_pages + 2*(B+C turnover) <= 48 entries,");
+    println!("i.e. mc <= 24: at mc=56/40/32 every A page re-walks each pass (~198-224");
+    println!("walks/Mflop), while at mc=24 walks collapse to the compulsory ~12 pages");
+    println!("per pass (81 walks/Mflop, a 2.4x drop) — the paper's *parallel* blocking");
+    println!("is accidentally TLB-optimal, its serial blocking is not. This is the");
+    println!("'analyze the TLB misses and improve our selection of block sizes'");
+    println!("refinement Section VI defers: a TLB-aware solver adds the constraint");
+    println!("above and trades a little gamma (eq. 16's 2/mc term) for eliminating");
+    println!("page walks.");
+}

@@ -1,0 +1,51 @@
+//! E1 / Figure 5 — surface of the register kernel's compute-to-memory
+//! access ratio over (mr, nrf), equations (8)–(11).
+
+use dgemm_bench::{banner, pct};
+use perfmodel::regblock::{gamma_surface, optimize_register_block};
+use perfmodel::MachineDesc;
+
+fn main() {
+    banner(
+        "Figure 5 — register-kernel gamma surface",
+        "z = best gamma over even nr subject to eqs (9)-(11); paper peak: X=8, Y=6, Z=6.857",
+    );
+    let m = MachineDesc::xgene();
+    let surface = gamma_surface(&m, 16, 8);
+
+    // grid: rows nrf (descending like the figure), columns mr
+    let mrs: Vec<usize> = (2..=16).step_by(2).collect();
+    print!("{:>6}", "nrf\\mr");
+    for mr in &mrs {
+        print!("{mr:>8}");
+    }
+    println!();
+    for nrf in (0..=8usize).rev() {
+        print!("{nrf:>6}");
+        for mr in &mrs {
+            let p = surface
+                .iter()
+                .find(|p| p.mr == *mr && p.nrf == nrf)
+                .expect("grid point");
+            if p.gamma > 0.0 {
+                print!("{:>8.3}", p.gamma);
+            } else {
+                print!("{:>8}", "-");
+            }
+        }
+        println!();
+    }
+
+    let best = optimize_register_block(&m);
+    println!();
+    println!(
+        "optimum: mr x nr = {}x{}, nrf = {}, gamma = {:.3}  (paper: 8x6, nrf 6, 6.857)",
+        best.mr, best.nr, best.nrf, best.gamma
+    );
+    println!(
+        "micro-kernel arithmetic fraction at the optimum: {} of issued instructions are FMA",
+        pct((best.mr * best.nr) as f64
+            / 2.0
+            / ((best.mr * best.nr) as f64 / 2.0 + (best.mr + best.nr) as f64 / 2.0))
+    );
+}

@@ -1,0 +1,28 @@
+//! E6 / Figure 11 — serial DGEMM performance of the four implementations
+//! across the size grid.
+
+use dgemm_bench::{banner, pct, print_curves, SweepArgs};
+use simgemm::estimate::Estimator;
+use simgemm::experiments::performance_sweep;
+
+fn main() {
+    let args = SweepArgs::parse();
+    banner(
+        "Figure 11 — DGEMM performance, one thread (Gflops vs matrix size)",
+        "paper peaks: OpenBLAS-8x6 4.19 (87.2%), 8x4 ~4.06, 4x4 ~3.75, ATLAS-5x5 3.88 (80.9%)",
+    );
+    let mut est = Estimator::new();
+    let curves = performance_sweep(&mut est, &args.sizes, 1);
+    print_curves(&args.sizes, &curves, |p| p.gflops, "Gflops");
+    args.maybe_write_csv(&curves, |p| p.gflops);
+    println!();
+    for c in &curves {
+        println!(
+            "{:<20} peak {:.2} Gflops ({}), average efficiency {}",
+            c.label,
+            c.peak_gflops(),
+            pct(c.peak_efficiency()),
+            pct(c.avg_efficiency())
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! E7 / Figure 12 — eight-thread DGEMM performance of the four
+//! implementations across the size grid.
+
+use dgemm_bench::{banner, pct, print_curves, SweepArgs};
+use simgemm::estimate::Estimator;
+use simgemm::experiments::performance_sweep;
+
+fn main() {
+    let args = SweepArgs::parse();
+    banner(
+        "Figure 12 — DGEMM performance, eight threads (Gflops vs matrix size)",
+        "paper peaks: OpenBLAS-8x6 32.7 (85.3%), ATLAS-5x5 30.4 (79.2%)",
+    );
+    let mut est = Estimator::new();
+    let curves = performance_sweep(&mut est, &args.sizes, 8);
+    print_curves(&args.sizes, &curves, |p| p.gflops, "Gflops");
+    args.maybe_write_csv(&curves, |p| p.gflops);
+    println!();
+    for c in &curves {
+        println!(
+            "{:<20} peak {:.2} Gflops ({}), average efficiency {}",
+            c.label,
+            c.peak_gflops(),
+            pct(c.peak_efficiency()),
+            pct(c.avg_efficiency())
+        );
+    }
+}

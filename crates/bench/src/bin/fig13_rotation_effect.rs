@@ -1,0 +1,44 @@
+//! E9 / Figure 13 — effectiveness of software register rotation: the 8×6
+//! kernel with and without rotation, serial and eight-thread.
+
+use dgemm_bench::{banner, pct, SweepArgs};
+use simgemm::estimate::Estimator;
+use simgemm::experiments::figure13;
+
+fn main() {
+    let args = SweepArgs::parse();
+    banner(
+        "Figure 13 — 8x6 vs 8x6 without register rotation",
+        "kernels profiled under the steady-state L1-miss model (see module docs)",
+    );
+    let mut est = Estimator::new();
+    let curves = figure13(&mut est, &args.sizes);
+    print!("{:>6}", "n");
+    for c in &curves {
+        print!("  {:>28}", c.label);
+    }
+    println!("   [Gflops]");
+    for (i, n) in args.sizes.iter().enumerate() {
+        print!("{n:>6}");
+        for c in &curves {
+            print!("  {:>28.3}", c.points[i].gflops);
+        }
+        println!();
+    }
+    args.maybe_write_csv(&curves, |p| p.gflops);
+    println!();
+    for pair in curves.chunks(2) {
+        let with = &pair[0];
+        let without = &pair[1];
+        let gap =
+            100.0 * (with.avg_efficiency() - without.avg_efficiency()) / without.avg_efficiency();
+        println!(
+            "{:<32} vs {:<34}: rotation wins by {:.2}% on average (peak {} vs {})",
+            with.label,
+            without.label,
+            gap,
+            pct(with.peak_efficiency()),
+            pct(without.peak_efficiency())
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! E10 / Figure 14 — scalability of OpenBLAS-8x6 under 1/2/4/8 threads,
+//! each with its analytically derived blocking.
+
+use dgemm_bench::{banner, pct, print_curves, SweepArgs};
+use simgemm::estimate::Estimator;
+use simgemm::experiments::figure14;
+
+fn main() {
+    let args = SweepArgs::parse();
+    banner(
+        "Figure 14 — OpenBLAS-8x6 under 1/2/4/8 threads",
+        "block sizes per thread count: 56x1920 / 56x1920 / 56x1792 / 24x1792 (kc=512)",
+    );
+    let mut est = Estimator::new();
+    let curves = figure14(&mut est, &args.sizes);
+    print_curves(&args.sizes, &curves, |p| p.gflops, "Gflops");
+    args.maybe_write_csv(&curves, |p| p.gflops);
+    println!();
+    let base = curves[0].peak_gflops();
+    for (c, t) in curves.iter().zip([1usize, 2, 4, 8]) {
+        println!(
+            "{:<34} peak {:>6.2} Gflops, speedup {:>4.2}x over 1 thread, efficiency {}",
+            c.label,
+            c.peak_gflops(),
+            c.peak_gflops() / base,
+            pct(c.peak_efficiency())
+        );
+        let _ = t;
+    }
+}

@@ -1,0 +1,45 @@
+//! E4 / Table III — analytically derived block sizes for the three GEBP
+//! implementations, serial and eight-thread (equations (15), (17)–(20)).
+
+use dgemm_bench::banner;
+use perfmodel::cacheblock::solve_blocking;
+use perfmodel::MachineDesc;
+
+fn main() {
+    banner(
+        "Table III — block sizes (mr x nr x kc x mc x nc)",
+        "solved from the cache geometry with set-associativity/LRU constraints",
+    );
+    let m = MachineDesc::xgene();
+    println!(
+        "{:<10} {:<26} {:<26} (way splits k1/k2/k3)",
+        "kernel", "one thread", "eight threads"
+    );
+    for (mr, nr) in [(8usize, 6usize), (8, 4), (4, 4)] {
+        let s = solve_blocking(mr, nr, 1, &m).unwrap();
+        let p = solve_blocking(mr, nr, 8, &m).unwrap();
+        println!(
+            "{:<10} {:<26} {:<26} serial {}/{}/{}, parallel {}/{}/{}",
+            format!("{mr}x{nr}"),
+            s.label(),
+            p.label(),
+            s.k1,
+            s.k2,
+            s.k3,
+            p.k1,
+            p.k2,
+            p.k3
+        );
+    }
+    println!();
+    println!("paper Table III:  8x6: 8x6x512x56x1920 / 8x6x512x24x1792");
+    println!("                  8x4: 8x4x768x32x1280 / 8x4x768x16x1192");
+    println!("                  4x4: 4x4x768x32x1280 / 4x4x768x16x1192");
+    println!();
+    println!("Figure 14 intermediate thread counts (8x6):");
+    for t in [2usize, 4] {
+        let b = solve_blocking(8, 6, t, &m).unwrap();
+        println!("  {t} threads: {}", b.label());
+    }
+    println!("paper Figure 14:  2 threads 8x6x512x56x1920, 4 threads 8x6x512x56x1792");
+}

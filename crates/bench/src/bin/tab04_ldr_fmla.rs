@@ -1,0 +1,33 @@
+//! E5 / Table IV — pipeline efficiency under varying LDR:FMLA ratios
+//! (the micro-benchmark that establishes the per-kernel upper bounds).
+
+use dgemm_bench::{banner, pct};
+use kernels::microbench::{table4, PAPER_EFFICIENCIES, PAPER_RATIOS};
+
+fn main() {
+    banner(
+        "Table IV — efficiency vs LDR:FMLA ratio",
+        "independent, evenly distributed instructions; all loads L1-resident",
+    );
+    let rows = table4(Default::default());
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "LDR:FMLA", "measured", "paper", "delta"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let (l, f) = PAPER_RATIOS[i];
+        let paper = PAPER_EFFICIENCIES[i] / 100.0;
+        println!(
+            "{:>10} {:>14} {:>14} {:>+9.1}pp",
+            format!("{l}:{f}"),
+            pct(r.efficiency),
+            pct(paper),
+            100.0 * (r.efficiency - paper)
+        );
+    }
+    println!();
+    println!("kernel-relevant ratios: 1:2 = 4x4 kernel, 6:16 = 8x4, 7:24 = 8x6.");
+    println!("The simulated core charges one NEON write-back cycle per vector load");
+    println!("(2F+L cycles when FMA-bound), slightly compressing the hardware's curve;");
+    println!("ordering and monotonicity — what the paper's argument needs — match.");
+}

@@ -1,0 +1,34 @@
+//! E8 / Table V — peak and average efficiencies of the four DGEMM
+//! implementations, serial and eight-thread.
+
+use dgemm_bench::{banner, pct, SweepArgs};
+use simgemm::estimate::Estimator;
+use simgemm::experiments::table5;
+
+fn main() {
+    let args = SweepArgs::parse();
+    banner(
+        "Table V — efficiencies of four DGEMM implementations",
+        "paper: peak 87.2/84.6/78.2/80.9 (1T), 85.3/81.0/73.7/79.2 (8T) for 8x6/8x4/4x4/5x5",
+    );
+    let mut est = Estimator::new();
+    let rows = table5(&mut est, &args.sizes);
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>12}",
+        "", "peak 1T", "peak 8T", "avg 1T", "avg 8T"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:>12} {:>12} {:>12} {:>12}",
+            r.label,
+            pct(r.peak_serial),
+            pct(r.peak_parallel),
+            pct(r.avg_serial),
+            pct(r.avg_parallel)
+        );
+    }
+    println!();
+    println!("paper Table V (for reference):");
+    println!("  peak:    8x6 87.2/85.3  8x4 84.6/81.0  4x4 78.2/73.7  ATLAS 80.9/79.2");
+    println!("  average: 8x6 86.3/83.2  8x4 83.6/77.7  4x4 77.6/72.3  ATLAS 79.5/75.1");
+}

@@ -1,0 +1,35 @@
+//! E11 / Table VI — OpenBLAS-8x6 performance under different block
+//! sizes: the paper's associativity-aware choices vs the conventional
+//! half-cache heuristic (serial) and vs non-adjusted blocks (parallel).
+
+use dgemm_bench::{banner, pct, SweepArgs};
+use simgemm::estimate::Estimator;
+use simgemm::experiments::table6;
+
+fn main() {
+    let args = SweepArgs::parse();
+    banner(
+        "Table VI — OpenBLAS-8x6 under different kc x mc x nc",
+        "paper: serial 87.2 vs 86.4 peak; parallel 85.3/85.2/80.4/80.1 peak",
+    );
+    let mut est = Estimator::new();
+    let rows = table6(&mut est, &args.sizes);
+    println!(
+        "{:<22} {:<16} {:>6} {:>12} {:>12}",
+        "setting", "kc x mc x nc", "ours", "peak eff", "avg eff"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:<16} {:>6} {:>12} {:>12}",
+            r.setting,
+            r.blocks,
+            if r.ours { "yes" } else { "" },
+            pct(r.peak),
+            pct(r.avg)
+        );
+    }
+    println!();
+    println!("The parallel mc=56 rows double each module's A-block footprint past the");
+    println!("shared 256 KB L2 (eq. 19), which the simulated hierarchy punishes the");
+    println!("same way the hardware does.");
+}

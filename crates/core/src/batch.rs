@@ -1,0 +1,223 @@
+//! Batched GEMM with shared-operand packing amortization.
+//!
+//! Packing is pure overhead the paper's blocking amortizes over one
+//! multiplication; when *many* small multiplications share an operand
+//! (one weight matrix against many inputs, one basis against many
+//! right-hand sides), the packed form can be reused across the whole
+//! batch — the packing cost is paid once instead of `batch` times. This
+//! module exposes that reuse on top of the same layers 3–7.
+
+#![forbid(unsafe_code)]
+
+use crate::gemm::GemmConfig;
+use crate::matrix::{MatrixView, MatrixViewMut};
+use crate::pack::PackedB;
+use crate::parallel::{run_layer3, Layer3Params};
+use crate::tile::TileMut;
+use crate::{GemmError, Transpose};
+
+/// `C_i := α·A_i·op(B) + β·C_i` for every `(A_i, C_i)` pair, with the
+/// shared `op(B)` packed once per `(jj, kk)` macro-iteration and reused
+/// across the batch.
+///
+/// All `A_i` must share dimensions `m×k` (stored, non-transposed), all
+/// `C_i` must be `m×n`.
+pub fn gemm_batch_shared_b(
+    alpha: f64,
+    a_batch: &[MatrixView<'_>],
+    transb: Transpose,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c_batch: &mut [MatrixViewMut<'_>],
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
+    if a_batch.len() != c_batch.len() {
+        return Err(GemmError::BadConfig("batch lengths differ"));
+    }
+    let Some(first_a) = a_batch.first() else {
+        return Ok(());
+    };
+    let (m, k) = (first_a.rows(), first_a.cols());
+    let (kb, n) = transb.apply_dims(b.rows(), b.cols());
+    if k != kb {
+        return Err(GemmError::InnerDimMismatch {
+            a_cols: k,
+            b_rows: kb,
+        });
+    }
+    for (a, c) in a_batch.iter().zip(c_batch.iter()) {
+        if (a.rows(), a.cols()) != (m, k) {
+            return Err(GemmError::BadConfig("batch A shapes differ"));
+        }
+        if (c.rows(), c.cols()) != (m, n) {
+            return Err(GemmError::OutputDimMismatch {
+                expected: (m, n),
+                actual: (c.rows(), c.cols()),
+            });
+        }
+    }
+    if cfg.blocks.mr != cfg.kernel.mr() || cfg.blocks.nr != cfg.kernel.nr() {
+        return Err(GemmError::BadConfig(
+            "blocking register shape != kernel shape",
+        ));
+    }
+
+    for c in c_batch.iter_mut() {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let (kc, mc, nc) = (cfg.blocks.kc, cfg.blocks.mc, cfg.blocks.nc);
+    let mut packed_b = PackedB::new(cfg.kernel.nr());
+    let mut jj = 0usize;
+    while jj < n {
+        let nc_eff = nc.min(n - jj);
+        let mut kk = 0usize;
+        while kk < k {
+            let kc_eff = kc.min(k - kk);
+            // pack the shared operand ONCE for the whole batch
+            packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
+            for (a, c) in a_batch.iter().zip(c_batch.iter_mut()) {
+                let params = Layer3Params {
+                    a,
+                    transa: Transpose::No,
+                    kk,
+                    kc_eff,
+                    alpha,
+                    kernel: cfg.kernel,
+                    mc,
+                };
+                let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
+                let ld = panel_view.ld();
+                let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
+                run_layer3(params, &packed_b, panel, cfg.threads);
+            }
+            kk += kc_eff;
+        }
+        jj += nc_eff;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::microkernel::MicroKernelKind;
+    use crate::reference::naive_gemm;
+    use crate::util::gemm_tolerance;
+
+    fn check_batch(batch: usize, m: usize, n: usize, k: usize, transb: Transpose, beta: f64) {
+        let a_mats: Vec<Matrix> = (0..batch)
+            .map(|i| Matrix::random(m, k, 50 + i as u64))
+            .collect();
+        let (br, bc) = match transb {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        let b = Matrix::random(br, bc, 99);
+        let c0: Vec<Matrix> = (0..batch)
+            .map(|i| Matrix::random(m, n, 70 + i as u64))
+            .collect();
+
+        let mut want = c0.clone();
+        for (a, c) in a_mats.iter().zip(want.iter_mut()) {
+            naive_gemm(
+                Transpose::No,
+                transb,
+                1.5,
+                &a.view(),
+                &b.view(),
+                beta,
+                &mut c.view_mut(),
+            );
+        }
+
+        let mut got = c0.clone();
+        let a_views: Vec<MatrixView<'_>> = a_mats.iter().map(Matrix::view).collect();
+        let mut c_views: Vec<MatrixViewMut<'_>> = got.iter_mut().map(Matrix::view_mut).collect();
+        let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1).with_blocks(24, 16, 18);
+        gemm_batch_shared_b(1.5, &a_views, transb, &b.view(), beta, &mut c_views, &cfg).unwrap();
+        drop(c_views);
+
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                g.max_abs_diff(w) < gemm_tolerance(k, 2.0),
+                "batch element diverges: {}",
+                g.max_abs_diff(w)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_gemms() {
+        check_batch(4, 30, 25, 20, Transpose::No, 0.0);
+        check_batch(3, 41, 17, 29, Transpose::No, 1.0);
+    }
+
+    #[test]
+    fn batch_with_transposed_shared_operand() {
+        check_batch(3, 24, 30, 16, Transpose::Yes, -0.5);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let b = Matrix::zeros(4, 4);
+        let mut cs: Vec<MatrixViewMut<'_>> = Vec::new();
+        gemm_batch_shared_b(
+            1.0,
+            &[],
+            Transpose::No,
+            &b.view(),
+            0.0,
+            &mut cs,
+            &GemmConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        let a1 = Matrix::zeros(4, 3);
+        let a2 = Matrix::zeros(5, 3); // wrong shape
+        let b = Matrix::zeros(3, 2);
+        let mut c1 = Matrix::zeros(4, 2);
+        let mut c2 = Matrix::zeros(4, 2);
+        let a_views = [a1.view(), a2.view()];
+        let mut c_views = vec![c1.view_mut(), c2.view_mut()];
+        assert!(matches!(
+            gemm_batch_shared_b(
+                1.0,
+                &a_views,
+                Transpose::No,
+                &b.view(),
+                0.0,
+                &mut c_views,
+                &GemmConfig::default()
+            ),
+            Err(GemmError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_batch_lengths_detected() {
+        let a = Matrix::zeros(4, 3);
+        let b = Matrix::zeros(3, 2);
+        let a_views = [a.view()];
+        let mut c_views: Vec<MatrixViewMut<'_>> = Vec::new();
+        assert!(matches!(
+            gemm_batch_shared_b(
+                1.0,
+                &a_views,
+                Transpose::No,
+                &b.view(),
+                0.0,
+                &mut c_views,
+                &GemmConfig::default()
+            ),
+            Err(GemmError::BadConfig(_))
+        ));
+    }
+}

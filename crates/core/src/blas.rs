@@ -1,0 +1,282 @@
+//! BLAS-style checked entry points.
+//!
+//! [`dgemm`] mirrors cblas `cblas_dgemm` for column-major `f64` operands,
+//! returning structured errors instead of `XERBLA` aborts; [`dgemm_slice`]
+//! accepts raw column-major slices with explicit leading dimensions for
+//! drop-in use from FFI-shaped code.
+
+#![forbid(unsafe_code)]
+
+use crate::gemm::{gemm, GemmConfig};
+use crate::matrix::{MatrixView, MatrixViewMut};
+use crate::{GemmError, Transpose};
+
+/// `C := α·op(A)·op(B) + β·C` with full dimension checking.
+#[allow(clippy::too_many_arguments)] // canonical BLAS dgemm signature
+pub fn dgemm(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
+    let (m, ka) = transa.apply_dims(a.rows(), a.cols());
+    let (kb, n) = transb.apply_dims(b.rows(), b.cols());
+    if ka != kb {
+        return Err(GemmError::InnerDimMismatch {
+            a_cols: ka,
+            b_rows: kb,
+        });
+    }
+    if (c.rows(), c.cols()) != (m, n) {
+        return Err(GemmError::OutputDimMismatch {
+            expected: (m, n),
+            actual: (c.rows(), c.cols()),
+        });
+    }
+    if cfg.blocks.kc == 0 || cfg.blocks.mc == 0 || cfg.blocks.nc == 0 {
+        return Err(GemmError::BadConfig("block sizes must be positive"));
+    }
+    if cfg.blocks.mr != cfg.kernel.mr() || cfg.blocks.nr != cfg.kernel.nr() {
+        return Err(GemmError::BadConfig(
+            "blocking register shape != kernel shape",
+        ));
+    }
+    if cfg.threads == 0 {
+        return Err(GemmError::BadConfig("thread count must be positive"));
+    }
+    gemm(transa, transb, alpha, a, b, beta, c, cfg);
+    Ok(())
+}
+
+/// Raw-slice variant: column-major `a` (`lda ≥ rows(A)`), `b`, `c`
+/// analogous; `m, n, k` are the dimensions of `op(A)·op(B)`.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_slice(
+    transa: Transpose,
+    transb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
+    let (ar, ac) = match transa {
+        Transpose::No => (m, k),
+        Transpose::Yes => (k, m),
+    };
+    let (br, bc) = match transb {
+        Transpose::No => (k, n),
+        Transpose::Yes => (n, k),
+    };
+    let av = MatrixView::from_slice(ar, ac, lda, a);
+    let bv = MatrixView::from_slice(br, bc, ldb, b);
+    let mut cv = MatrixViewMut::from_slice(m, n, ldc, c);
+    dgemm(transa, transb, alpha, &av, &bv, beta, &mut cv, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference::naive_gemm;
+    use crate::util::gemm_tolerance;
+
+    #[test]
+    fn checked_path_computes() {
+        let a = Matrix::random(20, 30, 1);
+        let b = Matrix::random(30, 10, 2);
+        let mut c = Matrix::zeros(20, 10);
+        dgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        let mut expected = Matrix::zeros(20, 10);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut expected.view_mut(),
+        );
+        assert!(c.max_abs_diff(&expected) < gemm_tolerance(30, 1.0));
+    }
+
+    #[test]
+    fn inner_dim_mismatch_detected() {
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(6, 3);
+        let mut c = Matrix::zeros(4, 3);
+        let err = dgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GemmError::InnerDimMismatch {
+                a_cols: 5,
+                b_rows: 6
+            }
+        );
+    }
+
+    #[test]
+    fn output_shape_mismatch_detected() {
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(4, 4);
+        let err = dgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::OutputDimMismatch { .. }));
+        assert!(err.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn transpose_changes_required_shapes() {
+        let a = Matrix::zeros(5, 4); // op(A) = A^T is 4x5
+        let b = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(4, 3);
+        dgemm(
+            Transpose::Yes,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_config_detected() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(2, 2);
+        let mut cfg = GemmConfig::default().with_blocks(0, 8, 8);
+        let err = dgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::BadConfig(_)));
+        cfg = GemmConfig::default();
+        cfg.threads = 0;
+        let err = dgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::BadConfig(_)));
+    }
+
+    #[test]
+    fn mismatched_kernel_blocking_rejected() {
+        use crate::microkernel::MicroKernelKind;
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(2, 2);
+        let mut cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1);
+        cfg.kernel = MicroKernelKind::Mk4x4; // blocks still say 8x6
+        let err = dgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::BadConfig(_)));
+    }
+
+    #[test]
+    fn slice_api_with_padded_ld() {
+        // 3x2 matrices embedded in buffers with ld 5
+        let mut a = vec![0.0; 5 * 2];
+        let mut b = vec![0.0; 5 * 2];
+        // A = [[1,2],[3,4],[5,6]] col-major with ld 5
+        a[0] = 1.0;
+        a[1] = 3.0;
+        a[2] = 5.0;
+        a[5] = 2.0;
+        a[6] = 4.0;
+        a[7] = 6.0;
+        // B = [[1,0],[0,1]] (2x2, ld 5)
+        b[0] = 1.0;
+        b[6] = 1.0;
+        let mut c = vec![0.0; 5 * 2];
+        dgemm_slice(
+            Transpose::No,
+            Transpose::No,
+            3,
+            2,
+            2,
+            1.0,
+            &a,
+            5,
+            &b,
+            5,
+            0.0,
+            &mut c,
+            5,
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(&c[0..3], &[1.0, 3.0, 5.0]);
+        assert_eq!(&c[5..8], &[2.0, 4.0, 6.0]);
+        // padding untouched
+        assert_eq!(c[3], 0.0);
+        assert_eq!(c[4], 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Blocked Cholesky factorization (`dpotrf`-style): `A = L·Lᵀ` for a
+//! symmetric positive-definite matrix — the second classic LINPACK-class
+//! consumer of the paper's Level-3 stack. The trailing update runs
+//! through [`crate::level3::dsyrk`], the panel
+//! scaling through [`crate::level3::dtrsm`]: every flop beyond the tiny
+//! diagonal factorizations goes through the GEBP engine.
+
+#![forbid(unsafe_code)]
+
+use crate::gemm::GemmConfig;
+use crate::level3::{dsyrk, dtrsm, Diag, UpLo};
+use crate::matrix::Matrix;
+use crate::Transpose;
+
+/// Failure: the matrix is not positive definite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Column at which the pivot turned non-positive.
+    pub column: usize,
+}
+
+impl core::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "matrix not positive definite at column {}", self.column)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+const NB: usize = 48;
+
+/// Factor a symmetric positive-definite matrix (lower triangle read):
+/// returns `L` (lower triangular) with `A = L·Lᵀ`.
+pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    // work on a full copy; the strict upper triangle is zeroed at the end
+    let mut l = a.clone();
+
+    let mut j0 = 0usize;
+    while j0 < n {
+        let w = NB.min(n - j0);
+        // 1) unblocked Cholesky of the diagonal block
+        for k in j0..j0 + w {
+            let mut d = l.get(k, k);
+            for c in j0..k {
+                d -= l.get(k, c) * l.get(k, c);
+            }
+            if d <= 0.0 {
+                return Err(NotPositiveDefinite { column: k });
+            }
+            let d = d.sqrt();
+            l.set(k, k, d);
+            for r in k + 1..j0 + w {
+                let mut v = l.get(r, k);
+                for c in j0..k {
+                    v -= l.get(r, c) * l.get(k, c);
+                }
+                l.set(r, k, v / d);
+            }
+        }
+
+        let rest = n - (j0 + w);
+        if rest > 0 {
+            // 2) panel below the diagonal: L21 = A21 * L11^{-T}
+            //    i.e. solve X * L11^T = A21  <=>  L11 * X^T = A21^T.
+            //    Using the left-solver: transpose in, transpose out.
+            let a21t = Matrix::from_fn(w, rest, |i, j| l.get(j0 + w + j, j0 + i));
+            let mut xt = a21t;
+            dtrsm(
+                UpLo::Lower,
+                Transpose::No,
+                Diag::NonUnit,
+                1.0,
+                &Matrix::from_fn(w, w, |i, j| l.get(j0 + i, j0 + j)).view(),
+                &mut xt.view_mut(),
+                cfg,
+            )
+            .expect("consistent shapes");
+            for j in 0..rest {
+                for i in 0..w {
+                    l.set(j0 + w + j, j0 + i, xt.get(i, j));
+                }
+            }
+
+            // 3) trailing update: A22 -= L21 * L21^T (lower triangle)
+            let l21 = Matrix::from_fn(rest, w, |i, j| l.get(j0 + w + i, j0 + j));
+            let mut a22 = Matrix::from_fn(rest, rest, |i, j| l.get(j0 + w + i, j0 + w + j));
+            dsyrk(
+                UpLo::Lower,
+                Transpose::No,
+                -1.0,
+                &l21.view(),
+                1.0,
+                &mut a22.view_mut(),
+                cfg,
+            )
+            .expect("consistent shapes");
+            for j in 0..rest {
+                for i in j..rest {
+                    l.set(j0 + w + i, j0 + w + j, a22.get(i, j));
+                }
+            }
+        }
+        j0 += w;
+    }
+    // zero the strict upper triangle
+    for j in 1..n {
+        for i in 0..j {
+            l.set(i, j, 0.0);
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A·X = B` given the Cholesky factor `L` (`A = L·Lᵀ`).
+#[must_use]
+pub fn cholesky_solve(l: &Matrix, b: &Matrix, cfg: &GemmConfig) -> Matrix {
+    let mut x = b.clone();
+    dtrsm(
+        UpLo::Lower,
+        Transpose::No,
+        Diag::NonUnit,
+        1.0,
+        &l.view(),
+        &mut x.view_mut(),
+        cfg,
+    )
+    .expect("consistent shapes");
+    dtrsm(
+        UpLo::Lower,
+        Transpose::Yes,
+        Diag::NonUnit,
+        1.0,
+        &l.view(),
+        &mut x.view_mut(),
+        cfg,
+    )
+    .expect("consistent shapes");
+    x
+}
+
+/// Flops of a Cholesky factorization (`n³/3`).
+#[must_use]
+pub fn cholesky_flops(n: usize) -> f64 {
+    (n as f64).powi(3) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_gemm;
+
+    /// A random SPD matrix: G·Gᵀ + n·I.
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let g = Matrix::random(n, n, seed);
+        let mut ggt = Matrix::zeros(n, n);
+        naive_gemm(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &g.view(),
+            &g.view(),
+            0.0,
+            &mut ggt.view_mut(),
+        );
+        Matrix::from_fn(n, n, |i, j| {
+            ggt.get(i, j) + if i == j { n as f64 } else { 0.0 }
+        })
+    }
+
+    fn check_factor(n: usize, seed: u64) {
+        let a = spd(n, seed);
+        let l = cholesky(&a, &GemmConfig::default()).unwrap();
+        // strict upper triangle is zero
+        for j in 1..n {
+            for i in 0..j {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+        // L * L^T == A
+        let mut llt = Matrix::zeros(n, n);
+        naive_gemm(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &l.view(),
+            &l.view(),
+            0.0,
+            &mut llt.view_mut(),
+        );
+        let err = llt.max_abs_diff(&a);
+        let scale = a.frobenius_norm();
+        assert!(err < 1e-10 * scale.max(1.0), "n={n}: err {err}");
+    }
+
+    #[test]
+    fn factor_small() {
+        check_factor(5, 1);
+        check_factor(17, 2);
+    }
+
+    #[test]
+    fn factor_crosses_panels() {
+        check_factor(49, 3);
+        check_factor(96, 4);
+        check_factor(131, 5);
+    }
+
+    #[test]
+    fn not_spd_detected() {
+        let mut a = spd(6, 6);
+        a.set(3, 3, -5.0); // break positive definiteness
+        let err = cholesky(&a, &GemmConfig::default()).unwrap_err();
+        assert!(err.column <= 3);
+    }
+
+    #[test]
+    fn solve_recovers() {
+        let n = 80;
+        let a = spd(n, 7);
+        let x_true = Matrix::random(n, 3, 8);
+        let mut b = Matrix::zeros(n, 3);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &x_true.view(),
+            0.0,
+            &mut b.view_mut(),
+        );
+        let l = cholesky(&a, &GemmConfig::default()).unwrap();
+        let x = cholesky_solve(&l, &b, &GemmConfig::default());
+        assert!(
+            x.max_abs_diff(&x_true) < 1e-8,
+            "{}",
+            x.max_abs_diff(&x_true)
+        );
+    }
+
+    #[test]
+    fn flops_convention() {
+        assert!((cholesky_flops(300) - 9.0e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Layers 4–6 of Figure 2: GEBP, decomposed into GEBS (loop over B
+//! slivers) and GESS (loop over A slivers, i.e. the BLIS micro-kernel
+//! loop), operating entirely on packed data.
+//!
+//! One GEBP call multiplies an `mc×kc` packed block of A with a `kc×nc`
+//! packed panel of B and accumulates `α·A·B` into an `mc×nc` tile of C.
+
+#![forbid(unsafe_code)]
+
+use crate::microkernel::KernelSet;
+use crate::pack::{PackedA, PackedB};
+use crate::scalar::Scalar;
+use crate::tile::TileMut;
+
+/// GEBP (layer 4): `C_tile += α · packed_a · packed_b` — generic over
+/// the scalar type and kernel family.
+///
+/// The tile must be `packed_a.mc() × packed_b.nc()`; the packed operands
+/// must share the same `kc`.
+pub fn gebp<T: Scalar, K: KernelSet<T>>(
+    kind: K,
+    alpha: T,
+    packed_a: &PackedA<T>,
+    packed_b: &PackedB<T>,
+    c: &mut TileMut<'_, T>,
+) {
+    assert_eq!(packed_a.kc(), packed_b.kc(), "packed depths differ");
+    assert_eq!(packed_a.mr(), kind.mr(), "A packed for a different kernel");
+    assert_eq!(packed_b.nr(), kind.nr(), "B packed for a different kernel");
+    assert_eq!(c.rows(), packed_a.mc(), "tile rows != mc");
+    assert_eq!(c.cols(), packed_b.nc(), "tile cols != nc");
+
+    let kc = packed_a.kc();
+    let (mr, nr) = (kind.mr(), kind.nr());
+    let (mc, nc) = (packed_a.mc(), packed_b.nc());
+
+    // layer 5 (GEBS): over kc×nr slivers of B
+    for jt in 0..packed_b.slivers() {
+        let j0 = jt * nr;
+        let n_eff = nr.min(nc - j0);
+        let b_sliver = packed_b.sliver(jt);
+        // layer 6 (GESS): over mr×kc slivers of A
+        for it in 0..packed_a.slivers() {
+            let i0 = it * mr;
+            let m_eff = mr.min(mc - i0);
+            let a_sliver = packed_a.sliver(it);
+            let mut tile = c.sub_tile(i0, j0, m_eff, n_eff);
+            // layer 7: the register kernel
+            kind.run(kc, a_sliver, b_sliver, alpha, &mut tile, m_eff, n_eff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::microkernel::MicroKernelKind;
+    use crate::reference::naive_gemm;
+    use crate::Transpose;
+
+    fn check_gebp(kind: MicroKernelKind, mc: usize, nc: usize, kc: usize, alpha: f64) {
+        let a = Matrix::random(mc, kc, 101);
+        let b = Matrix::random(kc, nc, 202);
+        let mut pa = PackedA::new(kind.mr());
+        pa.pack(&a.view(), Transpose::No, 0, 0, mc, kc);
+        let mut pb = PackedB::new(kind.nr());
+        pb.pack(&b.view(), Transpose::No, 0, 0, kc, nc);
+
+        let mut c = Matrix::random(mc, nc, 303);
+        let mut expected = c.clone();
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            alpha,
+            &a.view(),
+            &b.view(),
+            1.0,
+            &mut expected.view_mut(),
+        );
+
+        {
+            let mut tile = TileMut::from_slice(mc, nc, mc, c.as_mut_slice());
+            gebp(kind, alpha, &pa, &pb, &mut tile);
+        }
+        let tol = crate::util::gemm_tolerance(kc, 1.0);
+        assert!(
+            c.max_abs_diff(&expected) < tol,
+            "{} mc={mc} nc={nc} kc={kc}: {}",
+            kind.label(),
+            c.max_abs_diff(&expected)
+        );
+    }
+
+    #[test]
+    fn exact_multiples() {
+        check_gebp(MicroKernelKind::Mk8x6, 56, 48, 64, 1.0);
+        check_gebp(MicroKernelKind::Mk8x4, 32, 32, 48, 1.0);
+        check_gebp(MicroKernelKind::Mk4x4, 16, 16, 32, 1.0);
+        check_gebp(MicroKernelKind::Mk5x5, 25, 25, 30, 1.0);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        // sizes that are NOT multiples of mr/nr exercise the masked
+        // write-back and zero padding
+        check_gebp(MicroKernelKind::Mk8x6, 53, 47, 31, 1.0);
+        check_gebp(MicroKernelKind::Mk8x4, 9, 5, 7, 1.0);
+        check_gebp(MicroKernelKind::Mk4x4, 3, 3, 3, 1.0);
+        check_gebp(MicroKernelKind::Mk5x5, 7, 11, 13, 1.0);
+    }
+
+    #[test]
+    fn tiny_blocks() {
+        for kind in MicroKernelKind::ALL {
+            check_gebp(kind, 1, 1, 1, 1.0);
+            check_gebp(kind, 2, 1, 5, 1.0);
+        }
+    }
+
+    #[test]
+    fn alpha_scaling() {
+        check_gebp(MicroKernelKind::Mk8x6, 24, 18, 16, -0.5);
+        check_gebp(MicroKernelKind::Mk8x6, 24, 18, 16, 3.25);
+        check_gebp(MicroKernelKind::Mk8x6, 24, 18, 16, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed depths differ")]
+    fn depth_mismatch_rejected() {
+        let a = Matrix::zeros(8, 4);
+        let b = Matrix::zeros(8, 6);
+        let mut pa = PackedA::new(8);
+        pa.pack(&a.view(), Transpose::No, 0, 0, 8, 4);
+        let mut pb = PackedB::new(6);
+        pb.pack(&b.view(), Transpose::No, 0, 0, 8, 6);
+        let mut cbuf = vec![0.0; 48];
+        let mut tile = TileMut::from_slice(8, 6, 8, &mut cbuf);
+        gebp(MicroKernelKind::Mk8x6, 1.0, &pa, &pb, &mut tile);
+    }
+}

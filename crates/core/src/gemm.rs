@@ -1,0 +1,426 @@
+//! Layers 1–3 of Figure 2: the outer blocking loops and the GEMM driver.
+//!
+//! ```text
+//! for jj in 0..N step nc          // layer 1: C,B column panels (L3)
+//!   for kk in 0..K step kc        // layer 2: rank-kc updates (GEPP)
+//!     pack B(kk.., jj..) -> L3-resident panel
+//!     for ii in 0..M step mc      // layer 3: GEBP calls (parallelized)
+//!       pack A(ii.., kk..) -> L2-resident block
+//!       GEBP
+//! ```
+//!
+//! β is applied to C exactly once up front; α is folded into the
+//! micro-kernel write-back.
+
+#![forbid(unsafe_code)]
+
+use crate::matrix::{MatrixView, MatrixViewMut};
+use crate::microkernel::{KernelSet, MicroKernelKind};
+use crate::pack::PackedB;
+use crate::parallel::{run_layer3, Layer3Params};
+use crate::scalar::Scalar;
+use crate::tile::TileMut;
+use crate::Transpose;
+use perfmodel::cacheblock::{solve_blocking, BlockSizes};
+use perfmodel::MachineDesc;
+
+/// Configuration of one GEMM invocation: register kernel, blocking and
+/// thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmConfig {
+    /// Register kernel to use (layer 7).
+    pub kernel: MicroKernelKind,
+    /// Cache blocking (layers 1–6). [`GemmConfig::for_kernel`] derives it
+    /// analytically for the paper's machine.
+    pub blocks: BlockSizes,
+    /// Worker threads for layer 3 (1 = serial).
+    pub threads: usize,
+}
+
+impl GemmConfig {
+    /// Analytic configuration for a kernel and thread count on the
+    /// paper's machine (Table III).
+    #[must_use]
+    pub fn for_kernel(kernel: MicroKernelKind, threads: usize) -> Self {
+        let m = MachineDesc::xgene();
+        let blocks = solve_blocking(kernel.mr(), kernel.nr(), threads.clamp(1, m.cores), &m)
+            .expect("paper machine always solvable");
+        GemmConfig {
+            kernel,
+            blocks,
+            threads,
+        }
+    }
+
+    /// Same kernel/threads but explicit `kc×mc×nc` (for sensitivity
+    /// studies like Table VI).
+    #[must_use]
+    pub fn with_blocks(mut self, kc: usize, mc: usize, nc: usize) -> Self {
+        self.blocks = BlockSizes::custom(self.kernel.mr(), self.kernel.nr(), kc, mc, nc);
+        self
+    }
+}
+
+impl Default for GemmConfig {
+    /// The paper's best serial configuration: 8×6 kernel,
+    /// `kc×mc×nc = 512×56×1920`.
+    fn default() -> Self {
+        GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1)
+    }
+}
+
+/// Unchecked GEMM core: `C := α·op(A)·op(B) + β·C`.
+///
+/// Dimensions are asserted (use [`crate::blas::dgemm`] for `Result`-based
+/// checking). `a` and `b` are the *stored* operands; transposition is
+/// folded into packing.
+#[allow(clippy::too_many_arguments)] // canonical BLAS gemm signature
+pub fn gemm(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) {
+    gemm_with(
+        transa,
+        transb,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        cfg.kernel,
+        cfg.blocks,
+        cfg.threads,
+    );
+}
+
+/// The generic blocked GEMM core (any [`Scalar`], any [`KernelSet`]):
+/// the same layered loops serve the paper's DGEMM and the derived
+/// SGEMM ([`crate::sgemm`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with<T: Scalar, K: KernelSet<T>>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    beta: T,
+    c: &mut MatrixViewMut<'_, T>,
+    kernel: K,
+    blocks: BlockSizes,
+    threads: usize,
+) {
+    let (m, ka) = transa.apply_dims(a.rows(), a.cols());
+    let (kb, n) = transb.apply_dims(b.rows(), b.cols());
+    assert_eq!(ka, kb, "inner dimensions differ");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape differs");
+    let k = ka;
+    assert!(
+        blocks.kc > 0 && blocks.mc > 0 && blocks.nc > 0,
+        "block sizes must be positive"
+    );
+
+    // β once, up front (also handles alpha == 0 / k == 0 fully).
+    c.scale(beta);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let BlockSizes { kc, mc, nc, .. } = blocks;
+    let mut packed_b = PackedB::new(kernel.nr());
+
+    let mut jj = 0usize;
+    while jj < n {
+        let nc_eff = nc.min(n - jj);
+        let mut kk = 0usize;
+        while kk < k {
+            let kc_eff = kc.min(k - kk);
+            packed_b.pack_parallel(b, transb, kk, jj, kc_eff, nc_eff, threads);
+            let params = Layer3Params {
+                a,
+                transa,
+                kk,
+                kc_eff,
+                alpha,
+                kernel,
+                mc,
+            };
+            // C panel: all m rows, columns jj..jj+nc_eff
+            let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
+            let ld = panel_view.ld();
+            let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
+            run_layer3(params, &packed_b, panel, threads);
+            kk += kc_eff;
+        }
+        jj += nc_eff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference::naive_gemm;
+    use crate::util::gemm_tolerance;
+
+    #[allow(clippy::too_many_arguments)]
+    fn check(
+        kind: MicroKernelKind,
+        m: usize,
+        n: usize,
+        k: usize,
+        transa: Transpose,
+        transb: Transpose,
+        alpha: f64,
+        beta: f64,
+        threads: usize,
+    ) {
+        let (ar, ac) = match transa {
+            Transpose::No => (m, k),
+            Transpose::Yes => (k, m),
+        };
+        let (br, bc) = match transb {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        let a = Matrix::random(ar, ac, 7);
+        let b = Matrix::random(br, bc, 8);
+        let c0 = Matrix::random(m, n, 9);
+
+        let mut expected = c0.clone();
+        naive_gemm(
+            transa,
+            transb,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut expected.view_mut(),
+        );
+
+        let mut got = c0.clone();
+        let mut cfg = GemmConfig::for_kernel(kind, threads);
+        cfg.threads = threads;
+        // shrink blocks so tests cross block boundaries quickly
+        cfg = cfg.with_blocks(24, 16.max(kind.mr() * 2), 32);
+        gemm(
+            transa,
+            transb,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut got.view_mut(),
+            &cfg,
+        );
+
+        let tol = gemm_tolerance(k, 1.0);
+        assert!(
+            got.max_abs_diff(&expected) < tol,
+            "{} m={m} n={n} k={k} ta={transa:?} tb={transb:?} alpha={alpha} beta={beta} \
+             threads={threads}: err {}",
+            kind.label(),
+            got.max_abs_diff(&expected)
+        );
+    }
+
+    #[test]
+    fn square_no_transpose() {
+        for kind in MicroKernelKind::ALL {
+            check(kind, 64, 64, 64, Transpose::No, Transpose::No, 1.0, 0.0, 1);
+        }
+    }
+
+    #[test]
+    fn all_transpose_combinations() {
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                check(MicroKernelKind::Mk8x6, 40, 33, 27, ta, tb, 1.0, 0.0, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_cases() {
+        for (alpha, beta) in [(1.0, 1.0), (2.0, -0.5), (0.0, 2.0), (-1.0, 0.0), (0.5, 1.0)] {
+            check(
+                MicroKernelKind::Mk8x6,
+                50,
+                50,
+                50,
+                Transpose::No,
+                Transpose::No,
+                alpha,
+                beta,
+                1,
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_sizes_cross_every_block_boundary() {
+        // sizes chosen to be coprime with mr/nr/kc/mc/nc used in check()
+        for kind in MicroKernelKind::ALL {
+            check(kind, 65, 37, 25, Transpose::No, Transpose::No, 1.0, 1.0, 1);
+            check(kind, 17, 65, 49, Transpose::No, Transpose::No, 1.0, 0.0, 1);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_edge_cases() {
+        for (m, n, k) in [(1, 1, 1), (1, 64, 32), (64, 1, 32), (64, 32, 1), (3, 2, 1)] {
+            check(
+                MicroKernelKind::Mk8x6,
+                m,
+                n,
+                k,
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                0.0,
+                1,
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops_or_scales() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        let mut c = Matrix::zeros(0, 4);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        );
+        // k == 0: C just scales by beta
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::from_fn(3, 2, |_, _| 4.0);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.25,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        );
+        assert_eq!(c.get(2, 1), 1.0);
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        for threads in [2, 4, 8] {
+            check(
+                MicroKernelKind::Mk8x6,
+                120,
+                60,
+                40,
+                Transpose::No,
+                Transpose::No,
+                1.5,
+                0.5,
+                threads,
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_transposed() {
+        check(
+            MicroKernelKind::Mk8x4,
+            90,
+            45,
+            33,
+            Transpose::Yes,
+            Transpose::Yes,
+            1.0,
+            1.0,
+            4,
+        );
+    }
+
+    #[test]
+    fn default_config_is_paper_serial() {
+        let cfg = GemmConfig::default();
+        assert_eq!(cfg.kernel, MicroKernelKind::Mk8x6);
+        assert_eq!(
+            (cfg.blocks.kc, cfg.blocks.mc, cfg.blocks.nc),
+            (512, 56, 1920)
+        );
+        assert_eq!(cfg.threads, 1);
+    }
+
+    #[test]
+    fn for_kernel_parallel_blocks() {
+        let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 8);
+        assert_eq!(
+            (cfg.blocks.kc, cfg.blocks.mc, cfg.blocks.nc),
+            (512, 24, 1792)
+        );
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = Matrix::identity(4);
+        let b = Matrix::identity(4);
+        let mut c = Matrix::zeros(4, 4);
+        c.set(1, 1, f64::NAN);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        );
+        assert_eq!(c.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn paper_blocking_on_midsize_problem() {
+        // run the true 512x56x1920 blocking once on a problem big enough
+        // to have multiple kc panels
+        let m = 70;
+        let n = 40;
+        let k = 1100; // crosses kc=512 twice
+        let a = Matrix::random(m, k, 1);
+        let b = Matrix::random(k, n, 2);
+        let mut expected = Matrix::zeros(m, n);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut expected.view_mut(),
+        );
+        let mut got = Matrix::zeros(m, n);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut got.view_mut(),
+            &GemmConfig::default(),
+        );
+        assert!(got.max_abs_diff(&expected) < gemm_tolerance(k, 1.0));
+    }
+}

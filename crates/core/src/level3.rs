@@ -1,0 +1,752 @@
+//! Additional Level-3 routines built on the GEBP engine.
+//!
+//! Section II of the paper notes that "the most commonly used
+//! matrix-matrix computations can be implemented as a general matrix
+//! multiplication"; this module demonstrates that claim for the two most
+//! common symmetric cases:
+//!
+//! - [`dsyrk`] — symmetric rank-k update `C := α·op(A)·op(A)ᵀ + β·C`,
+//!   blocked so the strictly-triangular part is computed by plain GEMM
+//!   calls (no redundant flops outside diagonal blocks).
+//! - [`dsymm`] — symmetric multiply `C := α·A·B + β·C` (left side), with
+//!   the symmetric operand expanded once and fed to GEMM.
+//! - [`dtrsm`] — triangular solve `op(A)·X = α·B` (left side), blocked
+//!   so all but the diagonal-block solves run through GEMM — the routine
+//!   LINPACK pairs with DGEMM in the LU update, which is the paper's
+//!   motivating workload.
+
+#![forbid(unsafe_code)]
+
+use crate::gemm::{gemm, GemmConfig};
+use crate::matrix::{Matrix, MatrixView, MatrixViewMut};
+use crate::{GemmError, Transpose};
+
+/// Which triangle of a symmetric matrix is stored/updated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpLo {
+    /// Upper triangle.
+    Upper,
+    /// Lower triangle.
+    Lower,
+}
+
+/// Symmetric rank-k update: `C := α·op(A)·op(A)ᵀ + β·C`, touching only the
+/// `uplo` triangle of the `n×n` matrix C.
+///
+/// `trans = No` takes `A` as `n×k` (`C = αAAᵀ+βC`); `trans = Yes` takes
+/// `A` as `k×n` (`C = αAᵀA+βC`).
+pub fn dsyrk(
+    uplo: UpLo,
+    trans: Transpose,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
+    let (n, _k) = trans.apply_dims(a.rows(), a.cols());
+    if c.rows() != n || c.cols() != n {
+        return Err(GemmError::OutputDimMismatch {
+            expected: (n, n),
+            actual: (c.rows(), c.cols()),
+        });
+    }
+
+    // β on the referenced triangle only.
+    scale_triangle(c, uplo, beta);
+    if alpha == 0.0 || n == 0 {
+        return Ok(());
+    }
+
+    // Block over diagonal panels; panel width tied to the blocking's nr
+    // granularity (any width is correct; this keeps GEMM calls chunky).
+    let nb = cfg.blocks.nc.min(256).max(cfg.blocks.nr);
+    let mut j0 = 0usize;
+    while j0 < n {
+        let w = nb.min(n - j0);
+        // Diagonal block: compute fully into a temp, add the triangle.
+        let mut diag = Matrix::zeros(w, w);
+        gemm_syrk_block(trans, alpha, a, j0, w, j0, w, &mut diag.view_mut(), cfg);
+        for j in 0..w {
+            match uplo {
+                UpLo::Lower => {
+                    for i in j..w {
+                        let v = c.get(j0 + i, j0 + j) + diag.get(i, j);
+                        c.set(j0 + i, j0 + j, v);
+                    }
+                }
+                UpLo::Upper => {
+                    for i in 0..=j {
+                        let v = c.get(j0 + i, j0 + j) + diag.get(i, j);
+                        c.set(j0 + i, j0 + j, v);
+                    }
+                }
+            }
+        }
+        // Off-diagonal part of this panel: one plain GEMM.
+        match uplo {
+            UpLo::Lower if j0 + w < n => {
+                let rows = n - (j0 + w);
+                let mut sub = c.sub_mut(j0 + w, j0, rows, w);
+                gemm_syrk_block(trans, alpha, a, j0 + w, rows, j0, w, &mut sub, cfg);
+            }
+            UpLo::Upper if j0 > 0 => {
+                let mut sub = c.sub_mut(0, j0, j0, w);
+                gemm_syrk_block(trans, alpha, a, 0, j0, j0, w, &mut sub, cfg);
+            }
+            _ => {}
+        }
+        j0 += w;
+    }
+    Ok(())
+}
+
+/// `out += α · op(A)[i0..i0+mi, :] · op(A)[j0..j0+nj, :]ᵀ` — the GEMM at
+/// the heart of DSYRK (out must already hold its β·C part).
+#[allow(clippy::too_many_arguments)]
+fn gemm_syrk_block(
+    trans: Transpose,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    i0: usize,
+    mi: usize,
+    j0: usize,
+    nj: usize,
+    out: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) {
+    match trans {
+        Transpose::No => {
+            // rows of A
+            let k = a.cols();
+            let left = a.sub(i0, 0, mi, k);
+            let right = a.sub(j0, 0, nj, k);
+            gemm(
+                Transpose::No,
+                Transpose::Yes,
+                alpha,
+                &left,
+                &right,
+                1.0,
+                out,
+                cfg,
+            );
+        }
+        Transpose::Yes => {
+            // columns of A
+            let k = a.rows();
+            let left = a.sub(0, i0, k, mi);
+            let right = a.sub(0, j0, k, nj);
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                alpha,
+                &left,
+                &right,
+                1.0,
+                out,
+                cfg,
+            );
+        }
+    }
+}
+
+fn scale_triangle(c: &mut MatrixViewMut<'_>, uplo: UpLo, beta: f64) {
+    if beta == 1.0 {
+        return;
+    }
+    let n = c.rows();
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            UpLo::Lower => (j, n),
+            UpLo::Upper => (0, j + 1),
+        };
+        for i in lo..hi {
+            let v = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// Symmetric multiply (left side): `C := α·A·B + β·C` where `A` is `m×m`
+/// symmetric with only its `uplo` triangle stored (the other triangle of
+/// the argument is ignored).
+pub fn dsymm(
+    uplo: UpLo,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
+    let m = a.rows();
+    if a.cols() != m {
+        return Err(GemmError::BadConfig("symmetric operand must be square"));
+    }
+    if b.rows() != m {
+        return Err(GemmError::InnerDimMismatch {
+            a_cols: m,
+            b_rows: b.rows(),
+        });
+    }
+    if (c.rows(), c.cols()) != (m, b.cols()) {
+        return Err(GemmError::OutputDimMismatch {
+            expected: (m, b.cols()),
+            actual: (c.rows(), c.cols()),
+        });
+    }
+    // Mirror the stored triangle once (O(m²), negligible next to the
+    // 2m²n flops of the multiply), then one plain GEMM.
+    let full = Matrix::from_fn(m, m, |i, j| {
+        let stored = match uplo {
+            UpLo::Lower => i >= j,
+            UpLo::Upper => i <= j,
+        };
+        if stored {
+            a.get(i, j)
+        } else {
+            a.get(j, i)
+        }
+    });
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        alpha,
+        &full.view(),
+        b,
+        beta,
+        c,
+        cfg,
+    );
+    Ok(())
+}
+
+/// Whether the triangular operand has an implicit unit diagonal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are read from the matrix.
+    NonUnit,
+    /// Diagonal entries are taken as 1 (stored values ignored), as in
+    /// the L factor of an LU decomposition.
+    Unit,
+}
+
+/// Triangular solve (left side): overwrite `B` with `X` solving
+/// `op(A)·X = α·B`, where `A` is `m×m` triangular (`uplo`, `diag`) and
+/// `B` is `m×n`.
+///
+/// Blocked algorithm: the diagonal `nb×nb` blocks are solved by direct
+/// forward/back substitution; everything else is rank-`nb` GEMM updates
+/// (`B_i -= A_ij · X_j`), so the flops go through the same GEBP engine
+/// the paper optimizes — exactly how LINPACK spends its time.
+pub fn dtrsm(
+    uplo: UpLo,
+    trans: Transpose,
+    diag: Diag,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
+    let m = a.rows();
+    if a.cols() != m {
+        return Err(GemmError::BadConfig("triangular operand must be square"));
+    }
+    if b.rows() != m {
+        return Err(GemmError::InnerDimMismatch {
+            a_cols: m,
+            b_rows: b.rows(),
+        });
+    }
+    b.scale(alpha);
+    if m == 0 || b.cols() == 0 {
+        return Ok(());
+    }
+
+    // op(A) lower-triangular  <=>  (A lower, NoTrans) or (A upper, Trans)
+    let effectively_lower = matches!(
+        (uplo, trans),
+        (UpLo::Lower, Transpose::No) | (UpLo::Upper, Transpose::Yes)
+    );
+    let opa = |i: usize, j: usize| match trans {
+        Transpose::No => a.get(i, j),
+        Transpose::Yes => a.get(j, i),
+    };
+
+    let nb = cfg.blocks.mr.max(32); // panel width for the diagonal solves
+    let n = b.cols();
+    let blocks: Vec<(usize, usize)> = {
+        let mut v = Vec::new();
+        let mut s = 0;
+        while s < m {
+            let w = nb.min(m - s);
+            v.push((s, w));
+            s += w;
+        }
+        v
+    };
+
+    // forward order for lower-triangular op(A), backward for upper
+    let order: Vec<usize> = if effectively_lower {
+        (0..blocks.len()).collect()
+    } else {
+        (0..blocks.len()).rev().collect()
+    };
+
+    for &bi in &order {
+        let (i0, wi) = blocks[bi];
+        // B_i -= sum over already-solved blocks j of op(A)_ij * X_j —
+        // done incrementally below via GEMM *after* each solve instead;
+        // here solve the diagonal block directly.
+        solve_diag_block(&opa, diag, effectively_lower, i0, wi, b);
+
+        // propagate X_i into the remaining unsolved blocks with one GEMM:
+        // B_rest -= op(A)[rest, i] * X_i
+        let (rest0, rest_len) = if effectively_lower {
+            (i0 + wi, m - (i0 + wi))
+        } else {
+            (0, i0)
+        };
+        if rest_len == 0 {
+            continue;
+        }
+        // materialize op(A)[rest, i] (wi columns) once; strided reads
+        // either way, and GEMM wants a contiguous view
+        let a_panel = Matrix::from_fn(rest_len, wi, |r, c| opa(rest0 + r, i0 + c));
+        let x_i = Matrix::from_fn(wi, n, |r, c| b.get(i0 + r, c));
+        let mut b_rest = b.sub_mut(rest0, 0, rest_len, n);
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            -1.0,
+            &a_panel.view(),
+            &x_i.view(),
+            1.0,
+            &mut b_rest,
+            cfg,
+        );
+    }
+    Ok(())
+}
+
+/// Direct substitution on one diagonal block: rows `i0..i0+w` of B.
+fn solve_diag_block(
+    opa: &impl Fn(usize, usize) -> f64,
+    diag: Diag,
+    lower: bool,
+    i0: usize,
+    w: usize,
+    b: &mut MatrixViewMut<'_>,
+) {
+    let n = b.cols();
+    for col in 0..n {
+        if lower {
+            for r in 0..w {
+                let i = i0 + r;
+                let mut v = b.get(i, col);
+                for c in 0..r {
+                    v -= opa(i, i0 + c) * b.get(i0 + c, col);
+                }
+                if diag == Diag::NonUnit {
+                    v /= opa(i, i);
+                }
+                b.set(i, col, v);
+            }
+        } else {
+            for r in (0..w).rev() {
+                let i = i0 + r;
+                let mut v = b.get(i, col);
+                for c in r + 1..w {
+                    v -= opa(i, i0 + c) * b.get(i0 + c, col);
+                }
+                if diag == Diag::NonUnit {
+                    v /= opa(i, i);
+                }
+                b.set(i, col, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference::naive_gemm;
+    use crate::util::gemm_tolerance;
+
+    fn naive_syrk(
+        uplo: UpLo,
+        trans: Transpose,
+        alpha: f64,
+        a: &Matrix,
+        beta: f64,
+        c0: &Matrix,
+    ) -> Matrix {
+        // full product, then keep only the triangle
+        let mut full = Matrix::zeros(c0.rows(), c0.cols());
+        naive_gemm(
+            trans,
+            match trans {
+                Transpose::No => Transpose::Yes,
+                Transpose::Yes => Transpose::No,
+            },
+            alpha,
+            &a.view(),
+            &a.view(),
+            0.0,
+            &mut full.view_mut(),
+        );
+        Matrix::from_fn(c0.rows(), c0.cols(), |i, j| {
+            let in_tri = match uplo {
+                UpLo::Lower => i >= j,
+                UpLo::Upper => i <= j,
+            };
+            if in_tri {
+                beta * c0.get(i, j) + full.get(i, j)
+            } else {
+                c0.get(i, j)
+            }
+        })
+    }
+
+    fn check_syrk(uplo: UpLo, trans: Transpose, n: usize, k: usize, alpha: f64, beta: f64) {
+        let a = match trans {
+            Transpose::No => Matrix::random(n, k, 31),
+            Transpose::Yes => Matrix::random(k, n, 31),
+        };
+        let c0 = Matrix::random(n, n, 32);
+        let expected = naive_syrk(uplo, trans, alpha, &a, beta, &c0);
+        let mut got = c0.clone();
+        dsyrk(
+            uplo,
+            trans,
+            alpha,
+            &a.view(),
+            beta,
+            &mut got.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            got.max_abs_diff(&expected) < gemm_tolerance(k, 1.0),
+            "syrk {uplo:?} {trans:?} n={n} k={k}: {}",
+            got.max_abs_diff(&expected)
+        );
+    }
+
+    #[test]
+    fn syrk_lower_no_trans() {
+        check_syrk(UpLo::Lower, Transpose::No, 37, 19, 1.0, 0.0);
+        check_syrk(UpLo::Lower, Transpose::No, 64, 32, 2.0, 1.0);
+    }
+
+    #[test]
+    fn syrk_upper_no_trans() {
+        check_syrk(UpLo::Upper, Transpose::No, 37, 19, 1.0, 0.5);
+    }
+
+    #[test]
+    fn syrk_trans_variants() {
+        check_syrk(UpLo::Lower, Transpose::Yes, 29, 41, -1.0, 1.0);
+        check_syrk(UpLo::Upper, Transpose::Yes, 29, 41, 1.5, 0.0);
+    }
+
+    #[test]
+    fn syrk_leaves_other_triangle_untouched() {
+        let a = Matrix::random(10, 5, 1);
+        let c0 = Matrix::random(10, 10, 2);
+        let mut got = c0.clone();
+        dsyrk(
+            UpLo::Lower,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut got.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        for j in 1..10 {
+            for i in 0..j {
+                assert_eq!(got.get(i, j), c0.get(i, j), "({i},{j}) modified");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_result_is_symmetric_when_both_triangles_computed() {
+        let a = Matrix::random(16, 8, 3);
+        let mut lower = Matrix::zeros(16, 16);
+        let mut upper = Matrix::zeros(16, 16);
+        dsyrk(
+            UpLo::Lower,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut lower.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        dsyrk(
+            UpLo::Upper,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut upper.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        for i in 0..16 {
+            for j in 0..=i {
+                assert!((lower.get(i, j) - upper.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_shape_checked() {
+        let a = Matrix::zeros(4, 3);
+        let mut c = Matrix::zeros(5, 5);
+        let err = dsyrk(
+            UpLo::Lower,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::OutputDimMismatch { .. }));
+    }
+
+    fn check_symm(uplo: UpLo, m: usize, n: usize, alpha: f64, beta: f64) {
+        let a = Matrix::random(m, m, 41);
+        let b = Matrix::random(m, n, 42);
+        let c0 = Matrix::random(m, n, 43);
+        // naive: mirror then multiply
+        let full = Matrix::from_fn(m, m, |i, j| {
+            let stored = match uplo {
+                UpLo::Lower => i >= j,
+                UpLo::Upper => i <= j,
+            };
+            if stored {
+                a.get(i, j)
+            } else {
+                a.get(j, i)
+            }
+        });
+        let mut expected = c0.clone();
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            alpha,
+            &full.view(),
+            &b.view(),
+            beta,
+            &mut expected.view_mut(),
+        );
+        let mut got = c0.clone();
+        dsymm(
+            uplo,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut got.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        assert!(got.max_abs_diff(&expected) < gemm_tolerance(m, 1.0));
+    }
+
+    #[test]
+    fn symm_both_triangles() {
+        check_symm(UpLo::Lower, 33, 17, 1.0, 0.0);
+        check_symm(UpLo::Upper, 24, 40, -0.5, 2.0);
+    }
+
+    /// Build a well-conditioned triangular matrix (diagonally dominant).
+    fn triangular(n: usize, uplo: UpLo, seed: u64) -> Matrix {
+        let r: Matrix = Matrix::random(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            let stored = match uplo {
+                UpLo::Lower => i >= j,
+                UpLo::Upper => i <= j,
+            };
+            if i == j {
+                3.0 + r.get(i, j).abs()
+            } else if stored {
+                0.5 * r.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn check_trsm(uplo: UpLo, trans: Transpose, diag: Diag, m: usize, n: usize, alpha: f64) {
+        let a = triangular(m, uplo, 77);
+        let x_true = Matrix::random(m, n, 78);
+        // B = op(A') * X / alpha where A' has unit diag if requested
+        let a_eff = Matrix::from_fn(m, m, |i, j| {
+            if i == j && diag == Diag::Unit {
+                1.0
+            } else {
+                a.get(i, j)
+            }
+        });
+        let mut b = Matrix::zeros(m, n);
+        naive_gemm(
+            trans,
+            Transpose::No,
+            1.0 / alpha,
+            &a_eff.view(),
+            &x_true.view(),
+            0.0,
+            &mut b.view_mut(),
+        );
+
+        dtrsm(
+            uplo,
+            trans,
+            diag,
+            alpha,
+            &a.view(),
+            &mut b.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            b.max_abs_diff(&x_true) < gemm_tolerance(m, 4.0),
+            "trsm {uplo:?} {trans:?} {diag:?} m={m} n={n} alpha={alpha}: err {}",
+            b.max_abs_diff(&x_true)
+        );
+    }
+
+    #[test]
+    fn trsm_all_variants_small() {
+        for uplo in [UpLo::Lower, UpLo::Upper] {
+            for trans in [Transpose::No, Transpose::Yes] {
+                for diag in [Diag::NonUnit, Diag::Unit] {
+                    check_trsm(uplo, trans, diag, 23, 11, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_blocked_path_crosses_panels() {
+        // m > nb (32) exercises the GEMM propagation between blocks
+        check_trsm(UpLo::Lower, Transpose::No, Diag::NonUnit, 97, 31, 1.0);
+        check_trsm(UpLo::Upper, Transpose::No, Diag::NonUnit, 97, 31, 1.0);
+        check_trsm(UpLo::Lower, Transpose::No, Diag::Unit, 130, 17, 2.0);
+        check_trsm(UpLo::Upper, Transpose::Yes, Diag::Unit, 130, 17, -0.5);
+    }
+
+    #[test]
+    fn trsm_identity_is_scaling() {
+        let a = Matrix::identity(8);
+        let b0 = Matrix::random(8, 5, 9);
+        let mut b = b0.clone();
+        dtrsm(
+            UpLo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            3.0,
+            &a.view(),
+            &mut b.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+        for i in 0..8 {
+            for j in 0..5 {
+                assert!((b.get(i, j) - 3.0 * b0.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_shape_errors() {
+        let a = Matrix::zeros(4, 3);
+        let mut b = Matrix::zeros(4, 2);
+        assert!(matches!(
+            dtrsm(
+                UpLo::Lower,
+                Transpose::No,
+                Diag::NonUnit,
+                1.0,
+                &a.view(),
+                &mut b.view_mut(),
+                &GemmConfig::default()
+            ),
+            Err(GemmError::BadConfig(_))
+        ));
+        let a = Matrix::zeros(4, 4);
+        let mut b = Matrix::zeros(5, 2);
+        assert!(matches!(
+            dtrsm(
+                UpLo::Lower,
+                Transpose::No,
+                Diag::NonUnit,
+                1.0,
+                &a.view(),
+                &mut b.view_mut(),
+                &GemmConfig::default()
+            ),
+            Err(GemmError::InnerDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trsm_empty_dims() {
+        let a = Matrix::identity(3);
+        let mut b = Matrix::zeros(3, 0);
+        dtrsm(
+            UpLo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            1.0,
+            &a.view(),
+            &mut b.view_mut(),
+            &GemmConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn symm_shape_errors() {
+        let a = Matrix::zeros(4, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(4, 2);
+        assert!(matches!(
+            dsymm(
+                UpLo::Lower,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &GemmConfig::default()
+            ),
+            Err(GemmError::BadConfig(_))
+        ));
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(5, 2);
+        assert!(matches!(
+            dsymm(
+                UpLo::Lower,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &GemmConfig::default()
+            ),
+            Err(GemmError::InnerDimMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! # dgemm-core
+//!
+//! A portable, production-quality implementation of the paper's DGEMM:
+//! the layered Goto algorithm (Figure 2, layers 1–7) with packing,
+//! analytically blocked for the ARMv8 memory hierarchy, with the paper's
+//! 8×6 register kernel (plus the 8×4, 4×4 comparison kernels and a 5×5
+//! ATLAS-like baseline) and layer-3 multi-threading.
+//!
+//! The library computes `C := α·op(A)·op(B) + β·C` for column-major
+//! double-precision matrices, exactly like BLAS `dgemm`.
+//!
+//! ```
+//! use dgemm_core::{blas::dgemm, gemm::GemmConfig, matrix::Matrix, Transpose};
+//!
+//! let a = Matrix::from_fn(30, 20, |i, j| (i * 20 + j) as f64 * 0.01);
+//! let b = Matrix::from_fn(20, 25, |i, j| (i as f64 - j as f64) * 0.1);
+//! let mut c = Matrix::zeros(30, 25);
+//! dgemm(
+//!     Transpose::No,
+//!     Transpose::No,
+//!     1.0,
+//!     &a.view(),
+//!     &b.view(),
+//!     0.0,
+//!     &mut c.view_mut(),
+//!     &GemmConfig::default(),
+//! )
+//! .unwrap();
+//! ```
+//!
+//! ## Architecture
+//!
+//! | module | paper layer | role |
+//! |--------|-------------|------|
+//! | [`matrix`] | — | column-major owned/borrowed matrix types |
+//! | [`pack`] | layer 4 | packing A into `mr`-slivers, B into `nr`-slivers |
+//! | [`microkernel`] | layer 7 | the `mr×nr` rank-1-update register kernels |
+//! | [`gebp`] | layers 4–6 | GEBP / GEBS / GESS loop nest over packed data |
+//! | [`gemm`] | layers 1–3 | `nc`/`kc`/`mc` blocking, β-scaling, driver |
+//! | [`parallel`] | layer 3 | M-dimension thread partitioning (Section IV-C) |
+//! | [`blas`] | — | BLAS-style checked entry points |
+//! | [`level3`] | — | DSYRK/DSYMM/DTRSM built on the same GEBP engine |
+//! | [`lu`] | — | blocked LU with partial pivoting (the LINPACK workload) |
+//! | [`cholesky`] | — | blocked Cholesky factorization |
+//! | [`batch`] | — | batched GEMM with shared-operand packing reuse |
+//! | [`sgemm`] | — | single-precision GEMM from the same analytic design (12×8, γ=9.6) |
+//! | [`mod@reference`] | — | naive triple-loop oracle for validation |
+
+#![warn(missing_docs)]
+// unsafe is confined to `tile` (the C-tile splitter whose checked API
+// expresses the threaded path's disjoint row-band writes); every other
+// module carries `#![forbid(unsafe_code)]`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod batch;
+pub mod blas;
+pub mod cholesky;
+pub mod gebp;
+pub mod gemm;
+pub mod level3;
+pub mod lu;
+pub mod matrix;
+pub mod microkernel;
+pub mod pack;
+pub mod parallel;
+pub mod reference;
+pub mod scalar;
+pub mod sgemm;
+pub mod tile;
+pub mod util;
+
+/// Transposition selector for a GEMM operand, as in BLAS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    #[default]
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Transpose {
+    /// Dimensions of `op(X)` given the stored dimensions of `X`.
+    #[must_use]
+    pub fn apply_dims(self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Transpose::No => (rows, cols),
+            Transpose::Yes => (cols, rows),
+        }
+    }
+}
+
+/// Errors reported by the checked BLAS-style entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GemmError {
+    /// Inner dimensions of `op(A)` and `op(B)` disagree.
+    InnerDimMismatch {
+        /// Columns of `op(A)`.
+        a_cols: usize,
+        /// Rows of `op(B)`.
+        b_rows: usize,
+    },
+    /// `C` has the wrong shape for `op(A)·op(B)`.
+    OutputDimMismatch {
+        /// Expected shape of C.
+        expected: (usize, usize),
+        /// Actual shape of C.
+        actual: (usize, usize),
+    },
+    /// A blocking parameter is zero or otherwise unusable.
+    BadConfig(&'static str),
+}
+
+impl core::fmt::Display for GemmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GemmError::InnerDimMismatch { a_cols, b_rows } => {
+                write!(f, "op(A) has {a_cols} columns but op(B) has {b_rows} rows")
+            }
+            GemmError::OutputDimMismatch { expected, actual } => write!(
+                f,
+                "C is {}x{} but op(A)*op(B) is {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            GemmError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}

@@ -1,0 +1,396 @@
+//! Packing (Figure 3): rearranging blocks of A and panels of B into the
+//! contiguous sliver layouts the register kernel streams through.
+//!
+//! - **A** (an `mc×kc` block of `op(A)`) is packed into `⌈mc/mr⌉` slivers
+//!   of `mr` rows; within a sliver the `mr` elements of each of the `kc`
+//!   columns are contiguous. Ragged bottom slivers are zero-padded to
+//!   `mr`, so the register kernel never needs an M-edge case.
+//! - **B** (a `kc×nc` panel of `op(B)`) is packed into `⌈nc/nr⌉` slivers
+//!   of `nr` columns; within a sliver the `nr` elements of each of the
+//!   `kc` rows are contiguous, zero-padded to `nr`.
+//!
+//! Transposition is folded into packing (reading `op(X)` element-wise
+//! costs the same strided traversal either way), so the compute layers
+//! never see transpose flags.
+
+#![forbid(unsafe_code)]
+
+use crate::matrix::MatrixView;
+use crate::scalar::Scalar;
+use crate::Transpose;
+
+/// A packed `mc×kc` block of A in `mr`-sliver layout.
+#[derive(Clone, Debug)]
+pub struct PackedA<T: Scalar = f64> {
+    buf: Vec<T>,
+    mc: usize,
+    kc: usize,
+    mr: usize,
+}
+
+impl<T: Scalar> PackedA<T> {
+    /// Empty buffer to be filled by [`PackedA::pack`]; reusable across
+    /// blocks (no reallocation once grown).
+    #[must_use]
+    pub fn new(mr: usize) -> Self {
+        PackedA {
+            buf: Vec::new(),
+            mc: 0,
+            kc: 0,
+            mr,
+        }
+    }
+
+    /// Pack rows `i0..i0+mc`, columns `k0..k0+kc` of `op(a)`.
+    pub fn pack(
+        &mut self,
+        a: &MatrixView<'_, T>,
+        trans: Transpose,
+        i0: usize,
+        k0: usize,
+        mc: usize,
+        kc: usize,
+    ) {
+        let mr = self.mr;
+        self.mc = mc;
+        self.kc = kc;
+        let slivers = mc.div_ceil(mr);
+        self.buf.clear();
+        self.buf.resize(slivers * mr * kc, T::ZERO);
+        for s in 0..slivers {
+            let row_base = s * mr;
+            let rows = mr.min(mc - row_base);
+            let sliver = &mut self.buf[s * mr * kc..(s + 1) * mr * kc];
+            match trans {
+                Transpose::No => {
+                    // op(A)(i, k) = A(i, k): copy column segments
+                    for k in 0..kc {
+                        let src = a.col(k0 + k);
+                        let dst = &mut sliver[k * mr..k * mr + rows];
+                        dst.copy_from_slice(&src[i0 + row_base..i0 + row_base + rows]);
+                    }
+                }
+                Transpose::Yes => {
+                    // op(A)(i, k) = A(k, i): strided gather
+                    for k in 0..kc {
+                        for r in 0..rows {
+                            sliver[k * mr + r] = a.get(k0 + k, i0 + row_base + r);
+                        }
+                    }
+                }
+            }
+            // padding rows are already zero from resize
+            if rows < mr {
+                for k in 0..kc {
+                    for r in rows..mr {
+                        sliver[k * mr + r] = T::ZERO;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sliver-major packed buffer.
+    #[must_use]
+    pub fn buf(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// One `mr×kc` sliver.
+    #[must_use]
+    pub fn sliver(&self, s: usize) -> &[T] {
+        &self.buf[s * self.mr * self.kc..(s + 1) * self.mr * self.kc]
+    }
+
+    /// Number of slivers (`⌈mc/mr⌉`).
+    #[must_use]
+    pub fn slivers(&self) -> usize {
+        self.mc.div_ceil(self.mr)
+    }
+
+    /// Unpadded rows currently packed.
+    #[must_use]
+    pub fn mc(&self) -> usize {
+        self.mc
+    }
+
+    /// Depth currently packed.
+    #[must_use]
+    pub fn kc(&self) -> usize {
+        self.kc
+    }
+
+    /// Sliver height.
+    #[must_use]
+    pub fn mr(&self) -> usize {
+        self.mr
+    }
+}
+
+/// A packed `kc×nc` panel of B in `nr`-sliver layout.
+#[derive(Clone, Debug)]
+pub struct PackedB<T: Scalar = f64> {
+    buf: Vec<T>,
+    kc: usize,
+    nc: usize,
+    nr: usize,
+}
+
+impl<T: Scalar> PackedB<T> {
+    /// Empty buffer to be filled by [`PackedB::pack`].
+    #[must_use]
+    pub fn new(nr: usize) -> Self {
+        PackedB {
+            buf: Vec::new(),
+            kc: 0,
+            nc: 0,
+            nr,
+        }
+    }
+
+    /// Pack rows `k0..k0+kc`, columns `j0..j0+nc` of `op(b)`.
+    pub fn pack(
+        &mut self,
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        k0: usize,
+        j0: usize,
+        kc: usize,
+        nc: usize,
+    ) {
+        self.pack_parallel(b, trans, k0, j0, kc, nc, 1);
+    }
+
+    /// Like [`PackedB::pack`], but with the slivers packed cooperatively
+    /// by up to `threads` OS threads — how OpenBLAS amortizes the B-panel
+    /// packing across the team instead of serializing it before layer 3.
+    /// Slivers are disjoint regions of the buffer, so the split is safe
+    /// by construction.
+    #[allow(clippy::too_many_arguments)] // pack site mirrors the BLAS call
+    pub fn pack_parallel(
+        &mut self,
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        k0: usize,
+        j0: usize,
+        kc: usize,
+        nc: usize,
+        threads: usize,
+    ) {
+        let nr = self.nr;
+        self.kc = kc;
+        self.nc = nc;
+        let slivers = nc.div_ceil(nr);
+        self.buf.clear();
+        self.buf.resize(slivers * nr * kc, T::ZERO);
+        if kc == 0 || slivers == 0 {
+            return;
+        }
+
+        let pack_one = |s: usize, sliver: &mut [T]| {
+            let col_base = s * nr;
+            let cols = nr.min(nc - col_base);
+            match trans {
+                Transpose::No => {
+                    // op(B)(k, j) = B(k, j): row-of-sliver gather
+                    for c in 0..cols {
+                        let src = b.col(j0 + col_base + c);
+                        for k in 0..kc {
+                            sliver[k * nr + c] = src[k0 + k];
+                        }
+                    }
+                }
+                Transpose::Yes => {
+                    // op(B)(k, j) = B(j, k): columns of B become rows
+                    for k in 0..kc {
+                        let src = b.col(k0 + k);
+                        let dst = &mut sliver[k * nr..k * nr + cols];
+                        dst.copy_from_slice(&src[j0 + col_base..j0 + col_base + cols]);
+                    }
+                }
+            }
+        };
+
+        let workers = threads.max(1).min(slivers.max(1));
+        if workers <= 1 || slivers < 2 {
+            for (s, sliver) in self.buf.chunks_mut(nr * kc).enumerate() {
+                pack_one(s, sliver);
+            }
+            return;
+        }
+        // hand each worker a contiguous run of whole slivers
+        let per = slivers.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, chunk) in self.buf.chunks_mut(per * nr * kc).enumerate() {
+                let pack_one = &pack_one;
+                scope.spawn(move || {
+                    for (i, sliver) in chunk.chunks_mut(nr * kc).enumerate() {
+                        pack_one(w * per + i, sliver);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The sliver-major packed buffer.
+    #[must_use]
+    pub fn buf(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// One `kc×nr` sliver.
+    #[must_use]
+    pub fn sliver(&self, s: usize) -> &[T] {
+        &self.buf[s * self.nr * self.kc..(s + 1) * self.nr * self.kc]
+    }
+
+    /// Number of slivers (`⌈nc/nr⌉`).
+    #[must_use]
+    pub fn slivers(&self) -> usize {
+        self.nc.div_ceil(self.nr)
+    }
+
+    /// Depth currently packed.
+    #[must_use]
+    pub fn kc(&self) -> usize {
+        self.kc
+    }
+
+    /// Unpadded columns currently packed.
+    #[must_use]
+    pub fn nc(&self) -> usize {
+        self.nc
+    }
+
+    /// Sliver width.
+    #[must_use]
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn pack_a_exact_multiple() {
+        // 4x3 block, mr = 2 -> 2 slivers of 2x3
+        let a = Matrix::from_fn(4, 3, |i, k| (i * 10 + k) as f64);
+        let mut p = PackedA::new(2);
+        p.pack(&a.view(), Transpose::No, 0, 0, 4, 3);
+        assert_eq!(p.slivers(), 2);
+        // sliver 0: columns of rows 0-1: [00,10, 01,11, 02,12]
+        assert_eq!(p.sliver(0), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        // sliver 1: rows 2-3
+        assert_eq!(p.sliver(1), &[20.0, 30.0, 21.0, 31.0, 22.0, 32.0]);
+    }
+
+    #[test]
+    fn pack_a_ragged_padded_with_zeros() {
+        let a = Matrix::from_fn(3, 2, |i, k| (i + 1) as f64 * (k + 1) as f64);
+        let mut p = PackedA::new(2);
+        p.pack(&a.view(), Transpose::No, 0, 0, 3, 2);
+        assert_eq!(p.slivers(), 2);
+        // last sliver has row 2 then a zero pad
+        assert_eq!(p.sliver(1), &[3.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_transposed_equals_pack_of_transpose() {
+        let a: Matrix = Matrix::random(7, 9, 1);
+        let at = a.transposed();
+        let mut p1 = PackedA::new(4);
+        let mut p2 = PackedA::new(4);
+        // op(A) = A^T is 9x7; take block rows 2..8, cols 1..6
+        p1.pack(&a.view(), Transpose::Yes, 2, 1, 6, 5);
+        p2.pack(&at.view(), Transpose::No, 2, 1, 6, 5);
+        assert_eq!(p1.buf(), p2.buf());
+    }
+
+    #[test]
+    fn pack_b_exact_multiple() {
+        // 3x4 panel, nr = 2 -> 2 slivers of 3x2
+        let b = Matrix::from_fn(3, 4, |k, j| (k * 10 + j) as f64);
+        let mut p = PackedB::new(2);
+        p.pack(&b.view(), Transpose::No, 0, 0, 3, 4);
+        assert_eq!(p.slivers(), 2);
+        // sliver 0: rows of cols 0-1: [00,01, 10,11, 20,21]
+        assert_eq!(p.sliver(0), &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        assert_eq!(p.sliver(1), &[2.0, 3.0, 12.0, 13.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    fn pack_b_ragged_padded_with_zeros() {
+        let b = Matrix::from_fn(2, 3, |k, j| (k * 10 + j + 1) as f64);
+        let mut p = PackedB::new(2);
+        p.pack(&b.view(), Transpose::No, 0, 0, 2, 3);
+        // second sliver holds only column 2, padded
+        assert_eq!(p.sliver(1), &[3.0, 0.0, 13.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_transposed_equals_pack_of_transpose() {
+        let b: Matrix = Matrix::random(9, 7, 2);
+        let bt = b.transposed();
+        let mut p1 = PackedB::new(6);
+        let mut p2 = PackedB::new(6);
+        // op(B) = B^T is 7x9
+        p1.pack(&b.view(), Transpose::Yes, 1, 2, 5, 7);
+        p2.pack(&bt.view(), Transpose::No, 1, 2, 5, 7);
+        assert_eq!(p1.buf(), p2.buf());
+    }
+
+    #[test]
+    fn pack_offsets_select_the_right_block() {
+        let a = Matrix::from_fn(10, 10, |i, k| (i * 100 + k) as f64);
+        let mut p = PackedA::new(3);
+        p.pack(&a.view(), Transpose::No, 4, 7, 3, 2);
+        // single sliver: rows 4-6 of columns 7-8
+        assert_eq!(p.sliver(0), &[407.0, 507.0, 607.0, 408.0, 508.0, 608.0]);
+    }
+
+    #[test]
+    fn buffers_reusable_across_packs() {
+        let a: Matrix = Matrix::random(64, 64, 3);
+        let mut p = PackedA::new(8);
+        p.pack(&a.view(), Transpose::No, 0, 0, 64, 64);
+        let first = p.buf().to_vec();
+        p.pack(&a.view(), Transpose::No, 0, 0, 32, 16);
+        assert_eq!(p.buf().len(), 32 * 16);
+        p.pack(&a.view(), Transpose::No, 0, 0, 64, 64);
+        assert_eq!(p.buf(), &first[..]);
+    }
+
+    #[test]
+    fn parallel_pack_matches_serial() {
+        let b: Matrix = Matrix::random(100, 90, 5);
+        for (kc, nc) in [(64usize, 60usize), (37, 41), (100, 90), (1, 1)] {
+            let mut serial = PackedB::new(6);
+            serial.pack(&b.view(), Transpose::No, 0, 0, kc, nc);
+            for threads in [2usize, 3, 8] {
+                let mut par = PackedB::new(6);
+                par.pack_parallel(&b.view(), Transpose::No, 0, 0, kc, nc, threads);
+                assert_eq!(serial.buf(), par.buf(), "kc={kc} nc={nc} t={threads}");
+            }
+        }
+        // transposed path too
+        let mut serial = PackedB::new(4);
+        serial.pack(&b.view(), Transpose::Yes, 2, 3, 50, 70);
+        let mut par = PackedB::new(4);
+        par.pack_parallel(&b.view(), Transpose::Yes, 2, 3, 50, 70, 4);
+        assert_eq!(serial.buf(), par.buf());
+    }
+
+    #[test]
+    fn zero_sized_packs() {
+        let a: Matrix = Matrix::zeros(4, 4);
+        let mut p = PackedA::new(4);
+        p.pack(&a.view(), Transpose::No, 0, 0, 0, 4);
+        assert_eq!(p.slivers(), 0);
+        let mut q = PackedB::new(4);
+        q.pack(&a.view(), Transpose::No, 0, 0, 4, 0);
+        assert_eq!(q.slivers(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Layer-3 parallelization (Section IV-C, Figure 9).
+//!
+//! The loop over `mc`-blocks of A (layer 3) is parallelized: every thread
+//! packs and multiplies its own `mc×kc` block of A while **all threads
+//! share the same packed `kc×nc` panel of B** — the strategy of \[15\] that
+//! maximizes locality in the shared L3, where the B panel lives. Threads
+//! update disjoint row bands of C, which [`TileMut::split_rows`] expresses
+//! safely.
+
+#![forbid(unsafe_code)]
+
+use crate::matrix::MatrixView;
+use crate::microkernel::KernelSet;
+use crate::pack::{PackedA, PackedB};
+use crate::scalar::Scalar;
+use crate::tile::TileMut;
+use crate::Transpose;
+
+/// Split `m` rows into at most `threads` contiguous bands of whole
+/// `unit`-row blocks (the register-block height `mr`, so no thread ever
+/// splits a sliver), balanced to within one block. Returns
+/// `(start, len)` pairs; fewer bands than `threads` when there are fewer
+/// blocks.
+#[must_use]
+pub fn partition_rows(m: usize, unit: usize, threads: usize) -> Vec<(usize, usize)> {
+    assert!(unit > 0 && threads > 0);
+    let mc = unit;
+    let blocks = m.div_ceil(mc);
+    let workers = threads.min(blocks).max(1);
+    if blocks == 0 {
+        return Vec::new();
+    }
+    let mut bands = Vec::with_capacity(workers);
+    let per = blocks / workers;
+    let extra = blocks % workers;
+    let mut block = 0usize;
+    for t in 0..workers {
+        let nblocks = per + usize::from(t < extra);
+        let start = block * mc;
+        let end = ((block + nblocks) * mc).min(m);
+        bands.push((start, end - start));
+        block += nblocks;
+    }
+    bands
+}
+
+/// Parameters of one (jj, kk) macro-iteration, shared by all bands.
+#[derive(Clone, Copy)]
+pub struct Layer3Params<'a, T: Scalar = f64, K = crate::microkernel::MicroKernelKind> {
+    /// The full stored A operand (packing reads from it directly).
+    pub a: &'a MatrixView<'a, T>,
+    /// Transposition of A, folded into packing.
+    pub transa: Transpose,
+    /// Current depth offset `kk` into the columns of `op(A)`.
+    pub kk: usize,
+    /// Effective depth of this macro-iteration.
+    pub kc_eff: usize,
+    /// Scaling of the product.
+    pub alpha: T,
+    /// Register kernel to run.
+    pub kernel: K,
+    /// L2 block height `mc`.
+    pub mc: usize,
+}
+
+/// Run layer 3 over the whole M dimension, serially or with `threads`
+/// OS threads (one per core in the paper's setup). `c_panel` is the
+/// `m × nc_eff` band of C this macro-iteration updates; `packed_b` is the
+/// shared packed panel of B.
+pub fn run_layer3<T: Scalar, K: KernelSet<T>>(
+    params: Layer3Params<'_, T, K>,
+    packed_b: &PackedB<T>,
+    c_panel: TileMut<'_, T>,
+    threads: usize,
+) {
+    let m = c_panel.rows();
+    if m == 0 || packed_b.nc() == 0 {
+        return;
+    }
+    if threads <= 1 || m <= params.mc {
+        let mut pa = PackedA::new(params.kernel.mr());
+        band(params, packed_b, 0, c_panel, &mut pa);
+        return;
+    }
+    // partition at mr granularity: best balance while keeping whole
+    // slivers per thread (each band still walks its rows in mc blocks)
+    let bands = partition_rows(m, params.kernel.mr(), threads);
+    let tiles = c_panel.split_rows(&bands);
+    std::thread::scope(|scope| {
+        for (&(start, _), tile) in bands.iter().zip(tiles) {
+            scope.spawn(move || {
+                let mut pa = PackedA::new(params.kernel.mr());
+                band(params, packed_b, start, tile, &mut pa);
+            });
+        }
+    });
+}
+
+/// Process one contiguous row band: rows `row0 .. row0 + tile.rows()` of
+/// `op(A)`, writing into `tile` (whose row 0 corresponds to `row0`).
+fn band<T: Scalar, K: KernelSet<T>>(
+    params: Layer3Params<'_, T, K>,
+    packed_b: &PackedB<T>,
+    row0: usize,
+    mut tile: TileMut<'_, T>,
+    pa: &mut PackedA<T>,
+) {
+    let rows = tile.rows();
+    let nc_eff = packed_b.nc();
+    let mut ii = 0usize;
+    while ii < rows {
+        let mc_eff = params.mc.min(rows - ii);
+        pa.pack(
+            params.a,
+            params.transa,
+            row0 + ii,
+            params.kk,
+            mc_eff,
+            params.kc_eff,
+        );
+        let mut sub = tile.sub_tile(ii, 0, mc_eff, nc_eff);
+        crate::gebp::gebp(params.kernel, params.alpha, pa, packed_b, &mut sub);
+        ii += mc_eff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_exact_blocks() {
+        // 8 blocks of 24 rows over 4 threads: 2 blocks each
+        let bands = partition_rows(192, 24, 4);
+        assert_eq!(bands, vec![(0, 48), (48, 48), (96, 48), (144, 48)]);
+    }
+
+    #[test]
+    fn partition_uneven_blocks() {
+        // 5 blocks over 2 threads: 3 + 2
+        let bands = partition_rows(5 * 16, 16, 2);
+        assert_eq!(bands, vec![(0, 48), (48, 32)]);
+    }
+
+    #[test]
+    fn partition_mr_granularity_balances_well() {
+        // 2560 rows at mr=8 over 8 threads: exactly 320 each
+        let bands = partition_rows(2560, 8, 8);
+        assert_eq!(bands.len(), 8);
+        assert!(bands.iter().all(|&(_, l)| l == 320));
+    }
+
+    #[test]
+    fn partition_ragged_tail() {
+        // 100 rows, unit 24 -> blocks of 24,24,24,24,4; 3 threads: 2/2/1
+        let bands = partition_rows(100, 24, 3);
+        assert_eq!(bands, vec![(0, 48), (48, 48), (96, 4)]);
+        let total: usize = bands.iter().map(|b| b.1).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn partition_more_threads_than_blocks() {
+        let bands = partition_rows(30, 24, 8);
+        assert_eq!(bands.len(), 2);
+        assert_eq!(bands, vec![(0, 24), (24, 6)]);
+    }
+
+    #[test]
+    fn partition_covers_everything_disjointly() {
+        for m in [1, 7, 24, 100, 513] {
+            for mc in [8, 24, 56] {
+                for threads in [1, 2, 3, 8] {
+                    let bands = partition_rows(m, mc, threads);
+                    let mut next = 0;
+                    for (s, l) in bands {
+                        assert_eq!(s, next);
+                        assert!(l > 0);
+                        next = s + l;
+                    }
+                    assert_eq!(next, m);
+                }
+            }
+        }
+    }
+}

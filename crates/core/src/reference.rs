@@ -1,0 +1,162 @@
+//! Naive netlib-style reference DGEMM — the correctness oracle.
+//!
+//! Deliberately straightforward (jik triple loop, no blocking, no
+//! packing): slow, obviously correct, and exactly what the original
+//! netlib BLAS does, which the paper cites as the non-hierarchy-aware
+//! baseline in Section II-B.
+
+#![forbid(unsafe_code)]
+
+use crate::matrix::{MatrixView, MatrixViewMut};
+use crate::scalar::Scalar;
+use crate::Transpose;
+
+/// `C := α·op(A)·op(B) + β·C`, naive triple loop (any precision).
+///
+/// Panics on dimension mismatch (use [`crate::blas::dgemm`] for checked
+/// errors); this function is the oracle, not the API.
+pub fn naive_gemm<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    beta: T,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    let (m, ka) = transa.apply_dims(a.rows(), a.cols());
+    let (kb, n) = transb.apply_dims(b.rows(), b.cols());
+    assert_eq!(ka, kb, "inner dimensions differ");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape differs");
+    let k = ka;
+
+    let get_a = |i: usize, p: usize| match transa {
+        Transpose::No => a.get(i, p),
+        Transpose::Yes => a.get(p, i),
+    };
+    let get_b = |p: usize, j: usize| match transb {
+        Transpose::No => b.get(p, j),
+        Transpose::Yes => b.get(j, p),
+    };
+
+    for j in 0..n {
+        for i in 0..m {
+            let mut dot = T::ZERO;
+            for p in 0..k {
+                dot += get_a(i, p) * get_b(p, j);
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * dot + beta * old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn two_by_two_by_hand() {
+        let a = Matrix::from_fn(2, 2, |i, j| (1 + i * 2 + j) as f64); // [[1,2],[3,4]]
+        let b = Matrix::from_fn(2, 2, |i, j| (5 + i * 2 + j) as f64); // [[5,6],[7,8]]
+        let mut c = Matrix::zeros(2, 2);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+        );
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(5, 5, 9);
+        let id = Matrix::identity(5);
+        let mut c = Matrix::zeros(5, 5);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &id.view(),
+            0.0,
+            &mut c.view_mut(),
+        );
+        assert!(a.max_abs_diff(&c) < 1e-15);
+    }
+
+    #[test]
+    fn transpose_flags() {
+        let a = Matrix::random(3, 4, 1);
+        let b = Matrix::random(5, 4, 2);
+        // C = A * B^T : 3x5
+        let mut c1 = Matrix::zeros(3, 5);
+        naive_gemm(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c1.view_mut(),
+        );
+        let bt = b.transposed();
+        let mut c2 = Matrix::zeros(3, 5);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &bt.view(),
+            0.0,
+            &mut c2.view_mut(),
+        );
+        assert!(c1.max_abs_diff(&c2) < 1e-15);
+    }
+
+    #[test]
+    fn alpha_beta_combine() {
+        let a = Matrix::random(4, 3, 3);
+        let b = Matrix::random(3, 4, 4);
+        let c0 = Matrix::random(4, 4, 5);
+        let mut c = c0.clone();
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            2.0,
+            &a.view(),
+            &b.view(),
+            -1.0,
+            &mut c.view_mut(),
+        );
+        // check one element by hand
+        let dot: f64 = (0..3).map(|p| a.get(1, p) * b.get(p, 2)).sum();
+        assert!((c.get(1, 2) - (2.0 * dot - c0.get(1, 2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_zero_scales_only() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.5,
+            &mut c.view_mut(),
+        );
+        assert_eq!(c.get(2, 1), 1.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! The scalar abstraction that lets the GEBP engine serve both
+//! precisions: the paper's DGEMM (f64, two lanes per NEON register) and
+//! the SGEMM its method derives for f32 (four lanes, 12×8 register
+//! block — see the `ext_sgemm_design` study).
+
+#![forbid(unsafe_code)]
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A floating-point element type usable by the blocked engine.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + MulAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Element size in bytes (drives the analytic blocking).
+    const BYTES: usize;
+    /// Unit roundoff.
+    const EPSILON: Self;
+
+    /// Convert from `f64` (rounding for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widen to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+    const EPSILON: Self = f64::EPSILON;
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+    const EPSILON: Self = f32::EPSILON;
+
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        assert_eq!(T::from_f64(-2.5).abs().to_f64(), 2.5);
+        assert!(T::EPSILON.to_f64() > 0.0);
+    }
+
+    #[test]
+    fn both_precisions() {
+        roundtrip::<f64>();
+        roundtrip::<f32>();
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+    }
+
+    #[test]
+    fn f32_narrowing() {
+        let x = f32::from_f64(0.1);
+        assert!((x.to_f64() - 0.1).abs() < 1e-7);
+    }
+}

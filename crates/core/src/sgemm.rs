@@ -1,0 +1,292 @@
+//! Single-precision GEMM — the design the paper's analytic method
+//! produces when re-run with `element = 4` bytes (four f32 lanes per
+//! 128-bit register):
+//!
+//! - register block **12×8** with γ = 9.6 (vs 8×6 / 6.857 for f64),
+//!   the optimum of equations (8)–(11) with the lane constraint
+//!   generalized to multiples of 4;
+//! - cache blocking `kc×mc×nc = 768×48×2560` serial on the paper's
+//!   machine (equations (15), (17), (18) in bytes, so halving the
+//!   element size roughly doubles `kc`).
+//!
+//! See the `ext_sgemm_design` study for the full derivation. The compute
+//! path is the same generic GEBP engine as DGEMM
+//! ([`crate::gemm::gemm_with`]); only the kernel family and the machine
+//! description's element size differ.
+
+#![forbid(unsafe_code)]
+
+use crate::gemm::gemm_with;
+use crate::matrix::{MatrixView, MatrixViewMut};
+use crate::microkernel::SgemmKernelKind;
+use crate::{GemmError, Transpose};
+use perfmodel::cacheblock::{solve_blocking, BlockSizes};
+use perfmodel::MachineDesc;
+
+/// Configuration of one SGEMM invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct SgemmConfig {
+    /// Single-precision register kernel.
+    pub kernel: SgemmKernelKind,
+    /// Cache blocking (derived with `element = 4`).
+    pub blocks: BlockSizes,
+    /// Worker threads for layer 3.
+    pub threads: usize,
+}
+
+/// The paper's machine re-described for f32 elements.
+#[must_use]
+pub fn machine_f32() -> MachineDesc {
+    let mut m = MachineDesc::xgene();
+    m.element_bytes = 4;
+    // one 128-bit FMA = 8 f32 flops every 2 cycles
+    m.flops_per_cycle = 4.0;
+    m
+}
+
+impl SgemmConfig {
+    /// Analytic configuration for a kernel and thread count.
+    #[must_use]
+    pub fn for_kernel(kernel: SgemmKernelKind, threads: usize) -> Self {
+        let m = machine_f32();
+        let blocks = solve_blocking(kernel.mr(), kernel.nr(), threads.clamp(1, m.cores), &m)
+            .expect("paper machine solvable for f32");
+        SgemmConfig {
+            kernel,
+            blocks,
+            threads,
+        }
+    }
+
+    /// Explicit `kc×mc×nc` (sensitivity studies).
+    #[must_use]
+    pub fn with_blocks(mut self, kc: usize, mc: usize, nc: usize) -> Self {
+        self.blocks = BlockSizes::custom(self.kernel.mr(), self.kernel.nr(), kc, mc, nc);
+        self
+    }
+}
+
+impl Default for SgemmConfig {
+    /// The analytically optimal serial configuration: 12×8 kernel.
+    fn default() -> Self {
+        SgemmConfig::for_kernel(SgemmKernelKind::Sk12x8, 1)
+    }
+}
+
+/// `C := α·op(A)·op(B) + β·C` in single precision, with full dimension
+/// checking — the f32 sibling of [`crate::blas::dgemm`].
+#[allow(clippy::too_many_arguments)] // canonical BLAS signature
+pub fn sgemm(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: f32,
+    a: &MatrixView<'_, f32>,
+    b: &MatrixView<'_, f32>,
+    beta: f32,
+    c: &mut MatrixViewMut<'_, f32>,
+    cfg: &SgemmConfig,
+) -> Result<(), GemmError> {
+    let (m, ka) = transa.apply_dims(a.rows(), a.cols());
+    let (kb, n) = transb.apply_dims(b.rows(), b.cols());
+    if ka != kb {
+        return Err(GemmError::InnerDimMismatch {
+            a_cols: ka,
+            b_rows: kb,
+        });
+    }
+    if (c.rows(), c.cols()) != (m, n) {
+        return Err(GemmError::OutputDimMismatch {
+            expected: (m, n),
+            actual: (c.rows(), c.cols()),
+        });
+    }
+    if cfg.blocks.kc == 0 || cfg.blocks.mc == 0 || cfg.blocks.nc == 0 {
+        return Err(GemmError::BadConfig("block sizes must be positive"));
+    }
+    if cfg.blocks.mr != cfg.kernel.mr() || cfg.blocks.nr != cfg.kernel.nr() {
+        return Err(GemmError::BadConfig(
+            "blocking register shape != kernel shape",
+        ));
+    }
+    if cfg.threads == 0 {
+        return Err(GemmError::BadConfig("thread count must be positive"));
+    }
+    gemm_with(
+        transa,
+        transb,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        cfg.kernel,
+        cfg.blocks,
+        cfg.threads,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference::naive_gemm;
+
+    /// f32 tolerance for a rank-k accumulation.
+    fn tol32(k: usize) -> f64 {
+        32.0 * k.max(1) as f64 * f64::from(f32::EPSILON)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check(
+        kind: SgemmKernelKind,
+        m: usize,
+        n: usize,
+        k: usize,
+        ta: Transpose,
+        tb: Transpose,
+        alpha: f32,
+        beta: f32,
+        threads: usize,
+    ) {
+        let (ar, ac) = match ta {
+            Transpose::No => (m, k),
+            Transpose::Yes => (k, m),
+        };
+        let (br, bc) = match tb {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        let a: Matrix<f32> = Matrix::random(ar, ac, 91);
+        let b: Matrix<f32> = Matrix::random(br, bc, 92);
+        let c0: Matrix<f32> = Matrix::random(m, n, 93);
+
+        let mut want = c0.clone();
+        naive_gemm(
+            ta,
+            tb,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut want.view_mut(),
+        );
+
+        let mut got = c0.clone();
+        let mut cfg = SgemmConfig::for_kernel(kind, threads);
+        cfg.threads = threads;
+        cfg = cfg.with_blocks(24, kind.mr() * 2, kind.nr() * 3);
+        sgemm(
+            ta,
+            tb,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut got.view_mut(),
+            &cfg,
+        )
+        .unwrap();
+
+        let err = got.max_abs_diff(&want);
+        assert!(
+            err < tol32(k),
+            "{} m={m} n={n} k={k}: err {err}",
+            kind.label()
+        );
+    }
+
+    #[test]
+    fn analytic_blocking_for_f32() {
+        // the ext_sgemm_design numbers: 12x8 kernel, 768x48x2560 serial
+        let cfg = SgemmConfig::default();
+        assert_eq!(cfg.kernel, SgemmKernelKind::Sk12x8);
+        assert_eq!(cfg.blocks.label(), "12x8x768x48x2560");
+    }
+
+    #[test]
+    fn all_f32_kernels_match_oracle() {
+        for kind in SgemmKernelKind::ALL {
+            check(kind, 50, 40, 30, Transpose::No, Transpose::No, 1.0, 0.0, 1);
+            check(kind, 37, 29, 41, Transpose::No, Transpose::No, 1.5, 1.0, 1);
+        }
+    }
+
+    #[test]
+    fn f32_transposes_and_threads() {
+        check(
+            SgemmKernelKind::Sk12x8,
+            45,
+            33,
+            27,
+            Transpose::Yes,
+            Transpose::No,
+            1.0,
+            -0.5,
+            1,
+        );
+        check(
+            SgemmKernelKind::Sk12x8,
+            80,
+            40,
+            32,
+            Transpose::No,
+            Transpose::Yes,
+            2.0,
+            0.0,
+            4,
+        );
+    }
+
+    #[test]
+    fn f32_full_analytic_blocking() {
+        let m = 100;
+        let n = 64;
+        let k = 900; // crosses kc = 768
+        let a: Matrix<f32> = Matrix::random(m, k, 5);
+        let b: Matrix<f32> = Matrix::random(k, n, 6);
+        let mut want: Matrix<f32> = Matrix::zeros(m, n);
+        naive_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut want.view_mut(),
+        );
+        let mut got: Matrix<f32> = Matrix::zeros(m, n);
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut got.view_mut(),
+            &SgemmConfig::default(),
+        )
+        .unwrap();
+        assert!(got.max_abs_diff(&want) < tol32(k));
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        let a: Matrix<f32> = Matrix::zeros(4, 5);
+        let b: Matrix<f32> = Matrix::zeros(6, 3);
+        let mut c: Matrix<f32> = Matrix::zeros(4, 3);
+        assert!(matches!(
+            sgemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &SgemmConfig::default()
+            ),
+            Err(GemmError::InnerDimMismatch { .. })
+        ));
+    }
+}

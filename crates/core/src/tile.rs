@@ -1,0 +1,207 @@
+//! `TileMut` — the mutable C-tile abstraction shared by the serial and
+//! parallel paths.
+//!
+//! The paper parallelizes layer 3 (Figure 9): threads update *disjoint row
+//! bands* of the same C matrix. In column-major storage those bands are
+//! interleaved in memory (band 0 of column j, band 1 of column j, …), so
+//! they cannot be expressed as disjoint `&mut [f64]` sub-slices. `TileMut`
+//! holds a raw base pointer plus the tile geometry and hands out one
+//! *column segment* at a time as a safe `&mut [f64]`; two `TileMut`s over
+//! disjoint row/column ranges never materialize overlapping references.
+//!
+//! Safety is established at construction: [`TileMut::from_slice`] is safe
+//! (unique borrow of the whole buffer), [`TileMut::split_rows`] safely
+//! partitions a tile into disjoint row bands, and that is the *only* way
+//! the parallel path obtains its tiles — so the unsafe code is confined to
+//! this module and checked by its invariants.
+
+use crate::scalar::Scalar;
+use core::marker::PhantomData;
+
+/// A mutable view of an `rows × cols` column-major tile with leading
+/// dimension `ld`, usable as the write target of the register kernels.
+pub struct TileMut<'a, T: Scalar = f64> {
+    ptr: *mut T,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a TileMut is an exclusive borrow of the elements it covers
+// (guaranteed by its constructors); sending it to another thread moves
+// that exclusive access.
+unsafe impl<T: Scalar> Send for TileMut<'_, T> {}
+
+impl<'a, T: Scalar> TileMut<'a, T> {
+    /// Tile covering `rows × cols` of a column-major buffer with leading
+    /// dimension `ld`, starting at the buffer's first element.
+    ///
+    /// Panics if the buffer is too short.
+    #[must_use]
+    pub fn from_slice(rows: usize, cols: usize, ld: usize, data: &'a mut [T]) -> Self {
+        assert!(ld >= rows.max(1), "leading dimension below row count");
+        if rows > 0 && cols > 0 {
+            assert!(
+                data.len() >= (cols - 1) * ld + rows,
+                "slice too short for {rows}x{cols} ld {ld}"
+            );
+        }
+        TileMut {
+            ptr: data.as_mut_ptr(),
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Rows of the tile.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the tile.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    #[must_use]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Mutable access to rows `i0 .. i0+len` of column `j`.
+    #[must_use]
+    pub fn col_seg_mut(&mut self, j: usize, i0: usize, len: usize) -> &mut [T] {
+        assert!(j < self.cols, "column out of bounds");
+        assert!(i0 + len <= self.rows, "row segment out of bounds");
+        // SAFETY: the tile exclusively borrows all elements (i, j) with
+        // i < rows, j < cols at ptr[i + j*ld]; the asserts keep the
+        // segment inside that region, and &mut self prevents aliasing
+        // between segments obtained from the same tile.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(i0 + j * self.ld), len) }
+    }
+
+    /// Read element `(i, j)` (for tests and masked updates).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        // SAFETY: in-bounds per the constructor invariant and the asserts.
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    /// Sub-tile of `nrows × ncols` starting at `(i, j)`, reborrowing this
+    /// tile mutably (the parent is unusable while the sub-tile lives).
+    #[must_use]
+    pub fn sub_tile(&mut self, i: usize, j: usize, nrows: usize, ncols: usize) -> TileMut<'_, T> {
+        assert!(
+            i + nrows <= self.rows && j + ncols <= self.cols,
+            "sub-tile out of bounds"
+        );
+        TileMut {
+            // SAFETY: offset stays within the borrowed region.
+            ptr: unsafe { self.ptr.add(i + j * self.ld) },
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split the tile into disjoint row bands: band `t` covers rows
+    /// `bands[t].0 .. bands[t].0 + bands[t].1`. Panics unless the bands
+    /// are sorted, non-overlapping and in range — this is the safe gateway
+    /// the parallel layer-3 loop uses (Figure 9: each thread owns an
+    /// `mc`-aligned row band of C).
+    #[must_use]
+    pub fn split_rows(self, bands: &[(usize, usize)]) -> Vec<TileMut<'a, T>> {
+        let mut prev_end = 0usize;
+        for &(start, len) in bands {
+            assert!(start >= prev_end, "bands must be sorted and disjoint");
+            prev_end = start + len;
+        }
+        assert!(prev_end <= self.rows, "bands exceed tile rows");
+        bands
+            .iter()
+            .map(|&(start, len)| TileMut {
+                // SAFETY: each band covers a distinct set of elements
+                // (rows start..start+len of every column) of the region
+                // this tile exclusively borrows; `self` is consumed, so
+                // only the bands can access it afterwards.
+                ptr: unsafe { self.ptr.add(start) },
+                rows: len,
+                cols: self.cols,
+                ld: self.ld,
+                _marker: PhantomData,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::drop_non_drop)] // drops end tile borrows deliberately
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_segments_read_write() {
+        let mut buf = vec![0.0f64; 12]; // 3x4, ld 3
+        let mut t = TileMut::from_slice(3, 4, 3, &mut buf);
+        t.col_seg_mut(2, 1, 2).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(t.get(1, 2), 5.0);
+        assert_eq!(t.get(2, 2), 6.0);
+        assert_eq!(t.get(0, 2), 0.0);
+        drop(t);
+        assert_eq!(buf[7], 5.0);
+    }
+
+    #[test]
+    fn sub_tile_offsets() {
+        let mut buf: Vec<f64> = (0..20).map(|x| x as f64).collect(); // 4x5 ld 4
+        let mut t = TileMut::from_slice(4, 5, 4, &mut buf);
+        let mut s = t.sub_tile(1, 2, 2, 2);
+        assert_eq!(s.get(0, 0), 9.0); // (1,2) of parent = 1 + 2*4
+        s.col_seg_mut(1, 0, 2)[0] = -1.0; // (1,3) of parent
+        drop(s);
+        assert_eq!(t.get(1, 3), -1.0);
+    }
+
+    #[test]
+    fn split_rows_disjoint_bands() {
+        let mut buf = vec![0.0f64; 6 * 2]; // 6x2 ld 6
+        let t = TileMut::from_slice(6, 2, 6, &mut buf);
+        let mut bands = t.split_rows(&[(0, 2), (2, 3), (5, 1)]);
+        for (idx, band) in bands.iter_mut().enumerate() {
+            for j in 0..2 {
+                let rows = band.rows();
+                for x in band.col_seg_mut(j, 0, rows) {
+                    *x = idx as f64 + 1.0;
+                }
+            }
+        }
+        drop(bands);
+        // column-major: rows 0-1 band 1, rows 2-4 band 2, row 5 band 3
+        assert_eq!(buf[..6], [1.0, 1.0, 2.0, 2.0, 2.0, 3.0]);
+        assert_eq!(buf[6..], [1.0, 1.0, 2.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn overlapping_bands_rejected() {
+        let mut buf = vec![0.0f64; 8];
+        let t = TileMut::from_slice(4, 2, 4, &mut buf);
+        let _ = t.split_rows(&[(0, 3), (2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row segment out of bounds")]
+    fn col_segment_bounds_enforced() {
+        let mut buf = vec![0.0f64; 8];
+        let mut t = TileMut::from_slice(4, 2, 4, &mut buf);
+        let _ = t.col_seg_mut(0, 2, 3);
+    }
+}

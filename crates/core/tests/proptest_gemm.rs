@@ -1,0 +1,198 @@
+//! Property-based tests of the DGEMM stack: for arbitrary shapes,
+//! scalars, transposes, kernels and (deliberately hostile) block sizes,
+//! the blocked implementation must match the naive oracle; packing must
+//! be a faithful relayout; algebraic identities of GEMM must hold.
+
+use dgemm_core::gemm::{gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pack::{PackedA, PackedB};
+use dgemm_core::reference::naive_gemm;
+use dgemm_core::util::gemm_tolerance;
+use dgemm_core::Transpose;
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = MicroKernelKind> {
+    prop::sample::select(MicroKernelKind::ALL.to_vec())
+}
+
+fn transpose_strategy() -> impl Strategy<Value = Transpose> {
+    prop::bool::ANY.prop_map(|b| if b { Transpose::Yes } else { Transpose::No })
+}
+
+fn dims(t: Transpose, rows: usize, cols: usize) -> (usize, usize) {
+    match t {
+        Transpose::No => (rows, cols),
+        Transpose::Yes => (cols, rows),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The central contract: blocked == naive for any configuration.
+    #[test]
+    fn gemm_matches_oracle(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        kind in kernel_strategy(),
+        ta in transpose_strategy(),
+        tb in transpose_strategy(),
+        alpha in -2.0f64..2.0,
+        beta in prop::sample::select(vec![0.0f64, 1.0, -0.75]),
+        threads in 1usize..4,
+        kc in 3usize..40,
+        mc_mult in 1usize..4,
+        nc_mult in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (ar, ac) = dims(ta, m, k);
+        let (br, bc) = dims(tb, k, n);
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed + 1);
+        let c0 = Matrix::random(m, n, seed + 2);
+
+        let mut want = c0.clone();
+        naive_gemm(ta, tb, alpha, &a.view(), &b.view(), beta, &mut want.view_mut());
+
+        let mut got = c0.clone();
+        let mut cfg = GemmConfig::for_kernel(kind, 1);
+        cfg.threads = threads;
+        cfg = cfg.with_blocks(kc, kind.mr() * mc_mult, kind.nr() * nc_mult);
+        gemm(ta, tb, alpha, &a.view(), &b.view(), beta, &mut got.view_mut(), &cfg);
+
+        let err = got.max_abs_diff(&want);
+        prop_assert!(err < gemm_tolerance(k, 4.0), "err {err}");
+    }
+
+    /// Packing A is a relayout: every source element appears at its
+    /// sliver position, padding is zero.
+    #[test]
+    fn pack_a_is_faithful(
+        mc in 1usize..40,
+        kc in 1usize..40,
+        mr in prop::sample::select(vec![2usize, 4, 5, 8]),
+        seed in 0u64..1000,
+    ) {
+        let a: Matrix = Matrix::random(mc, kc, seed);
+        let mut p = PackedA::new(mr);
+        p.pack(&a.view(), Transpose::No, 0, 0, mc, kc);
+        for s in 0..p.slivers() {
+            let sliver = p.sliver(s);
+            for k in 0..kc {
+                for r in 0..mr {
+                    let i = s * mr + r;
+                    let got = sliver[k * mr + r];
+                    if i < mc {
+                        prop_assert_eq!(got, a.get(i, k));
+                    } else {
+                        prop_assert_eq!(got, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Packing B likewise.
+    #[test]
+    fn pack_b_is_faithful(
+        kc in 1usize..40,
+        nc in 1usize..40,
+        nr in prop::sample::select(vec![2usize, 4, 5, 6]),
+        seed in 0u64..1000,
+    ) {
+        let b: Matrix = Matrix::random(kc, nc, seed);
+        let mut p = PackedB::new(nr);
+        p.pack(&b.view(), Transpose::No, 0, 0, kc, nc);
+        for s in 0..p.slivers() {
+            let sliver = p.sliver(s);
+            for k in 0..kc {
+                for c in 0..nr {
+                    let j = s * nr + c;
+                    let got = sliver[k * nr + c];
+                    if j < nc {
+                        prop_assert_eq!(got, b.get(k, j));
+                    } else {
+                        prop_assert_eq!(got, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// α-linearity: gemm(α, A, B, 0, C) == α · gemm(1, A, B, 0, C).
+    #[test]
+    fn gemm_alpha_linear(
+        n in 1usize..32,
+        alpha in -3.0f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::random(n, n, seed);
+        let b = Matrix::random(n, n, seed + 1);
+        let cfg = GemmConfig::default().with_blocks(16, 16, 12);
+        let mut c1 = Matrix::zeros(n, n);
+        gemm(Transpose::No, Transpose::No, alpha, &a.view(), &b.view(), 0.0, &mut c1.view_mut(), &cfg);
+        let mut c2 = Matrix::zeros(n, n);
+        gemm(Transpose::No, Transpose::No, 1.0, &a.view(), &b.view(), 0.0, &mut c2.view_mut(), &cfg);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((c1.get(i, j) - alpha * c2.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Transpose identity: (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn gemm_transpose_identity(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let cfg = GemmConfig::default().with_blocks(8, 8, 6);
+        let mut ab = Matrix::zeros(m, n);
+        gemm(Transpose::No, Transpose::No, 1.0, &a.view(), &b.view(), 0.0, &mut ab.view_mut(), &cfg);
+        // Bᵀ·Aᵀ computed with the transpose flags
+        let mut btat = Matrix::zeros(n, m);
+        gemm(Transpose::Yes, Transpose::Yes, 1.0, &b.view(), &a.view(), 0.0, &mut btat.view_mut(), &cfg);
+        let tol = gemm_tolerance(k, 1.0);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((ab.get(i, j) - btat.get(j, i)).abs() < tol);
+            }
+        }
+    }
+
+    /// β-only path: α = 0 (or k = 0) never reads A/B garbage and scales
+    /// C exactly.
+    #[test]
+    fn gemm_beta_only(
+        m in 1usize..24,
+        n in 1usize..24,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::random(m, 7, seed);
+        let b = Matrix::random(7, n, seed + 1);
+        let c0 = Matrix::random(m, n, seed + 2);
+        let mut c = c0.clone();
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            0.0,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut c.view_mut(),
+            &GemmConfig::default(),
+        );
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(c.get(i, j), beta * c0.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # kernels
+//!
+//! The register-kernel generator: turns the analytic results of
+//! `perfmodel` (register rotation, load scheduling, prefetch distances)
+//! into executable A64-subset instruction streams for the `armsim`
+//! machine model — the same streams the paper writes by hand in assembly
+//! (Figure 8), minus instruction encoding.
+//!
+//! - [`regkernel`] — generates a complete GEBP micro-kernel invocation:
+//!   C-tile load prologue, `kc` unrolled-and-rotated rank-1 update copies
+//!   with scheduled operand loads and prefetches, C-tile store epilogue.
+//! - [`microbench`] — generates the independent `LDR:FMLA` ratio streams
+//!   of the paper's Table IV micro-benchmark.
+
+//!
+//! ## Quick example
+//!
+//! ```
+//! use kernels::regkernel::KernelSpec;
+//!
+//! let spec = KernelSpec::paper_8x6(None);
+//! // the rotation rests one register per copy over an 8-copy period
+//! assert_eq!(spec.scheme().period(), 8);
+//! // the schedule hides at least the paper's published RAW distance
+//! assert!(spec.schedule().min_raw_distance() >= 9);
+//! // per unrolled copy: 24 fmla + 7 ldr + 1 prfm (Figure 8)
+//! assert_eq!(spec.instrs_per_copy(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod microbench;
+pub mod regkernel;

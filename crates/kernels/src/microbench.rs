@@ -1,0 +1,197 @@
+//! The Table IV micro-benchmark: efficiency as a function of the
+//! `LDR:FMLA` instruction ratio.
+//!
+//! Following Section V-A: "we have written a micro-benchmark, in which
+//! the instructions are independent and evenly distributed, to avoid any
+//! effect of instruction latency on our experiments. This micro-benchmark
+//! can always keep the data in the L1 cache." The generated streams
+//! therefore use FMAs whose sources are never load targets, loads that
+//! cycle through a one-line working set, and interleave the two kinds as
+//! evenly as possible.
+
+use armsim::core::CoreSim;
+use armsim::isa::Instr;
+use armsim::pipeline::PipelineConfig;
+
+/// The `LDR : FMLA` ratios of the paper's Table IV, in its column order.
+pub const PAPER_RATIOS: [(usize, usize); 7] =
+    [(1, 1), (1, 2), (6, 16), (1, 3), (7, 24), (1, 4), (1, 5)];
+
+/// The efficiencies the paper measured for [`PAPER_RATIOS`] (percent).
+pub const PAPER_EFFICIENCIES: [f64; 7] = [63.0, 80.9, 87.7, 88.7, 91.5, 94.2, 95.2];
+
+/// Generate `groups` repetitions of an independent, evenly interleaved
+/// group of `fmla` FMAs and `ldr` loads.
+///
+/// Register discipline: accumulators cycle `v8..v24` reading constants
+/// `v0`/`v4`; load targets cycle `v24..v32`; loads read offsets within a
+/// single cache line at `a_base` (held in `x14`), so after the first
+/// touch every load hits L1.
+#[must_use]
+pub fn ldr_fmla_stream(ldr: usize, fmla: usize, groups: usize, a_base: u64) -> Vec<Instr> {
+    assert!(ldr > 0 && fmla > 0);
+    let mut out = Vec::with_capacity(2 + groups * (ldr + fmla));
+    out.push(Instr::MovX {
+        xd: 14,
+        imm: a_base,
+    });
+    let mut acc = 0u64;
+    let mut ldt = 0u64;
+    for _ in 0..groups {
+        // even distribution: walk the longer kind, dropping the shorter
+        // kind in at evenly spaced positions
+        let total = ldr + fmla;
+        let mut placed_l = 0usize;
+        for s in 0..total {
+            // place a load when we cross the next 1/ldr boundary
+            let want_l = ((s + 1) * ldr) / total;
+            if want_l > placed_l {
+                out.push(Instr::LdrQOff {
+                    qd: (24 + (ldt % 8)) as u8,
+                    base: 14,
+                    off: ((ldt % 4) * 16) as i64,
+                });
+                ldt += 1;
+                placed_l += 1;
+            } else {
+                out.push(Instr::Fmla {
+                    vd: (8 + (acc % 16)) as u8,
+                    vn: 0,
+                    vm: 4,
+                    lane: Some(0),
+                });
+                acc += 1;
+            }
+        }
+    }
+    out
+}
+
+/// One row of the Table IV reproduction.
+#[derive(Clone, Copy, Debug)]
+pub struct RatioPoint {
+    /// Loads per group.
+    pub ldr: usize,
+    /// FMAs per group.
+    pub fmla: usize,
+    /// Measured efficiency (fraction of FMA peak).
+    pub efficiency: f64,
+}
+
+/// Measure the efficiency of one `LDR:FMLA` ratio on the pipeline model
+/// (perfect L1, as in the paper's setup).
+#[must_use]
+pub fn measure_ratio(ldr: usize, fmla: usize, cfg: PipelineConfig) -> RatioPoint {
+    let groups = 4000 / (ldr + fmla) + 50;
+    let mut core = CoreSim::new(0, 1 << 16);
+    core.set_pipeline_config(cfg);
+    let base = core.mem.alloc(64, 64);
+    let stream = ldr_fmla_stream(ldr, fmla, groups, base);
+    let report = core.run_perfect_l1(&stream, 4);
+    let peak = 4.0 / cfg.fma_ii as f64;
+    RatioPoint {
+        ldr,
+        fmla,
+        efficiency: report.pipe.flops as f64 / (report.cycles as f64 * peak),
+    }
+}
+
+/// Reproduce the whole Table IV sweep.
+#[must_use]
+pub fn table4(cfg: PipelineConfig) -> Vec<RatioPoint> {
+    PAPER_RATIOS
+        .iter()
+        .map(|&(l, f)| measure_ratio(l, f, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_has_requested_mix() {
+        let s = ldr_fmla_stream(7, 24, 10, 4096);
+        let loads = s
+            .iter()
+            .filter(|i| matches!(i, Instr::LdrQOff { .. }))
+            .count();
+        let fmlas = s.iter().filter(|i| i.is_fp_arith()).count();
+        assert_eq!(loads, 70);
+        assert_eq!(fmlas, 240);
+    }
+
+    #[test]
+    fn stream_is_independent() {
+        // no FMA reads a load target; no load writes an FMA source
+        let s = ldr_fmla_stream(1, 1, 100, 4096);
+        for ins in &s {
+            match *ins {
+                Instr::Fmla { vn, vm, vd, .. } => {
+                    assert!(vn < 8 && vm < 8);
+                    assert!((8..24).contains(&vd));
+                }
+                Instr::LdrQOff { qd, .. } => assert!(qd >= 24),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn loads_evenly_distributed() {
+        // 6:16 -> no two adjacent loads
+        let s = ldr_fmla_stream(6, 16, 5, 4096);
+        let mut prev_load = false;
+        for ins in &s {
+            let is_load = matches!(ins, Instr::LdrQOff { .. });
+            assert!(!(is_load && prev_load), "loads must not cluster");
+            prev_load = is_load;
+        }
+    }
+
+    #[test]
+    fn table4_is_monotone_and_ordered_like_paper() {
+        let rows = table4(PipelineConfig::default());
+        // Paper order is by increasing arithmetic fraction; efficiency
+        // must increase along it.
+        let mut last = 0.0;
+        for r in &rows {
+            assert!(
+                r.efficiency > last,
+                "{}:{} gave {}, not above {last}",
+                r.ldr,
+                r.fmla,
+                r.efficiency
+            );
+            last = r.efficiency;
+        }
+    }
+
+    #[test]
+    fn table4_endpoints_match_structural_model() {
+        // deterministic 2F+L model: 1:1 -> 2/3, 1:5 -> 10/11
+        let rows = table4(PipelineConfig::default());
+        assert!(
+            (rows[0].efficiency - 2.0 / 3.0).abs() < 0.02,
+            "{}",
+            rows[0].efficiency
+        );
+        assert!(
+            (rows[6].efficiency - 10.0 / 11.0).abs() < 0.02,
+            "{}",
+            rows[6].efficiency
+        );
+        // the three kernel-relevant ratios keep the paper's ordering:
+        // 4x4 (1:2) < 8x4 (6:16) < 8x6 (7:24)
+        assert!(rows[1].efficiency < rows[2].efficiency);
+        assert!(rows[2].efficiency < rows[4].efficiency);
+    }
+
+    #[test]
+    fn kernel_bound_close_to_paper_within_model_error() {
+        // 7:24 measured 91.5% on hardware; the structural model gives
+        // 48/55 = 87.3%. Assert we land in a sane band around it.
+        let r = measure_ratio(7, 24, PipelineConfig::default());
+        assert!((0.85..0.93).contains(&r.efficiency), "{}", r.efficiency);
+    }
+}

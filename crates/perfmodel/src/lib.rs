@@ -1,0 +1,47 @@
+//! # perfmodel
+//!
+//! The performance model and analytic design machinery of the ICPP'15 paper
+//! *"Design and Implementation of a Highly Efficient DGEMM for 64-bit ARMv8
+//! Multi-Core Processors"*, Sections III and IV.
+//!
+//! The paper's central claim is that DGEMM performance on this machine is
+//! governed by the *compute-to-memory access ratio* `γ = F / W` (flops per
+//! word moved), and that every performance-critical parameter of the GEBP
+//! inner kernel — the register block `mr×nr`, the cache blocks `kc`, `mc`,
+//! `nc`, the register allocation of the unrolled inner loop, and the
+//! placement of load instructions — can be derived *analytically* from the
+//! machine description rather than by auto-tuning.
+//!
+//! Modules, in the order the paper develops them:
+//!
+//! - [`arch`] — the machine description (register file, cache geometry,
+//!   core topology) with the paper's X-Gene-class platform as the default.
+//! - [`model`] — Section III: the time bound `T ≤ Fμ + (1+κ)Wπψ(γ)`
+//!   (equations (1)–(6)) and the performance lower bound it implies.
+//! - [`ratio`] — the γ expressions for the register kernel, GESS/GEBS and
+//!   GEBP (equations (7), (8), (14), (16)).
+//! - [`regblock`] — Section IV-A: the register-block optimizer (equations
+//!   (8)–(11)) and the Figure 5 γ surface. Yields `mr×nr = 8×6`, `nrf = 6`,
+//!   `γ = 48/7 ≈ 6.857` on the paper's machine.
+//! - [`rotation`] — the software register-rotation scheduler (equation
+//!   (12), Table I).
+//! - [`schedule`] — the load/FMA interleaving scheduler (equation (13),
+//!   Figure 7).
+//! - [`cacheblock`] — Section IV-B/C: the `kc`/`mc`/`nc` solvers honouring
+//!   set associativity and LRU replacement (equations (15), (17)–(20)),
+//!   for serial and multi-threaded configurations. Reproduces Table III.
+//! - [`prefetch`] — the PREFA/PREFB prefetch-distance computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cacheblock;
+pub mod model;
+pub mod prefetch;
+pub mod ratio;
+pub mod regblock;
+pub mod rotation;
+pub mod schedule;
+
+pub use arch::MachineDesc;

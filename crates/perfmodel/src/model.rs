@@ -1,0 +1,194 @@
+//! Section III: the general-purpose performance model.
+//!
+//! The paper models the execution time of a program as
+//!
+//! ```text
+//! T = F·μ + Σ W_ij·ν_ij + Σ M_ij·η_ij                     (1)
+//! ```
+//!
+//! where `F` is the number of arithmetic operations, `W_ij` the number of
+//! words moved between memory-hierarchy levels `i` and `j`, and `M_ij` the
+//! number of messages (cache lines). With packed, contiguous data the
+//! message count is proportional to the word count (`ΣM ≈ κ·ΣW`), so with
+//! `π = Σν + Ση` and the compute-to-memory access ratio `γ = F/W`:
+//!
+//! ```text
+//! T ≤ F·μ + (1+κ)·W·π                                      (3)
+//! T_opt ≤ F·μ + (1+κ)·W·π·ψ(γ)                             (4)
+//!       = F·(μ + (1+κ)·π·ψ(γ)/γ)                           (5)
+//! Perf_opt = F/T_opt ≥ 1 / (μ + (1+κ)·π·ψ(γ)/γ)           (6)
+//! ```
+//!
+//! `ψ(γ)` is the *overlapping factor*: how much of the communication cannot
+//! be hidden behind computation. It satisfies `ψ(0)=1`, `ψ(∞)=0` and is
+//! monotonically decreasing; the exact shape is machine-dependent, so this
+//! module provides the two standard parametric families.
+
+/// Cost parameters of equation (1), all in seconds (or any consistent unit).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineCosts {
+    /// Cost `μ` of a single floating-point operation.
+    pub mu: f64,
+    /// Aggregate per-word transfer cost `π = Σν + Ση` (inverse bandwidth
+    /// plus amortized latency across all hierarchy levels).
+    pub pi: f64,
+    /// Message-to-word proportionality constant `κ` (≈ 1/words-per-line for
+    /// perfectly packed data).
+    pub kappa: f64,
+}
+
+impl MachineCosts {
+    /// Costs for the paper's machine, normalized to cycles: `μ` = cycles per
+    /// flop at peak (0.5), `π` = effective cycles per word moved summed over
+    /// levels, `κ` = 1/8 (8 doubles per 64-byte line).
+    #[must_use]
+    pub fn xgene_cycles() -> Self {
+        MachineCosts {
+            mu: 0.5,
+            pi: 1.0,
+            kappa: 1.0 / 8.0,
+        }
+    }
+}
+
+/// A parametric overlapping factor `ψ(γ)`.
+///
+/// Both families satisfy the paper's requirements: `ψ(0) = 1`,
+/// `ψ(γ) → 0` as `γ → ∞`, monotonically decreasing.
+#[derive(Clone, Copy, Debug)]
+pub enum OverlapFactor {
+    /// `ψ(γ) = exp(-c·γ)`.
+    Exponential {
+        /// Decay rate `c > 0`.
+        c: f64,
+    },
+    /// `ψ(γ) = 1 / (1 + c·γ)`.
+    Rational {
+        /// Slope `c > 0`.
+        c: f64,
+    },
+    /// No overlap at all: `ψ ≡ 1` (reduces (4) to the raw bound (3)).
+    None,
+}
+
+impl OverlapFactor {
+    /// Evaluate `ψ(γ)`.
+    #[must_use]
+    pub fn eval(&self, gamma: f64) -> f64 {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        match *self {
+            OverlapFactor::Exponential { c } => (-c * gamma).exp(),
+            OverlapFactor::Rational { c } => 1.0 / (1.0 + c * gamma),
+            OverlapFactor::None => 1.0,
+        }
+    }
+}
+
+/// Raw (no-overlap) execution-time bound of equation (3).
+///
+/// `f` = flop count, `w` = words moved.
+#[must_use]
+pub fn time_bound_no_overlap(f: f64, w: f64, costs: &MachineCosts) -> f64 {
+    f * costs.mu + (1.0 + costs.kappa) * w * costs.pi
+}
+
+/// Overlap-aware execution-time bound of equation (4)/(5).
+#[must_use]
+pub fn time_bound(f: f64, w: f64, costs: &MachineCosts, psi: &OverlapFactor) -> f64 {
+    let gamma = if w > 0.0 { f / w } else { f64::INFINITY };
+    f * costs.mu + (1.0 + costs.kappa) * w * costs.pi * psi.eval(gamma.min(1e18))
+}
+
+/// Performance lower bound of equation (6), in flops per time unit.
+///
+/// Larger `γ` always gives a larger bound — the paper's central argument
+/// for maximizing the compute-to-memory access ratio at every level.
+#[must_use]
+pub fn perf_lower_bound(gamma: f64, costs: &MachineCosts, psi: &OverlapFactor) -> f64 {
+    assert!(gamma > 0.0, "gamma must be positive");
+    1.0 / (costs.mu + (1.0 + costs.kappa) * costs.pi * psi.eval(gamma) / gamma)
+}
+
+/// Predicted efficiency (fraction of peak) from equation (6):
+/// `perf_lower_bound / (1/μ)`.
+#[must_use]
+pub fn efficiency_lower_bound(gamma: f64, costs: &MachineCosts, psi: &OverlapFactor) -> f64 {
+    perf_lower_bound(gamma, costs, psi) * costs.mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COSTS: MachineCosts = MachineCosts {
+        mu: 0.5,
+        pi: 1.0,
+        kappa: 0.125,
+    };
+
+    #[test]
+    fn psi_boundary_conditions() {
+        for psi in [
+            OverlapFactor::Exponential { c: 0.3 },
+            OverlapFactor::Rational { c: 0.3 },
+        ] {
+            assert!((psi.eval(0.0) - 1.0).abs() < 1e-12);
+            assert!(psi.eval(1e9) < 1e-6);
+        }
+        assert_eq!(OverlapFactor::None.eval(123.0), 1.0);
+    }
+
+    #[test]
+    fn psi_monotone_decreasing() {
+        let psi = OverlapFactor::Rational { c: 0.5 };
+        let mut last = f64::INFINITY;
+        for i in 0..100 {
+            let v = psi.eval(i as f64 * 0.25);
+            assert!(v <= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn larger_gamma_larger_perf_bound() {
+        // The paper's key claim below eq. (6).
+        let psi = OverlapFactor::Rational { c: 0.4 };
+        let mut last = 0.0;
+        for g in [1.0, 2.0, 4.0, 5.0, 5.33, 6.0, 6.857, 8.0] {
+            let p = perf_lower_bound(g, &COSTS, &psi);
+            assert!(p > last, "perf bound must grow with gamma");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn time_bound_reduces_without_overlap() {
+        // With psi = None, eq. (4) degenerates to eq. (3).
+        let f = 1e6;
+        let w = 2e5;
+        assert_eq!(
+            time_bound(f, w, &COSTS, &OverlapFactor::None),
+            time_bound_no_overlap(f, w, &COSTS)
+        );
+        // Any overlapping strictly helps when w > 0.
+        assert!(
+            time_bound(f, w, &COSTS, &OverlapFactor::Rational { c: 0.4 })
+                < time_bound_no_overlap(f, w, &COSTS)
+        );
+    }
+
+    #[test]
+    fn efficiency_bound_in_unit_interval() {
+        let psi = OverlapFactor::Exponential { c: 0.2 };
+        for g in [0.5, 1.0, 4.0, 6.857, 50.0] {
+            let e = efficiency_lower_bound(g, &COSTS, &psi);
+            assert!(e > 0.0 && e <= 1.0, "efficiency {e} out of range");
+        }
+    }
+
+    #[test]
+    fn zero_words_is_pure_compute() {
+        let t = time_bound(100.0, 0.0, &COSTS, &OverlapFactor::Rational { c: 1.0 });
+        assert!((t - 50.0).abs() < 1e-9);
+    }
+}

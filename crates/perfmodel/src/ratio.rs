@@ -1,0 +1,176 @@
+//! Compute-to-memory access ratios `γ` for each layer of the GEBP kernel.
+//!
+//! Section IV derives, for each loop layer of Figure 2, the ratio of flops
+//! performed to words moved, as a function of the block sizes:
+//!
+//! - register kernel (layer 7, eq. (7)/(8)):  `γ = 2 / (1/nr + 1/mr)`
+//! - GESS/GEBS (layers 6/5, eq. (14)):        `γ = 2 / (2/nr + 1/mr + 2/kc)`
+//! - GEBP (layer 4, eq. (16)):                `γ = 2 / (2/nr + 1/mr + 2/kc + 2/mc)`
+//!
+//! Each additional term is the amortized traffic of one more operand
+//! stream; maximizing γ level by level is the paper's design procedure.
+
+/// γ of the register kernel (equation (8)): 2·mr·nr flops per rank-1 update
+/// against mr + nr words loaded from L1 to registers.
+#[must_use]
+pub fn gamma_register(mr: usize, nr: usize) -> f64 {
+    assert!(mr > 0 && nr > 0);
+    2.0 / (1.0 / nr as f64 + 1.0 / mr as f64)
+}
+
+/// γ of GESS / GEBS (equation (14)), accounting additionally for streaming
+/// the A sliver from L2 to L1 and updating the C sub-block, amortized over
+/// the `kc` dimension.
+#[must_use]
+pub fn gamma_gess(mr: usize, nr: usize, kc: usize) -> f64 {
+    assert!(mr > 0 && nr > 0 && kc > 0);
+    2.0 / (2.0 / nr as f64 + 1.0 / mr as f64 + 2.0 / kc as f64)
+}
+
+/// γ of GEBP (equation (16)), accounting additionally for streaming the B
+/// panel from L3 through L2, amortized over the `mc` dimension.
+#[must_use]
+pub fn gamma_gebp(mr: usize, nr: usize, kc: usize, mc: usize) -> f64 {
+    assert!(mr > 0 && nr > 0 && kc > 0 && mc > 0);
+    2.0 / (2.0 / nr as f64 + 1.0 / mr as f64 + 2.0 / kc as f64 + 2.0 / mc as f64)
+}
+
+/// Exact word-traffic accounting for one GEBP invocation
+/// (`mc×kc` block of A times `kc×nc` panel of B updating `mc×nc` of C),
+/// the denominator the paper divides `2·mc·kc·nc` by above equation (16).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GebpTraffic {
+    /// Words of A moved L2 → L1 (the block is re-read once per B sliver).
+    pub a_l2_to_l1: f64,
+    /// Words of A moved L1 → registers.
+    pub a_l1_to_reg: f64,
+    /// Words of B moved L1 → registers (each sliver re-read per A sliver).
+    pub b_l1_to_reg: f64,
+    /// Words of B moved L3 → L2 (panel streamed once).
+    pub b_l3_to_l2: f64,
+    /// Words of B moved L2 → L1 (panel streamed once).
+    pub b_l2_to_l1: f64,
+    /// Words of C moved between memory and registers (read + write).
+    pub c_mem_reg: f64,
+}
+
+impl GebpTraffic {
+    /// Build the traffic model for the given blocking.
+    #[must_use]
+    pub fn new(mr: usize, nr: usize, kc: usize, mc: usize, nc: usize) -> Self {
+        let (mrf, nrf64, kcf, mcf, ncf) = (mr as f64, nr as f64, kc as f64, mc as f64, nc as f64);
+        let b_slivers = (ncf / nrf64).ceil();
+        let a_slivers = (mcf / mrf).ceil();
+        GebpTraffic {
+            a_l2_to_l1: mcf * kcf * b_slivers,
+            a_l1_to_reg: mcf * kcf * b_slivers,
+            b_l1_to_reg: kcf * ncf * a_slivers,
+            b_l3_to_l2: kcf * ncf,
+            b_l2_to_l1: kcf * ncf,
+            c_mem_reg: 2.0 * mcf * ncf,
+        }
+    }
+
+    /// Total words moved.
+    #[must_use]
+    pub fn total_words(&self) -> f64 {
+        self.a_l2_to_l1
+            + self.a_l1_to_reg
+            + self.b_l1_to_reg
+            + self.b_l3_to_l2
+            + self.b_l2_to_l1
+            + self.c_mem_reg
+    }
+
+    /// Flops of the GEBP invocation.
+    #[must_use]
+    pub fn flops(mc: usize, kc: usize, nc: usize) -> f64 {
+        2.0 * mc as f64 * kc as f64 * nc as f64
+    }
+
+    /// Exact γ — converges to [`gamma_gebp`] for `mc`, `nc` that are exact
+    /// multiples of `mr`, `nr`.
+    #[must_use]
+    pub fn gamma(mr: usize, nr: usize, kc: usize, mc: usize, nc: usize) -> f64 {
+        Self::flops(mc, kc, nc) / Self::new(mr, nr, kc, mc, nc).total_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_gamma_matches_paper() {
+        // Paper Section V-B: 8x6 -> 6.86, 8x4 -> 5.33, 4x4 -> 4, 5x5 -> 5.
+        assert!((gamma_register(8, 6) - 48.0 / 7.0).abs() < 1e-12);
+        assert!((gamma_register(8, 4) - 16.0 / 3.0).abs() < 1e-12);
+        assert!((gamma_register(4, 4) - 4.0).abs() < 1e-12);
+        assert!((gamma_register(5, 5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_gamma_symmetric() {
+        assert_eq!(gamma_register(8, 6), gamma_register(6, 8));
+    }
+
+    #[test]
+    fn gamma_decreases_layer_by_layer() {
+        // Each layer adds traffic, so gamma must shrink: reg > GESS > GEBP.
+        let (mr, nr, kc, mc) = (8, 6, 512, 56);
+        let g_reg = gamma_register(mr, nr);
+        let g_gess = gamma_gess(mr, nr, kc);
+        let g_gebp = gamma_gebp(mr, nr, kc, mc);
+        assert!(g_reg > g_gess && g_gess > g_gebp);
+        // with the paper's blocking the cache layers cost less than half
+        // the register-level ratio (kc and mc amortize the extra streams)
+        assert!(g_gebp > 0.5 * g_reg, "gebp {g_gebp} vs reg {g_reg}");
+    }
+
+    #[test]
+    fn gess_gamma_grows_with_kc() {
+        let mut last = 0.0;
+        for kc in [32, 64, 128, 256, 512, 1024] {
+            let g = gamma_gess(8, 6, kc);
+            assert!(g > last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn gebp_gamma_grows_with_mc() {
+        let mut last = 0.0;
+        for mc in [8, 16, 24, 56, 96] {
+            let g = gamma_gebp(8, 6, 512, mc);
+            assert!(g > last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn exact_traffic_matches_asymptotic_gamma() {
+        // For blocks that divide evenly, the exact accounting approaches
+        // eq. (16) as nc grows (the B L3->L2/L2->L1 streams amortize).
+        let (mr, nr, kc, mc, nc) = (8, 6, 512, 56, 1920);
+        let exact = GebpTraffic::gamma(mr, nr, kc, mc, nc);
+        let asymptotic = gamma_gebp(mr, nr, kc, mc);
+        assert!(
+            (exact - asymptotic).abs() / asymptotic < 0.05,
+            "exact {exact} vs asymptotic {asymptotic}"
+        );
+    }
+
+    #[test]
+    fn traffic_components_positive_and_sum() {
+        let t = GebpTraffic::new(8, 6, 512, 56, 1920);
+        let total = t.total_words();
+        assert!(total > 0.0);
+        let parts = t.a_l2_to_l1
+            + t.a_l1_to_reg
+            + t.b_l1_to_reg
+            + t.b_l3_to_l2
+            + t.b_l2_to_l1
+            + t.c_mem_reg;
+        assert_eq!(total, parts);
+    }
+}

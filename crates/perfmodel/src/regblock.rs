@@ -1,0 +1,263 @@
+//! Section IV-A: choosing the register block size `mr × nr`.
+//!
+//! The optimization problem (equations (8)–(11)):
+//!
+//! ```text
+//! maximize   γ = 2 / (1/nr + 1/mr)                         (8)
+//! subject to (mr·nr + 2·mr + 2·nr) · element ≤ (nf + nrf) · pf   (9)
+//!            0 ≤ nrf · pf ≤ (mr + nr) · element             (10)
+//!            mr = 2i, nr = 2j                               (11)
+//! ```
+//!
+//! Constraint (9) counts the register demand of one rank-1 update with
+//! double buffering: `mr·nr` C elements pinned in registers, plus *two*
+//! `mr×1` A sub-slivers and *two* `1×nr` B sub-slivers (current + next),
+//! of which `nrf` registers' worth can be saved by reusing registers
+//! across consecutive iterations (software register rotation). Constraint
+//! (10) says at most one full set of A+B values can be reused. Constraint
+//! (11) keeps `mr`, `nr` multiples of the 2-lane vector width.
+//!
+//! On the paper's machine (`nf = 32`, `pf = 16`, `element = 8`) the optimum
+//! is `γ = 48/7 ≈ 6.857` at `nrf = 6` with `mr×nr ∈ {8×6, 6×8}`; `8×6` is
+//! preferred because `mr · element = 64` bytes = exactly one cache line,
+//! which makes prefetching A convenient (Section IV-B).
+
+use crate::arch::MachineDesc;
+use crate::ratio::gamma_register;
+
+/// Result of the register-block optimization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegisterBlockChoice {
+    /// Rows of the register block (elements of A per rank-1 update).
+    pub mr: usize,
+    /// Columns of the register block (elements of B per rank-1 update).
+    pub nr: usize,
+    /// Number of floating-point registers reused between consecutive
+    /// iterations by register rotation.
+    pub nrf: usize,
+    /// The achieved compute-to-memory access ratio (equation (8)).
+    pub gamma: f64,
+}
+
+/// Check constraints (9)–(11) for a candidate `(mr, nr, nrf)`.
+///
+/// Constraint (11) generalizes the paper's "multiples of 2" to multiples
+/// of the vector lane count (`pf / element`): 2 lanes for f64 as in the
+/// paper, 4 lanes when the same analysis is applied to single precision.
+#[must_use]
+pub fn register_constraints_ok(mr: usize, nr: usize, nrf: usize, m: &MachineDesc) -> bool {
+    let es = m.element_bytes;
+    let pf = m.vreg_bytes;
+    let lanes = pf / es;
+    let eq9 = (mr * nr + 2 * mr + 2 * nr) * es <= (m.nf + nrf) * pf;
+    let eq10 = nrf * pf <= (mr + nr) * es;
+    let eq11 = mr.is_multiple_of(lanes) && nr.is_multiple_of(lanes) && mr > 0 && nr > 0;
+    eq9 && eq10 && eq11
+}
+
+/// Solve (8)–(11): the best register block for machine `m`.
+///
+/// Ties on γ are broken by (a) smallest `nrf` (less rotation state), then
+/// (b) `mr ≥ nr` (so an A sub-sliver is a whole number of cache lines,
+/// which the paper exploits for prefetching).
+///
+/// ```
+/// use perfmodel::{regblock::optimize_register_block, MachineDesc};
+/// let best = optimize_register_block(&MachineDesc::xgene());
+/// assert_eq!((best.mr, best.nr, best.nrf), (8, 6, 6)); // paper Fig. 5
+/// assert!((best.gamma - 6.857).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn optimize_register_block(m: &MachineDesc) -> RegisterBlockChoice {
+    let mut best: Option<RegisterBlockChoice> = None;
+    let lanes = (m.vreg_bytes / m.element_bytes).max(1);
+    let max_dim = 2 * m.nf; // generous upper bound; constraint (9) prunes
+    for mr in (lanes..=max_dim).step_by(lanes) {
+        for nr in (lanes..=max_dim).step_by(lanes) {
+            // smallest nrf that satisfies (9), if any within (10)
+            let nrf_cap = (mr + nr) * m.element_bytes / m.vreg_bytes;
+            let Some(nrf) = (0..=nrf_cap).find(|&nrf| register_constraints_ok(mr, nr, nrf, m))
+            else {
+                continue;
+            };
+            let cand = RegisterBlockChoice {
+                mr,
+                nr,
+                nrf,
+                gamma: gamma_register(mr, nr),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    cand.gamma > b.gamma + 1e-12
+                        || ((cand.gamma - b.gamma).abs() <= 1e-12
+                            && (cand.nrf < b.nrf
+                                || (cand.nrf == b.nrf && cand.mr >= cand.nr && b.mr < b.nr)))
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    best.expect("register file too small for any 2x2 block")
+}
+
+/// One point of the Figure 5 surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurfacePoint {
+    /// X axis: `mr`.
+    pub mr: usize,
+    /// Y axis: `nrf`.
+    pub nrf: usize,
+    /// Z axis: the best γ achievable at this `(mr, nrf)` over all feasible
+    /// even `nr` (0 if infeasible).
+    pub gamma: f64,
+    /// The `nr` attaining it (0 if infeasible).
+    pub nr: usize,
+}
+
+/// Compute the Figure 5 surface: best γ as a function of `mr` and `nrf`.
+#[must_use]
+pub fn gamma_surface(m: &MachineDesc, mr_max: usize, nrf_max: usize) -> Vec<SurfacePoint> {
+    let mut out = Vec::new();
+    let lanes = (m.vreg_bytes / m.element_bytes).max(1);
+    for mr in (lanes..=mr_max).step_by(lanes) {
+        for nrf in 0..=nrf_max {
+            let mut best_g = 0.0;
+            let mut best_nr = 0;
+            for nr in (lanes..=2 * m.nf).step_by(lanes) {
+                if register_constraints_ok(mr, nr, nrf, m) {
+                    let g = gamma_register(mr, nr);
+                    if g > best_g {
+                        best_g = g;
+                        best_nr = nr;
+                    }
+                }
+            }
+            out.push(SurfacePoint {
+                mr,
+                nrf,
+                gamma: best_g,
+                nr: best_nr,
+            });
+        }
+    }
+    out
+}
+
+/// Register demand of a register block, in vector registers: `mr·nr/2` for
+/// C plus `(mr+nr)/2` for the current A/B sub-slivers plus the same again
+/// for the prefetched next sub-slivers minus the `nrf` rotated registers.
+#[must_use]
+pub fn vector_registers_needed(mr: usize, nr: usize, nrf: usize, m: &MachineDesc) -> usize {
+    let lanes = m.vreg_bytes / m.element_bytes;
+    let c_regs = (mr * nr).div_ceil(lanes);
+    let ab_regs = (mr + nr).div_ceil(lanes);
+    c_regs + 2 * ab_regs - nrf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_optimum_is_8x6_nrf6() {
+        let m = MachineDesc::xgene();
+        let c = optimize_register_block(&m);
+        assert_eq!((c.mr, c.nr, c.nrf), (8, 6, 6));
+        assert!((c.gamma - 48.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_examples_feasible() {
+        let m = MachineDesc::xgene();
+        assert!(register_constraints_ok(8, 6, 6, &m));
+        assert!(register_constraints_ok(6, 8, 6, &m));
+        assert!(register_constraints_ok(8, 4, 4, &m));
+        assert!(register_constraints_ok(4, 4, 0, &m));
+    }
+
+    #[test]
+    fn infeasible_blocks_rejected() {
+        let m = MachineDesc::xgene();
+        // 8x8 needs 64 + 32 = 96 element-slots > 64 + 2*8 even at max nrf.
+        let nrf_cap = (8 + 8) * m.element_bytes / m.vreg_bytes;
+        for nrf in 0..=nrf_cap {
+            assert!(!register_constraints_ok(8, 8, nrf, &m));
+        }
+        // odd blocks violate (11)
+        assert!(!register_constraints_ok(5, 5, 0, &m));
+        assert!(!register_constraints_ok(8, 5, 0, &m));
+    }
+
+    #[test]
+    fn constraint_10_enforced() {
+        let m = MachineDesc::xgene();
+        // nrf beyond (mr+nr)*es/pf = 7 must be rejected for 8x6.
+        assert!(!register_constraints_ok(8, 6, 8, &m));
+        assert!(register_constraints_ok(8, 6, 7, &m));
+    }
+
+    #[test]
+    fn surface_peak_matches_figure5() {
+        let m = MachineDesc::xgene();
+        let surface = gamma_surface(&m, 16, 8);
+        let max_gamma = surface.iter().map(|p| p.gamma).fold(0.0, f64::max);
+        // Figure 5 annotates the peak: X=8 (mr), Y=6 (nrf), Z=6.857.
+        assert!((max_gamma - 6.857).abs() < 1e-3);
+        let at_8_6 = surface
+            .iter()
+            .find(|p| p.mr == 8 && p.nrf == 6)
+            .expect("surface covers (8, 6)");
+        assert_eq!(at_8_6.nr, 6);
+        assert!(
+            (at_8_6.gamma - max_gamma).abs() < 1e-12,
+            "(8,6) attains the peak"
+        );
+        // No smaller nrf reaches the peak at mr = 8.
+        for p in surface.iter().filter(|p| p.mr == 8 && p.nrf < 6) {
+            assert!(p.gamma < max_gamma - 1e-9);
+        }
+    }
+
+    #[test]
+    fn surface_bounded_by_global_optimum() {
+        // No surface point exceeds the solved optimum, and feasible points
+        // are strictly positive while infeasible corners report 0.
+        let m = MachineDesc::xgene();
+        let opt = optimize_register_block(&m);
+        let surface = gamma_surface(&m, 16, 8);
+        for p in &surface {
+            assert!(p.gamma <= opt.gamma + 1e-12);
+            assert_eq!(p.gamma > 0.0, p.nr > 0);
+        }
+        // mr = 16 with nrf = 0 cannot satisfy (9) for any even nr:
+        // 16·nr + 32 + 2·nr <= 64 would need nr <= 1.8.
+        let corner = surface.iter().find(|p| p.mr == 16 && p.nrf == 0).unwrap();
+        assert_eq!(corner.gamma, 0.0);
+    }
+
+    #[test]
+    fn single_precision_analysis() {
+        // the same machinery applied to f32 (4 lanes per q-register):
+        // the optimum grows to 12x8 with gamma 9.6
+        let mut m = MachineDesc::xgene();
+        m.element_bytes = 4;
+        let c = optimize_register_block(&m);
+        assert_eq!((c.mr, c.nr), (12, 8));
+        assert!((c.gamma - 9.6).abs() < 1e-9);
+        // odd-lane blocks rejected
+        assert!(!register_constraints_ok(10, 8, 0, &m));
+        assert!(!register_constraints_ok(12, 6, 0, &m));
+    }
+
+    #[test]
+    fn register_demand_fits_register_file() {
+        let m = MachineDesc::xgene();
+        // 8x6 with nrf=6: 24 C regs + 2*7 A/B regs - 6 reused = 32 = nf.
+        assert_eq!(vector_registers_needed(8, 6, 6, &m), 32);
+        assert!(vector_registers_needed(8, 4, 4, &m) <= m.nf);
+        assert!(vector_registers_needed(4, 4, 0, &m) <= m.nf);
+    }
+}

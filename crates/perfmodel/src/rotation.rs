@@ -1,0 +1,533 @@
+//! Software-implemented register rotation (Section IV-A, equation (12),
+//! Table I).
+//!
+//! The 8×6 register kernel keeps the 48 C elements pinned in v8–v31 and has
+//! only eight registers, v0–v7, for the A and B operands — but one unrolled
+//! copy of the loop body needs *seven* of them (four for the 8-element A
+//! sub-sliver, three for the 6-element B sub-sliver), and the next copy
+//! needs seven more. Only `nrf = 6` registers can be reused between
+//! consecutive copies, so registers must *rotate*: the loop is unrolled 8×
+//! and each copy uses a rotated subset of {v0…v7}, with one register
+//! resting per copy.
+//!
+//! Equation (12) asks for the rotation that maximizes the minimum distance
+//! between the **last read of the current value** in a register (`CL`) and
+//! the **first read of the next value** in the same register (`NF`) — the
+//! window into which the load refilling that register must fit without
+//! stalling the pipeline.
+//!
+//! We model a rotation as a permutation σ over `pool` *slots* (the values
+//! A₀…A₃, B₀…B₂ plus one REST slot): the register that holds value `v` in
+//! copy `i` holds `σ(v)` in copy `i+1`. Distances are measured in FMA
+//! positions of the unrolled stream, exactly the `Loc` function of the
+//! paper (only `fmla` orderings are considered in equation (12)).
+
+use std::fmt;
+
+/// A logical operand value of one loop-body copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// `A(p)` — the vector register holding A elements `2p, 2p+1` of the
+    /// current `mr×1` column sub-sliver.
+    A(usize),
+    /// `B(q)` — the vector register holding B elements `2q, 2q+1` of the
+    /// current `1×nr` row sub-sliver.
+    B(usize),
+}
+
+/// Geometry of one register-kernel copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelShape {
+    /// Register-block rows (even).
+    pub mr: usize,
+    /// Register-block columns (even).
+    pub nr: usize,
+}
+
+impl KernelShape {
+    /// The paper's 8×6 kernel.
+    #[must_use]
+    pub fn paper_8x6() -> Self {
+        KernelShape { mr: 8, nr: 6 }
+    }
+
+    /// Number of vector registers holding the A sub-sliver (`mr/2`).
+    #[must_use]
+    pub fn n_a(&self) -> usize {
+        self.mr / 2
+    }
+
+    /// Number of vector registers holding the B sub-sliver (`nr/2`).
+    #[must_use]
+    pub fn n_b(&self) -> usize {
+        self.nr / 2
+    }
+
+    /// Operand values per copy (`mr/2 + nr/2`).
+    #[must_use]
+    pub fn n_values(&self) -> usize {
+        self.n_a() + self.n_b()
+    }
+
+    /// FMA instructions per copy (`mr·nr/2` two-lane FMAs).
+    #[must_use]
+    pub fn fmlas_per_copy(&self) -> usize {
+        self.mr * self.nr / 2
+    }
+
+    /// All values of one copy, A first.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.n_a())
+            .map(Value::A)
+            .chain((0..self.n_b()).map(Value::B))
+    }
+
+    /// FMA read positions of a value within one copy, in the fixed
+    /// row-pair-major order of Figure 8: for each A register `p`, iterate
+    /// all B lanes `(q, lane)`.
+    ///
+    /// Position of `fmla(C[p][2q+lane], A_p, B_q.d[lane])` is
+    /// `p·nr + 2q + lane`.
+    #[must_use]
+    pub fn read_positions(&self, v: Value) -> Vec<usize> {
+        match v {
+            Value::A(p) => (p * self.nr..(p + 1) * self.nr).collect(),
+            Value::B(q) => (0..self.n_a())
+                .flat_map(|p| {
+                    let base = p * self.nr + 2 * q;
+                    [base, base + 1]
+                })
+                .collect(),
+        }
+    }
+
+    /// `CL`: position of the last FMA reading `v` within one copy.
+    #[must_use]
+    pub fn cl(&self, v: Value) -> usize {
+        *self.read_positions(v).last().expect("non-empty reads")
+    }
+
+    /// `NF`: position of the first FMA reading `v` within one copy.
+    #[must_use]
+    pub fn nf(&self, v: Value) -> usize {
+        *self.read_positions(v).first().expect("non-empty reads")
+    }
+}
+
+/// A register-rotation scheme: a permutation over `pool` slots.
+///
+/// Slots `0..n_values` are the operand values (A first, then B); slots
+/// `n_values..pool` are REST slots (a register parked for one copy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RotationScheme {
+    shape: KernelShape,
+    /// `sigma[s]` = slot held next copy by the register holding slot `s`.
+    sigma: Vec<usize>,
+}
+
+impl RotationScheme {
+    /// Build a scheme from an explicit permutation. Panics if `sigma` is
+    /// not a permutation or shorter than the value count.
+    #[must_use]
+    pub fn new(shape: KernelShape, sigma: Vec<usize>) -> Self {
+        let n = sigma.len();
+        assert!(n >= shape.n_values(), "pool smaller than value count");
+        let mut seen = vec![false; n];
+        for &s in &sigma {
+            assert!(s < n && !seen[s], "sigma is not a permutation");
+            seen[s] = true;
+        }
+        RotationScheme { shape, sigma }
+    }
+
+    /// The no-rotation baseline: every value stays in its own register,
+    /// REST slots stay parked. This is the "simple-minded approach of
+    /// using just 7 registers, with one to spare".
+    #[must_use]
+    pub fn identity(shape: KernelShape, pool: usize) -> Self {
+        Self::new(shape, (0..pool).collect())
+    }
+
+    /// Double-buffering ("ping-pong"): value `v` alternates between
+    /// registers `v` and `v + n_values` each copy. This is what the
+    /// paper's 8×4 and 4×4 kernels do (Figure 10: operand pairs like
+    /// `v0/v8`) — they have enough spare registers that no rotation is
+    /// needed. Requires `pool = 2 · n_values`.
+    #[must_use]
+    pub fn ping_pong(shape: KernelShape) -> Self {
+        let nv = shape.n_values();
+        let sigma = (0..2 * nv).map(|s| (s + nv) % (2 * nv)).collect();
+        Self::new(shape, sigma)
+    }
+
+    /// Kernel shape this scheme rotates.
+    #[must_use]
+    pub fn shape(&self) -> KernelShape {
+        self.shape
+    }
+
+    /// Pool size (number of physical operand registers).
+    #[must_use]
+    pub fn pool(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Slot held in the next copy by the register holding slot `s` now.
+    #[must_use]
+    pub fn next_slot(&self, s: usize) -> usize {
+        self.sigma[s]
+    }
+
+    /// The slot of a value.
+    #[must_use]
+    pub fn slot_of(&self, v: Value) -> usize {
+        match v {
+            Value::A(p) => p,
+            Value::B(q) => self.shape.n_a() + q,
+        }
+    }
+
+    /// The value in a slot, or `None` for a REST slot.
+    #[must_use]
+    pub fn value_in_slot(&self, s: usize) -> Option<Value> {
+        let na = self.shape.n_a();
+        let nv = self.shape.n_values();
+        if s < na {
+            Some(Value::A(s))
+        } else if s < nv {
+            Some(Value::B(s - na))
+        } else {
+            None
+        }
+    }
+
+    /// Period of the rotation: after this many copies the assignment
+    /// repeats. The kernel's unroll factor must be a multiple of this.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        let n = self.pool();
+        let mut period = 1usize;
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut len = 0;
+            let mut s = start;
+            loop {
+                visited[s] = true;
+                len += 1;
+                s = self.sigma[s];
+                if s == start {
+                    break;
+                }
+            }
+            period = lcm(period, len);
+        }
+        period
+    }
+
+    /// Per-copy register assignment: `table[c][r]` is the slot held by
+    /// physical register `r` in copy `c` (copy 0 uses the identity layout:
+    /// register `r` holds slot `r`).
+    #[must_use]
+    pub fn assignment_table(&self, copies: usize) -> Vec<Vec<usize>> {
+        let n = self.pool();
+        let mut table = Vec::with_capacity(copies);
+        let mut cur: Vec<usize> = (0..n).collect();
+        for _ in 0..copies {
+            table.push(cur.clone());
+            cur = cur.iter().map(|&s| self.sigma[s]).collect();
+        }
+        table
+    }
+
+    /// Physical register holding value `v` in copy `c`.
+    #[must_use]
+    pub fn register_of(&self, v: Value, copy: usize) -> usize {
+        let want = self.slot_of(v);
+        let table = self.assignment_table(copy + 1);
+        table[copy]
+            .iter()
+            .position(|&s| s == want)
+            .expect("every value has a register each copy")
+    }
+
+    /// Equation (12): minimum over all registers of
+    /// `Loc(R, NF) − Loc(R, CL)` in FMA positions of the unrolled stream.
+    ///
+    /// For a register holding value `v` now and value `w` after `g` copies
+    /// (resting in between), the distance is
+    /// `g·fmlas_per_copy + NF(w) − CL(v)`.
+    #[must_use]
+    pub fn min_reuse_distance(&self) -> isize {
+        let fpc = self.shape.fmlas_per_copy() as isize;
+        let mut best = isize::MAX;
+        for s in 0..self.pool() {
+            let Some(v) = self.value_in_slot(s) else {
+                continue;
+            };
+            // walk forward through REST slots to the next value
+            let mut w_slot = self.sigma[s];
+            let mut gap = 1isize;
+            while self.value_in_slot(w_slot).is_none() {
+                w_slot = self.sigma[w_slot];
+                gap += 1;
+                debug_assert!(gap <= self.pool() as isize, "orbit must hit a value");
+            }
+            let w = self.value_in_slot(w_slot).expect("found a value");
+            let d = gap * fpc + self.shape.nf(w) as isize - self.shape.cl(v) as isize;
+            best = best.min(d);
+        }
+        best
+    }
+
+    /// Check that consecutive copies share exactly `n_values − 1` registers
+    /// (i.e. `nrf` registers' worth of values are reused; one register
+    /// swaps with the resting one) — only meaningful when the pool has
+    /// exactly one REST slot.
+    #[must_use]
+    pub fn reused_registers_between_copies(&self) -> usize {
+        let table = self.assignment_table(2);
+        let nv = self.shape.n_values();
+        // registers that hold a value (not REST) in both copies
+        (0..self.pool())
+            .filter(|&r| table[0][r] < nv && table[1][r] < nv)
+            .count()
+    }
+}
+
+impl fmt::Display for RotationScheme {
+    /// Render the Table I layout: for each copy, which register holds each
+    /// A/B value.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let copies = self.period();
+        writeln!(
+            f,
+            "copy:      {}",
+            (0..copies).fold(String::new(), |a, c| a + &format!("#{c:<3}"))
+        )?;
+        for v in self.shape.values() {
+            let name = match v {
+                Value::A(p) => format!("A[{p}]"),
+                Value::B(q) => format!("B[{q}]"),
+            };
+            let regs = (0..copies).fold(String::new(), |a, c| {
+                a + &format!("v{:<3}", self.register_of(v, c))
+            });
+            writeln!(f, "{name:<10} {regs}")?;
+        }
+        Ok(())
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Exhaustively solve equation (12) over all single-cycle rotations of the
+/// pool (period = pool size, as in the paper's 8-copy unroll), returning
+/// the scheme with the maximum [`RotationScheme::min_reuse_distance`].
+///
+/// A single `pool`-cycle guarantees every register rests exactly once per
+/// period and the unroll factor equals the pool size. For pool = 8 this is
+/// a 7! = 5040-candidate search.
+#[must_use]
+pub fn optimal_rotation(shape: KernelShape, pool: usize) -> RotationScheme {
+    assert!(
+        pool > shape.n_values(),
+        "rotation needs at least one spare register"
+    );
+    assert!(pool <= 9, "exhaustive search limited to small pools");
+    // enumerate cyclic permutations: fix sigma as the cycle
+    // 0 -> perm[0] -> perm[1] -> ... -> 0 over the remaining elements
+    let rest: Vec<usize> = (1..pool).collect();
+    let mut best: Option<(isize, RotationScheme)> = None;
+    permute(rest, &mut |perm| {
+        let mut sigma = vec![0usize; pool];
+        let mut prev = 0usize;
+        for &s in perm {
+            sigma[prev] = s;
+            prev = s;
+        }
+        sigma[prev] = 0;
+        let scheme = RotationScheme::new(shape, sigma);
+        let d = scheme.min_reuse_distance();
+        if best.as_ref().is_none_or(|(bd, _)| d > *bd) {
+            best = Some((d, scheme));
+        }
+    });
+    best.expect("at least one cyclic rotation exists").1
+}
+
+fn permute(elems: Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+    fn go(a: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+        if k == a.len() {
+            visit(a);
+            return;
+        }
+        for i in k..a.len() {
+            a.swap(k, i);
+            go(a, k + 1, visit);
+            a.swap(k, i);
+        }
+    }
+    let mut a = elems;
+    go(&mut a, 0, visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> KernelShape {
+        KernelShape::paper_8x6()
+    }
+
+    #[test]
+    fn shape_counts_for_8x6() {
+        let s = shape();
+        assert_eq!(s.n_a(), 4);
+        assert_eq!(s.n_b(), 3);
+        assert_eq!(s.n_values(), 7);
+        assert_eq!(s.fmlas_per_copy(), 24);
+    }
+
+    #[test]
+    fn read_positions_cover_all_fmlas_exactly_once() {
+        let s = shape();
+        let mut seen = vec![0usize; s.fmlas_per_copy()];
+        for v in s.values() {
+            for p in s.read_positions(v) {
+                seen[p] += 1;
+            }
+        }
+        // every fmla reads exactly one A register and one B register
+        assert!(seen.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn cl_nf_match_figure8_order() {
+        let s = shape();
+        assert_eq!(s.nf(Value::A(0)), 0);
+        assert_eq!(s.cl(Value::A(0)), 5);
+        assert_eq!(s.cl(Value::A(3)), 23);
+        assert_eq!(s.nf(Value::B(0)), 0);
+        assert_eq!(s.cl(Value::B(0)), 19);
+        assert_eq!(s.cl(Value::B(2)), 23);
+    }
+
+    #[test]
+    fn identity_min_distance_is_five() {
+        // Without rotation, B registers have only a 5-FMA window:
+        // CL(B_q) = 19 + 2q, NF next copy = 24 + 2q.
+        let id = RotationScheme::identity(shape(), 8);
+        assert_eq!(id.min_reuse_distance(), 5);
+        assert_eq!(id.period(), 1);
+    }
+
+    #[test]
+    fn optimal_rotation_beats_identity() {
+        let opt = optimal_rotation(shape(), 8);
+        let id = RotationScheme::identity(shape(), 8);
+        assert!(
+            opt.min_reuse_distance() > id.min_reuse_distance(),
+            "rotation must widen the worst reuse window: {} vs {}",
+            opt.min_reuse_distance(),
+            id.min_reuse_distance()
+        );
+        // the paper's scheme achieves 7; the exhaustive optimum is at
+        // least that
+        assert!(opt.min_reuse_distance() >= 7);
+    }
+
+    #[test]
+    fn optimal_rotation_has_period_eight() {
+        let opt = optimal_rotation(shape(), 8);
+        assert_eq!(opt.period(), 8, "single 8-cycle rotation");
+    }
+
+    #[test]
+    fn rotation_reuses_nrf_registers() {
+        // nrf = 6: six registers carry values in both of two consecutive
+        // copies (one register is being reloaded, one rests).
+        let opt = optimal_rotation(shape(), 8);
+        assert_eq!(opt.reused_registers_between_copies(), 6);
+    }
+
+    #[test]
+    fn every_copy_uses_seven_distinct_registers() {
+        let opt = optimal_rotation(shape(), 8);
+        let table = opt.assignment_table(8);
+        for row in &table {
+            let used: Vec<usize> = (0..8).filter(|&r| row[r] < 7).collect();
+            assert_eq!(used.len(), 7);
+        }
+        // and the resting register differs from copy to copy
+        let rests: Vec<usize> = table
+            .iter()
+            .map(|row| row.iter().position(|&s| s == 7).unwrap())
+            .collect();
+        let mut sorted = rests.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            8,
+            "each register rests exactly once per period"
+        );
+    }
+
+    #[test]
+    fn register_of_is_consistent_with_table() {
+        let opt = optimal_rotation(shape(), 8);
+        let table = opt.assignment_table(8);
+        for (c, row) in table.iter().enumerate() {
+            for v in shape().values() {
+                let r = opt.register_of(v, c);
+                assert_eq!(row[r], opt.slot_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_all_values() {
+        let opt = optimal_rotation(shape(), 8);
+        let s = format!("{opt}");
+        for name in ["A[0]", "A[3]", "B[0]", "B[2]"] {
+            assert!(s.contains(name), "missing row {name}");
+        }
+    }
+
+    #[test]
+    fn ping_pong_properties() {
+        // 8x4 kernel: 6 values, 12-register pool, period 2, and every
+        // value's reuse window spans a full extra copy.
+        let sh = KernelShape { mr: 8, nr: 4 };
+        let pp = RotationScheme::ping_pong(sh);
+        assert_eq!(pp.period(), 2);
+        assert_eq!(pp.pool(), 12);
+        // distance: one full copy (16 fmlas) + NF - CL, minimized over
+        // values; far larger than the rotated 8-register scheme allows.
+        let id = RotationScheme::identity(sh, 12);
+        assert!(pp.min_reuse_distance() > id.min_reuse_distance());
+        let table = pp.assignment_table(4);
+        // alternating layout: copy 2 repeats copy 0
+        assert_eq!(table[0], table[2]);
+        assert_ne!(table[0], table[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_sigma_rejected() {
+        let _ = RotationScheme::new(shape(), vec![0, 0, 1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Instruction scheduling for the register kernel (Section IV-A,
+//! equation (13), Figure 7).
+//!
+//! Each unrolled copy of the 8×6 register kernel executes 24 `fmla`
+//! (in the fixed row-pair-major order of Figure 8), 7 `ldr` refilling the
+//! operand registers for the *next* copy, and prefetches. Equation (13)
+//! asks for the placement of the loads that maximizes the minimum RAW
+//! distance `Loc(R, vi) − Loc(W, vi)` — the slack between a load and the
+//! first FMA consuming the loaded value — so the load latency can be
+//! hidden.
+//!
+//! A load refilling register `r` may only be placed after the last FMA
+//! reading `r`'s current value (it would otherwise clobber a live value),
+//! so the earliest legal position is determined by the rotation scheme:
+//! this is where rotation (equation (12)) and scheduling (equation (13))
+//! compose. Placing every load as early as legally possible (ASAP, with at
+//! most one load per inter-FMA gap to keep the load/store pipe from
+//! clustering) maximizes each load's distance independently and hence the
+//! minimum — the exchange argument of classic list scheduling.
+
+use crate::rotation::{KernelShape, RotationScheme, Value};
+
+/// One instruction slot of the scheduled register kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotInstr {
+    /// `fmla C[row_pair][col].2d, A(p).2d, B(q).d[lane]` — the C index is
+    /// implied by `(a, b, lane)`.
+    Fmla {
+        /// A value read (row pair `p`).
+        a: Value,
+        /// B value read (column pair `q`).
+        b: Value,
+        /// Lane of the B register (0 or 1).
+        lane: usize,
+        /// Physical operand register holding `a` in this copy.
+        a_reg: usize,
+        /// Physical operand register holding `b` in this copy.
+        b_reg: usize,
+    },
+    /// `ldr q<reg>, [x..], #16` — refills `reg` with `value` for the next
+    /// copy.
+    Load {
+        /// Physical register written.
+        reg: usize,
+        /// The value (of the next copy) being loaded.
+        value: Value,
+    },
+    /// `prfm PLDL1KEEP` for the A stream.
+    PrefetchA,
+    /// `prfm PLDL2KEEP` for the B stream.
+    PrefetchB,
+}
+
+/// A fully scheduled register kernel: `period` copies of interleaved
+/// FMA/load/prefetch slots.
+#[derive(Clone, Debug)]
+pub struct ScheduledKernel {
+    shape: KernelShape,
+    copies: Vec<Vec<SlotInstr>>,
+}
+
+impl ScheduledKernel {
+    /// Kernel shape.
+    #[must_use]
+    pub fn shape(&self) -> KernelShape {
+        self.shape
+    }
+
+    /// The scheduled copies (`period` of them).
+    #[must_use]
+    pub fn copies(&self) -> &[Vec<SlotInstr>] {
+        &self.copies
+    }
+
+    /// Total instruction slots per period.
+    #[must_use]
+    pub fn slots_per_period(&self) -> usize {
+        self.copies.iter().map(Vec::len).sum()
+    }
+
+    /// Flattened instruction stream of one period.
+    #[must_use]
+    pub fn flat(&self) -> Vec<SlotInstr> {
+        self.copies.iter().flatten().copied().collect()
+    }
+
+    /// Equation (13): the minimum, over all loads, of the distance in
+    /// instruction slots between the load and the first FMA reading the
+    /// loaded register, evaluated cyclically over one period.
+    #[must_use]
+    pub fn min_raw_distance(&self) -> usize {
+        let flat = self.flat();
+        let n = flat.len();
+        let mut best = usize::MAX;
+        for (i, ins) in flat.iter().enumerate() {
+            let SlotInstr::Load { reg, .. } = *ins else {
+                continue;
+            };
+            // first FMA after i (cyclically) reading `reg`
+            let mut d = usize::MAX;
+            for off in 1..=n {
+                if let SlotInstr::Fmla { a_reg, b_reg, .. } = flat[(i + off) % n] {
+                    if a_reg == reg || b_reg == reg {
+                        d = off;
+                        break;
+                    }
+                }
+            }
+            best = best.min(d);
+        }
+        best
+    }
+
+    /// Verify the schedule is *correct*: walking the stream, every FMA
+    /// reads a register that currently holds the value the FMA expects,
+    /// and no load clobbers a value that is still to be read.
+    ///
+    /// Returns `Err` with a description of the first violation.
+    pub fn validate(&self, scheme: &RotationScheme) -> Result<(), String> {
+        let pool = scheme.pool();
+        // regs[r] = (copy_index, value) currently held
+        let mut regs: Vec<Option<(usize, Value)>> = vec![None; pool];
+        // copy 0 operands are pre-loaded by the kernel prologue
+        for v in self.shape.values() {
+            let r = scheme.register_of(v, 0);
+            regs[r] = Some((0, v));
+        }
+        for (c, copy) in self.copies.iter().enumerate() {
+            for (pos, ins) in copy.iter().enumerate() {
+                match *ins {
+                    SlotInstr::Fmla {
+                        a, b, a_reg, b_reg, ..
+                    } => {
+                        for (v, r) in [(a, a_reg), (b, b_reg)] {
+                            match regs[r] {
+                                Some((vc, vv)) if vc == c && vv == v => {}
+                                other => {
+                                    return Err(format!(
+                                        "copy {c} slot {pos}: fmla expects {v:?} of copy {c} \
+                                         in v{r}, found {other:?}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    SlotInstr::Load { reg, value } => {
+                        // the value being replaced must have no remaining reads
+                        if let Some((vc, vv)) = regs[reg] {
+                            if vc == c {
+                                let last_read = self.shape.cl(vv);
+                                let reads_left = copy.iter().skip(pos + 1).any(|later| {
+                                    matches!(later, SlotInstr::Fmla { a_reg, b_reg, .. }
+                                             if *a_reg == reg || *b_reg == reg)
+                                });
+                                if reads_left {
+                                    return Err(format!(
+                                        "copy {c} slot {pos}: load into v{reg} clobbers \
+                                         {vv:?} (last read at fmla {last_read})"
+                                    ));
+                                }
+                            }
+                        }
+                        regs[reg] = Some(((c + 1) % self.copies.len(), value));
+                    }
+                    SlotInstr::PrefetchA | SlotInstr::PrefetchB => {}
+                }
+            }
+        }
+        // after the last copy every register must hold copy-0 values again
+        for v in self.shape.values() {
+            let r = scheme.register_of(v, 0);
+            match regs[r] {
+                Some((0, vv)) if vv == v => {}
+                other => {
+                    return Err(format!(
+                        "after one period v{r} should hold {v:?} of copy 0, found {other:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Instruction-mix statistics for one period.
+    #[must_use]
+    pub fn mix(&self) -> InstructionMix {
+        let mut mix = InstructionMix::default();
+        for ins in self.flat() {
+            match ins {
+                SlotInstr::Fmla { .. } => mix.fmla += 1,
+                SlotInstr::Load { .. } => mix.ldr += 1,
+                SlotInstr::PrefetchA | SlotInstr::PrefetchB => mix.prfm += 1,
+            }
+        }
+        mix
+    }
+}
+
+/// Counts of each instruction kind in one period of the kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstructionMix {
+    /// FMA instructions.
+    pub fmla: usize,
+    /// 128-bit vector loads.
+    pub ldr: usize,
+    /// Prefetch instructions.
+    pub prfm: usize,
+}
+
+impl InstructionMix {
+    /// Fraction of arithmetic instructions,
+    /// `fmla / (fmla + ldr)` — the paper's
+    /// "(mr·nr/2) / (mr·nr/2 + (mr+nr)/2)" metric from Section V-A.
+    #[must_use]
+    pub fn arithmetic_fraction(&self) -> f64 {
+        self.fmla as f64 / (self.fmla + self.ldr) as f64
+    }
+}
+
+/// Scheduling options.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleOptions {
+    /// Max loads placed in one inter-FMA gap (1 spreads them for the
+    /// single load/store pipe).
+    pub max_loads_per_gap: usize,
+    /// Insert a `prfm PLDL1KEEP` for the A stream each copy.
+    pub prefetch_a: bool,
+    /// Insert a `prfm PLDL2KEEP` for the B stream each copy.
+    pub prefetch_b: bool,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            max_loads_per_gap: 1,
+            prefetch_a: true,
+            prefetch_b: false,
+        }
+    }
+}
+
+/// Solve equation (13): schedule the loads of every copy ASAP subject to
+/// the anti-dependence constraint imposed by the rotation scheme.
+#[must_use]
+pub fn schedule_kernel(scheme: &RotationScheme, opts: &ScheduleOptions) -> ScheduledKernel {
+    let shape = scheme.shape();
+    let period = scheme.period();
+    let fpc = shape.fmlas_per_copy();
+    let table = scheme.assignment_table(period);
+    let mut copies = Vec::with_capacity(period);
+
+    for c in 0..period {
+        let next = (c + 1) % period;
+        // Loads needed this copy: one per value of the next copy.
+        // Earliest legal gap g (load placed *after* fmla index g-1, i.e.
+        // before fmla g): after the CL of the register's current value.
+        let mut loads: Vec<(usize, SlotInstr)> = shape
+            .values()
+            .map(|w| {
+                let reg = table[next]
+                    .iter()
+                    .position(|&s| s == scheme.slot_of(w))
+                    .unwrap();
+                let earliest = match scheme.value_in_slot(table[c][reg]) {
+                    Some(v) => shape.cl(v) + 1,
+                    None => 0, // register rests this copy: load any time
+                };
+                (earliest, SlotInstr::Load { reg, value: w })
+            })
+            .collect();
+        loads.sort_by_key(|&(e, _)| e);
+
+        // Greedy gap assignment: gaps 0..=fpc, capacity max_loads_per_gap.
+        let mut gap_load: Vec<Vec<SlotInstr>> = vec![Vec::new(); fpc + 1];
+        for (earliest, ld) in loads {
+            let mut g = earliest;
+            while g < fpc && gap_load[g].len() >= opts.max_loads_per_gap {
+                g += 1;
+            }
+            // If even the last gap is taken, stack there: correctness
+            // (anti-dependence) always wins over spreading.
+            gap_load[g.min(fpc)].push(ld);
+        }
+
+        // Prefetches go in the middle-ish free gaps.
+        let mut prefetches = Vec::new();
+        if opts.prefetch_a {
+            prefetches.push(SlotInstr::PrefetchA);
+        }
+        if opts.prefetch_b {
+            prefetches.push(SlotInstr::PrefetchB);
+        }
+        let mut g = fpc / 2;
+        for pf in prefetches {
+            while g <= fpc && gap_load[g].len() >= opts.max_loads_per_gap {
+                g += 1;
+            }
+            let slot = if g <= fpc { g } else { fpc };
+            gap_load[slot].push(pf);
+            g += 1;
+        }
+
+        // Emit: before each fmla t, the loads assigned to gap t.
+        let mut copy = Vec::with_capacity(fpc + shape.n_values() + 2);
+        for (t, gap) in gap_load.iter().take(fpc).enumerate() {
+            copy.extend(gap.iter().copied());
+            let p = t / shape.nr;
+            let rem = t % shape.nr;
+            let q = rem / 2;
+            let lane = rem % 2;
+            let (a, b) = (Value::A(p), Value::B(q));
+            copy.push(SlotInstr::Fmla {
+                a,
+                b,
+                lane,
+                a_reg: table[c]
+                    .iter()
+                    .position(|&s| s == scheme.slot_of(a))
+                    .unwrap(),
+                b_reg: table[c]
+                    .iter()
+                    .position(|&s| s == scheme.slot_of(b))
+                    .unwrap(),
+            });
+        }
+        copy.extend(gap_load[fpc].iter().copied());
+        copies.push(copy);
+    }
+
+    ScheduledKernel { shape, copies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::optimal_rotation;
+
+    fn shape() -> KernelShape {
+        KernelShape::paper_8x6()
+    }
+
+    #[test]
+    fn scheduled_kernel_has_figure7_mix() {
+        // Per copy: 24 fmla + 7 ldr + 1 prfm.
+        let scheme = optimal_rotation(shape(), 8);
+        let k = schedule_kernel(&scheme, &ScheduleOptions::default());
+        let mix = k.mix();
+        assert_eq!(mix.fmla, 24 * 8);
+        assert_eq!(mix.ldr, 7 * 8);
+        assert_eq!(mix.prfm, 8);
+        assert!((mix.arithmetic_fraction() - 24.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_fractions_match_section5a() {
+        // Paper: 66.7% for 4x4, 72.7% for 8x4, 77.4% for 8x6.
+        let frac = |mr: usize, nr: usize| {
+            let f = mr * nr / 2;
+            let l = (mr + nr) / 2;
+            InstructionMix {
+                fmla: f,
+                ldr: l,
+                prfm: 0,
+            }
+            .arithmetic_fraction()
+        };
+        assert!((frac(4, 4) - 0.667).abs() < 1e-3);
+        assert!((frac(8, 4) - 0.727).abs() < 1e-3);
+        assert!((frac(8, 6) - 0.774).abs() < 1e-3);
+    }
+
+    #[test]
+    fn schedule_is_valid_with_rotation() {
+        let scheme = optimal_rotation(shape(), 8);
+        let k = schedule_kernel(&scheme, &ScheduleOptions::default());
+        k.validate(&scheme)
+            .expect("rotated schedule must be correct");
+    }
+
+    #[test]
+    fn schedule_is_valid_without_rotation() {
+        let scheme = RotationScheme::identity(shape(), 8);
+        let k = schedule_kernel(&scheme, &ScheduleOptions::default());
+        k.validate(&scheme)
+            .expect("identity schedule must be correct");
+    }
+
+    #[test]
+    fn rotation_improves_raw_distance() {
+        let rotated = schedule_kernel(&optimal_rotation(shape(), 8), &ScheduleOptions::default());
+        let ident = schedule_kernel(
+            &RotationScheme::identity(shape(), 8),
+            &ScheduleOptions::default(),
+        );
+        let (dr, di) = (rotated.min_raw_distance(), ident.min_raw_distance());
+        assert!(
+            dr > di,
+            "rotation must lengthen the worst load->use window: {dr} vs {di}"
+        );
+        // The paper reports an optimal RAW distance of 9 (Figure 7); our
+        // placement must do at least as well.
+        assert!(dr >= 9, "RAW distance {dr} below the paper's optimum 9");
+    }
+
+    #[test]
+    fn loads_spread_at_most_one_per_gap() {
+        let scheme = optimal_rotation(shape(), 8);
+        let k = schedule_kernel(&scheme, &ScheduleOptions::default());
+        for copy in k.copies() {
+            let mut run = 0;
+            for ins in copy {
+                match ins {
+                    SlotInstr::Fmla { .. } => run = 0,
+                    _ => {
+                        run += 1;
+                        assert!(run <= 1, "two non-FMA slots in one gap");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_copy_loads_each_next_value_once() {
+        let scheme = optimal_rotation(shape(), 8);
+        let k = schedule_kernel(&scheme, &ScheduleOptions::default());
+        for copy in k.copies() {
+            let mut loaded: Vec<Value> = copy
+                .iter()
+                .filter_map(|i| match i {
+                    SlotInstr::Load { value, .. } => Some(*value),
+                    _ => None,
+                })
+                .collect();
+            loaded.sort();
+            let mut expect: Vec<Value> = shape().values().collect();
+            expect.sort();
+            assert_eq!(loaded, expect);
+        }
+    }
+
+    #[test]
+    fn smaller_kernels_schedule_too() {
+        for (mr, nr) in [(8, 4), (4, 4)] {
+            let sh = KernelShape { mr, nr };
+            // generous pool: double-buffer every value (no rotation needed)
+            let scheme = RotationScheme::identity(sh, sh.n_values() + 1);
+            let k = schedule_kernel(&scheme, &ScheduleOptions::default());
+            k.validate(&scheme).unwrap();
+            assert_eq!(k.mix().fmla, sh.fmlas_per_copy());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests of the analytic machinery: for arbitrary machine
+//! geometries the solvers must produce blockings that satisfy their own
+//! constraints, rotations must stay valid permutations with correct
+//! windows, and the γ expressions must respect their dominance
+//! relations.
+
+use perfmodel::arch::{CacheLevel, MachineDesc};
+use perfmodel::cacheblock::solve_blocking;
+use perfmodel::ratio::{gamma_gebp, gamma_gess, gamma_register};
+use perfmodel::regblock::{optimize_register_block, register_constraints_ok};
+use perfmodel::rotation::{optimal_rotation, KernelShape, RotationScheme};
+use perfmodel::schedule::{schedule_kernel, ScheduleOptions};
+use proptest::prelude::*;
+
+fn machine_strategy() -> impl Strategy<Value = MachineDesc> {
+    (
+        prop::sample::select(vec![16usize * 1024, 32 * 1024, 64 * 1024]),
+        prop::sample::select(vec![2usize, 4, 8]),
+        prop::sample::select(vec![128usize * 1024, 256 * 1024, 512 * 1024]),
+        prop::sample::select(vec![8usize, 16]),
+        prop::sample::select(vec![4usize, 8, 16]),
+    )
+        .prop_map(|(l1, a1, l2, a2, a3)| {
+            let mut m = MachineDesc::xgene();
+            m.l1 = CacheLevel {
+                size: l1,
+                assoc: a1,
+                line: 64,
+            };
+            m.l2 = CacheLevel {
+                size: l2,
+                assoc: a2,
+                line: 64,
+            };
+            m.l3 = CacheLevel {
+                size: 8 * 1024 * 1024,
+                assoc: a3,
+                line: 64,
+            };
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the geometry, a solved blocking satisfies the paper's
+    /// way-partition constraints (eqs. 15, 17-20) at every level.
+    #[test]
+    fn solved_blockings_satisfy_their_constraints(
+        m in machine_strategy(),
+        mr in prop::sample::select(vec![4usize, 6, 8]),
+        nr in prop::sample::select(vec![4usize, 6, 8]),
+        threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let Ok(b) = solve_blocking(mr, nr, threads, &m) else {
+            // tiny/odd geometries may be infeasible; that is a valid answer
+            return Ok(());
+        };
+        let es = m.element_bytes;
+        let sharers = m.l2_sharers(threads);
+        prop_assert!(b.kc * nr * es <= m.l1.way_bytes(m.l1.assoc - b.k1));
+        prop_assert!((mr * nr + 2 * mr) * es <= m.l1.way_bytes(b.k1));
+        prop_assert!(sharers * b.mc * b.kc * es <= m.l2.way_bytes(m.l2.assoc - b.k2));
+        prop_assert!(sharers * b.kc * nr * es <= m.l2.way_bytes(b.k2));
+        prop_assert!(b.kc * b.nc * es <= m.l3.way_bytes(m.l3.assoc - b.k3));
+        prop_assert!(threads * b.mc * b.kc * es <= m.l3.way_bytes(b.k3));
+        prop_assert_eq!(b.mc % mr, 0);
+        prop_assert!(b.k1 < m.l1.assoc && b.k2 < m.l2.assoc && b.k3 < m.l3.assoc);
+    }
+
+    /// The register-block optimizer's result is always feasible and no
+    /// feasible even block beats it.
+    #[test]
+    fn register_optimum_is_feasible_and_maximal(
+        nf in prop::sample::select(vec![16usize, 32, 64]),
+    ) {
+        let mut m = MachineDesc::xgene();
+        m.nf = nf;
+        let best = optimize_register_block(&m);
+        prop_assert!(register_constraints_ok(best.mr, best.nr, best.nrf, &m));
+        for mr in (2usize..=24).step_by(2) {
+            for nr in (2usize..=24).step_by(2) {
+                let feasible = (0..=(mr + nr) * m.element_bytes / m.vreg_bytes)
+                    .any(|nrf| register_constraints_ok(mr, nr, nrf, &m));
+                if feasible {
+                    prop_assert!(
+                        gamma_register(mr, nr) <= best.gamma + 1e-9,
+                        "{mr}x{nr} beats the optimizer at nf={nf}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// γ dominance: register ≥ GESS ≥ GEBP for any positive blocking.
+    #[test]
+    fn gamma_dominance(
+        mr in 2usize..16,
+        nr in 2usize..16,
+        kc in 1usize..2048,
+        mc in 1usize..512,
+    ) {
+        let g_reg = gamma_register(mr, nr);
+        let g_gess = gamma_gess(mr, nr, kc);
+        let g_gebp = gamma_gebp(mr, nr, kc, mc);
+        prop_assert!(g_reg >= g_gess && g_gess >= g_gebp);
+        prop_assert!(g_gebp > 0.0);
+    }
+
+    /// Any single-cycle rotation over any even kernel shape yields a
+    /// valid scheme whose derived schedule passes symbolic validation.
+    #[test]
+    fn rotations_schedule_validly(
+        half_mr in 1usize..5,
+        half_nr in 1usize..4,
+        spare in 1usize..3,
+    ) {
+        let shape = KernelShape {
+            mr: 2 * half_mr,
+            nr: 2 * half_nr,
+        };
+        let pool = shape.n_values() + spare;
+        prop_assume!(pool <= 9);
+        let scheme = optimal_rotation(shape, pool);
+        prop_assert_eq!(scheme.period(), pool);
+        let sched = schedule_kernel(&scheme, &ScheduleOptions::default());
+        prop_assert!(sched.validate(&scheme).is_ok());
+        // rotation never loses to the identity scheme
+        let id = RotationScheme::identity(shape, pool);
+        prop_assert!(scheme.min_reuse_distance() >= id.min_reuse_distance());
+    }
+
+    /// Ping-pong double buffering is valid whenever it fits and always
+    /// schedules without clobbering.
+    #[test]
+    fn ping_pong_schedules_validly(
+        half_mr in 1usize..5,
+        half_nr in 1usize..4,
+    ) {
+        let shape = KernelShape {
+            mr: 2 * half_mr,
+            nr: 2 * half_nr,
+        };
+        let scheme = RotationScheme::ping_pong(shape);
+        prop_assert_eq!(scheme.period(), 2);
+        let sched = schedule_kernel(&scheme, &ScheduleOptions::default());
+        prop_assert!(sched.validate(&scheme).is_ok());
+    }
+}

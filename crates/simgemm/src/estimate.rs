@@ -1,0 +1,488 @@
+//! The hybrid performance estimator: exact loop arithmetic × sampled
+//! kernel timing × sampled cache behaviour.
+//!
+//! For a DGEMM of size `n` (square, as in Section V) under a given
+//! kernel/blocking/thread configuration, the estimated execution time is
+//!
+//! ```text
+//! T = Σ_(jj,kk)  max_t [ kernel(t) + pack_A(t) + miss_penalty(t) ] + pack_B/T
+//! ```
+//!
+//! - `kernel(t)`: micro-kernel calls of thread `t` × the pipeline-
+//!   simulated per-call cycles ([`crate::kernelsim`]);
+//! - `pack_*`: packed bytes over the 16 B/cycle load-store pipe;
+//! - `miss_penalty(t)`: demand misses of the sampled macro-iteration
+//!   ([`crate::trace`]) scaled to the thread's flops, charged at
+//!   `(level_latency − L1_latency) · (1 − overlap)` per the paper's
+//!   overlap model (Section III) — most residual latency is hidden by
+//!   prefetching and out-of-order slack, so only a calibrated fraction
+//!   is charged.
+
+use crate::kernelsim::{profile, KernelProfile, KernelVariant};
+use crate::trace::{trace_gebp, trace_pack_a, trace_pack_b, CoreLayout};
+use armsim::machine::{SimMachine, TraceReport};
+use dgemm_core::parallel::partition_rows;
+use perfmodel::cacheblock::{goto_heuristic_blocking, solve_blocking, BlockSizes};
+use perfmodel::MachineDesc;
+use std::collections::HashMap;
+
+/// A kernel + blocking + thread-count configuration to evaluate.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Register kernel variant.
+    pub variant: KernelVariant,
+    /// Cache blocking.
+    pub blocks: BlockSizes,
+    /// Thread (core) count.
+    pub threads: usize,
+}
+
+impl SimConfig {
+    /// The paper's configuration for a variant: analytic blocking for
+    /// the OpenBLAS kernels (Table III), the Goto half-cache heuristic
+    /// for the ATLAS baseline (ATLAS does not model associativity).
+    #[must_use]
+    pub fn paper(variant: KernelVariant, threads: usize) -> Self {
+        let m = MachineDesc::xgene();
+        let blocks = match variant {
+            KernelVariant::Atlas5x5 => {
+                let mut b = goto_heuristic_blocking(5, 5, &m);
+                // ATLAS tunes per thread count too: halve the per-thread
+                // A block when both cores of a module are busy
+                let sharers = m.l2_sharers(threads.max(1));
+                if sharers > 1 {
+                    b.mc = (b.mc / sharers / 5).max(1) * 5;
+                }
+                b
+            }
+            _ => solve_blocking(variant.mr(), variant.nr(), threads, &m)
+                .expect("paper machine solvable"),
+        };
+        SimConfig {
+            variant,
+            blocks,
+            threads,
+        }
+    }
+
+    /// Same configuration with explicit `kc×mc×nc` (Table VI rows).
+    #[must_use]
+    pub fn with_blocks(mut self, kc: usize, mc: usize, nc: usize) -> Self {
+        self.blocks = BlockSizes::custom(self.variant.mr(), self.variant.nr(), kc, mc, nc);
+        self
+    }
+}
+
+/// One estimated data point.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPoint {
+    /// Problem size (square).
+    pub n: usize,
+    /// Estimated Gflops.
+    pub gflops: f64,
+    /// Fraction of the aggregate peak (`threads × 4.8`).
+    pub efficiency: f64,
+    /// Estimated total cycles (critical path over threads).
+    pub cycles: f64,
+    /// L1-dcache-loads (load instructions; the paper's Figure 15).
+    pub l1_loads: f64,
+    /// L1 demand load misses (Table VII numerator).
+    pub l1_misses: f64,
+}
+
+impl SimPoint {
+    /// L1 load miss rate (Table VII).
+    #[must_use]
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_loads == 0.0 {
+            0.0
+        } else {
+            self.l1_misses / self.l1_loads
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    penalty_cycles_per_flop: f64,
+    l1_miss_per_flop: f64,
+    pack_b_penalty_per_byte: f64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SampleKey {
+    variant: KernelVariant,
+    blocks: (usize, usize, usize, usize, usize),
+    eff: (usize, usize, usize),
+    threads: usize,
+}
+
+/// The estimator; holds profile and sample caches so sweeps are cheap.
+pub struct Estimator {
+    machine_desc: MachineDesc,
+    /// Per-level fraction of residual miss latency charged
+    /// (L2, L3, DRAM); the rest is hidden by prefetch/out-of-order
+    /// overlap (ψ of eq. (4)). L2 hits are sequential, software-
+    /// prefetched streams that pipeline away almost entirely — the
+    /// paper's own conclusion from Table VII is that the L1 miss rate is
+    /// not performance-critical on this machine; capacity overflows to
+    /// L3 and DRAM are what hurt.
+    pub level_charge: (f64, f64, f64),
+    /// Cycles charged per *prefetch transfer* sourced from (L2, L3,
+    /// DRAM): prefetching hides latency but still occupies transfer
+    /// bandwidth, which is what makes cache-capacity overflows (e.g. two
+    /// mc=56 blocks thrashing a shared L2, Table VI) expensive.
+    pub prefetch_charge: (f64, f64, f64),
+    /// Per-extra-thread scaling of all beyond-L1 charges: the L3 and the
+    /// two memory bridges are shared, so their effective service cost
+    /// grows with the number of concurrently streaming cores.
+    pub contention_per_thread: f64,
+    profiles: HashMap<KernelVariant, KernelProfile>,
+    samples: HashMap<SampleKey, Sample>,
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Estimator {
+    /// Estimator with the default calibration.
+    #[must_use]
+    pub fn new() -> Self {
+        Estimator {
+            machine_desc: MachineDesc::xgene(),
+            level_charge: (0.02, 0.30, 0.20),
+            prefetch_charge: (0.75, 1.5, 6.0),
+            contention_per_thread: 0.10,
+            profiles: HashMap::new(),
+            samples: HashMap::new(),
+        }
+    }
+
+    fn profile_for(&mut self, v: KernelVariant) -> KernelProfile {
+        *self.profiles.entry(v).or_insert_with(|| profile(v))
+    }
+
+    fn penalty_of(&self, r: &TraceReport, threads: usize) -> f64 {
+        let lat = armsim::hierarchy::LatencyConfig::default();
+        let (c2, c3, cm) = self.level_charge;
+        let (p2, p3, pm) = self.prefetch_charge;
+        // chip-shared resources (L3, memory bridges) slow with every
+        // concurrently streaming core; the module-shared L2 port only
+        // with the second core of a module (8-thread configurations)
+        let contention = 1.0 + self.contention_per_thread * (threads.max(1) - 1) as f64;
+        let l2_share = self.machine_desc.l2_sharers(threads.max(1)) as f64;
+        (r.l2_hits as f64 * (lat.l2 - lat.l1) as f64 * c2 + r.pf_from_l2 as f64 * p2) * l2_share
+            + (r.l3_hits as f64 * (lat.l3 - lat.l1) as f64 * c3
+                + r.mem_accesses as f64 * (lat.mem - lat.l1) as f64 * cm
+                + r.pf_from_l3 as f64 * p3
+                + r.pf_from_mem as f64 * pm)
+                * contention
+    }
+
+    fn sample_for(&mut self, cfg: &SimConfig, n: usize) -> Sample {
+        let b = cfg.blocks;
+        let eff = (b.mc.min(n), b.kc.min(n), b.nc.min(n));
+        let key = SampleKey {
+            variant: cfg.variant,
+            blocks: (b.mr, b.nr, b.kc, b.mc, b.nc),
+            eff,
+            threads: cfg.threads,
+        };
+        if let Some(s) = self.samples.get(&key) {
+            return *s;
+        }
+        let s = self.measure_sample(cfg, eff);
+        self.samples.insert(key, s);
+        s
+    }
+
+    fn measure_sample(&self, cfg: &SimConfig, eff: (usize, usize, usize)) -> Sample {
+        let (mc_eff, kc_eff, nc_eff) = eff;
+        let blocks = cfg.blocks;
+        let t_count = cfg.threads.max(1).min(self.machine_desc.cores);
+        let prefa = if blocks.mr * 8 >= 64 { 1024 } else { 512 };
+        let prefb = (kc_eff * blocks.nr * 8) as u64;
+        let mut machine = SimMachine::new(self.machine_desc.clone(), Default::default());
+
+        // Thread placement follows the paper (Section V): with at most
+        // one thread per module (t <= 4), threads are spread across
+        // modules so each enjoys a whole L2; only the 8-thread case
+        // doubles cores up.
+        let modules = self.machine_desc.modules();
+        let core_ids: Vec<usize> = (0..t_count)
+            .map(|t| {
+                if t_count <= modules {
+                    t * self.machine_desc.cores_per_module
+                } else {
+                    t
+                }
+            })
+            .collect();
+        let layouts: Vec<CoreLayout> = core_ids
+            .iter()
+            .map(|&c| CoreLayout::for_core(c, 4096.max(nc_eff), &blocks))
+            .collect();
+
+        // B panel packed once (core 0)
+        let pack_b = trace_pack_b(&layouts[0], kc_eff, nc_eff, 0, 0);
+        // per-core work: pack own A block, then GEBP over the panel
+        let core_traces: Vec<(usize, Vec<armsim::machine::TraceOp>)> = (0..t_count)
+            .map(|i| {
+                let mut t = trace_pack_a(&layouts[i], mc_eff, kc_eff, 0, 0);
+                t.extend(trace_gebp(
+                    &layouts[i],
+                    &blocks,
+                    mc_eff,
+                    kc_eff,
+                    nc_eff,
+                    prefa,
+                    prefb,
+                ));
+                (core_ids[i], t)
+            })
+            .collect();
+
+        // warm pass
+        machine.run_trace(0, &pack_b);
+        machine.run_traces_interleaved(&core_traces, 64);
+        // measured pass
+        machine.reset_stats();
+        let rb = machine.run_trace(0, &pack_b);
+        let reports = machine.run_traces_interleaved(&core_traces, 64);
+
+        let block_flops = 2.0 * mc_eff as f64 * kc_eff as f64 * nc_eff as f64;
+        let mut penalty = 0.0;
+        let mut misses = 0.0;
+        for r in &reports {
+            penalty += self.penalty_of(r, t_count);
+            misses += (r.accesses - r.l1_hits) as f64;
+        }
+        let per_core = t_count as f64;
+        Sample {
+            penalty_cycles_per_flop: penalty / per_core / block_flops,
+            l1_miss_per_flop: misses / per_core / block_flops,
+            pack_b_penalty_per_byte: self.penalty_of(&rb, t_count)
+                / (kc_eff as f64 * nc_eff as f64 * 8.0),
+        }
+    }
+
+    /// Analytic L1-dcache-load count for the whole DGEMM (kernel operand
+    /// loads + C tile loads + packing reads), the paper's Figure 15.
+    #[must_use]
+    pub fn l1_load_count(&self, cfg: &SimConfig, n: usize) -> f64 {
+        let b = cfg.blocks;
+        let (mr, nr) = (b.mr, b.nr);
+        let v = cfg.variant;
+        let mut loads = 0.0;
+        let mut jj = 0;
+        while jj < n {
+            let nc_eff = b.nc.min(n - jj);
+            let mut kk = 0;
+            while kk < n {
+                let kc_eff = b.kc.min(n - kk);
+                let calls = (n.div_ceil(mr) * nc_eff.div_ceil(nr)) as f64;
+                // operand loads per call + C tile loads + operand preload
+                let per_call = v.loads_per_iter() * kc_eff as f64
+                    + (mr * nr) as f64 / 2.0
+                    + (mr + nr) as f64 / 2.0;
+                loads += calls * per_call;
+                // packing reads at 16 B/load
+                loads += (kc_eff * nc_eff) as f64 / 2.0; // pack B
+                loads += (n * kc_eff) as f64 / 2.0; // pack A over all rows
+                kk += kc_eff;
+            }
+            jj += nc_eff;
+        }
+        loads
+    }
+
+    /// Estimate one data point.
+    pub fn estimate(&mut self, cfg: &SimConfig, n: usize) -> SimPoint {
+        let prof = self.profile_for(cfg.variant);
+        self.estimate_with_profile(cfg, n, &prof)
+    }
+
+    /// Estimate one data point with an explicit kernel profile (used by
+    /// the Figure 13 study, which profiles the kernels under a
+    /// steady-state miss model to expose the register-rotation effect).
+    pub fn estimate_with_profile(
+        &mut self,
+        cfg: &SimConfig,
+        n: usize,
+        prof: &crate::kernelsim::KernelProfile,
+    ) -> SimPoint {
+        assert!(n > 0);
+        let sample = self.sample_for(cfg, n);
+        let b = cfg.blocks;
+        let threads = cfg.threads.max(1);
+        let bands = partition_rows(n, b.mr, threads);
+        let ls_bytes_per_cycle = 16.0;
+
+        let mut per_thread = vec![0.0f64; bands.len()];
+        let mut shared = 0.0f64;
+        let mut jj = 0;
+        while jj < n {
+            let nc_eff = b.nc.min(n - jj);
+            let mut kk = 0;
+            while kk < n {
+                let kc_eff = b.kc.min(n - kk);
+                // shared: pack B (split across threads)
+                let pack_b_bytes = (kc_eff * nc_eff * 8) as f64;
+                shared += (pack_b_bytes * 2.0 / ls_bytes_per_cycle
+                    + pack_b_bytes * sample.pack_b_penalty_per_byte)
+                    / threads as f64;
+                for (t, &(_, rows)) in bands.iter().enumerate() {
+                    let calls = (rows.div_ceil(b.mr) * nc_eff.div_ceil(b.nr)) as f64;
+                    let kernel = calls * prof.call_cycles(kc_eff);
+                    let pack_a = (rows * kc_eff * 8) as f64 * 2.0 / ls_bytes_per_cycle;
+                    let flops_t = 2.0 * rows as f64 * kc_eff as f64 * nc_eff as f64;
+                    let penalty = flops_t * sample.penalty_cycles_per_flop;
+                    per_thread[t] += kernel + pack_a + penalty;
+                }
+                kk += kc_eff;
+            }
+            jj += nc_eff;
+        }
+        let critical = per_thread.iter().cloned().fold(0.0, f64::max) + shared;
+        let flops_total = 2.0 * (n as f64).powi(3);
+        let freq = self.machine_desc.freq_ghz;
+        let gflops = flops_total * freq / critical;
+        let peak = self.machine_desc.peak_gflops(threads);
+        SimPoint {
+            n,
+            gflops,
+            efficiency: gflops / peak,
+            cycles: critical,
+            l1_loads: self.l1_load_count(cfg, n),
+            l1_misses: flops_total * sample.l1_miss_per_flop,
+        }
+    }
+
+    /// Inspect the sampled cache behaviour for a configuration
+    /// (penalty cycles/flop, L1 misses/flop, pack-B penalty/byte) —
+    /// exposed for calibration and the bench binaries' diagnostics.
+    pub fn sample_diagnostics(&mut self, cfg: &SimConfig, n: usize) -> (f64, f64, f64) {
+        let s = self.sample_for(cfg, n);
+        (
+            s.penalty_cycles_per_flop,
+            s.l1_miss_per_flop,
+            s.pack_b_penalty_per_byte,
+        )
+    }
+
+    /// Sweep a size range.
+    pub fn sweep(&mut self, cfg: &SimConfig, sizes: &[usize]) -> Vec<SimPoint> {
+        sizes.iter().map(|&n| self.estimate(cfg, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_8x6_lands_near_paper_band() {
+        let mut est = Estimator::new();
+        let cfg = SimConfig::paper(KernelVariant::OpenBlas8x6, 1);
+        let p = est.estimate(&cfg, 1536);
+        // paper: 4.19 Gflops (87.2%) peak; our structural bound is 87.3%,
+        // so anything in the 80-88% band with sane Gflops passes
+        assert!(
+            (0.78..0.88).contains(&p.efficiency),
+            "8x6 serial efficiency {}",
+            p.efficiency
+        );
+        assert!(p.gflops > 3.7 && p.gflops < 4.8, "{}", p.gflops);
+    }
+
+    #[test]
+    fn kernel_ordering_preserved_at_fixed_size() {
+        let mut est = Estimator::new();
+        let n = 768;
+        let mut eff = |v| {
+            let cfg = SimConfig::paper(v, 1);
+            est.estimate(&cfg, n).efficiency
+        };
+        let e86 = eff(KernelVariant::OpenBlas8x6);
+        let e84 = eff(KernelVariant::OpenBlas8x4);
+        let e44 = eff(KernelVariant::OpenBlas4x4);
+        let e55 = eff(KernelVariant::Atlas5x5);
+        assert!(
+            e86 > e84 && e84 > e55 && e55 > e44,
+            "ordering: 8x6 {e86} 8x4 {e84} 5x5 {e55} 4x4 {e44}"
+        );
+    }
+
+    #[test]
+    fn parallel_has_lower_efficiency_but_higher_gflops() {
+        let mut est = Estimator::new();
+        let n = 1024;
+        let s = est.estimate(&SimConfig::paper(KernelVariant::OpenBlas8x6, 1), n);
+        let p = est.estimate(&SimConfig::paper(KernelVariant::OpenBlas8x6, 8), n);
+        assert!(
+            p.gflops > 5.0 * s.gflops,
+            "8 threads must scale: {} vs {}",
+            p.gflops,
+            s.gflops
+        );
+        assert!(
+            p.efficiency <= s.efficiency + 0.02,
+            "parallel efficiency at or below serial"
+        );
+    }
+
+    #[test]
+    fn miss_rate_in_paper_ballpark() {
+        // Table VII: 8x6 serial 5.2%; accept a broad band
+        let mut est = Estimator::new();
+        let cfg = SimConfig::paper(KernelVariant::OpenBlas8x6, 1);
+        let p = est.estimate(&cfg, 1536);
+        let rate = p.l1_miss_rate();
+        assert!(
+            (0.005..0.12).contains(&rate),
+            "L1 miss rate {rate} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn l1_loads_ordering_matches_figure15() {
+        // 8x6 issues the fewest loads, 4x4 the most
+        let est = Estimator::new();
+        let n = 1024;
+        let loads = |v| {
+            let cfg = SimConfig::paper(v, 1);
+            est.l1_load_count(&cfg, n)
+        };
+        let l86 = loads(KernelVariant::OpenBlas8x6);
+        let l84 = loads(KernelVariant::OpenBlas8x4);
+        let l44 = loads(KernelVariant::OpenBlas4x4);
+        assert!(l86 < l84 && l84 < l44, "{l86} {l84} {l44}");
+    }
+
+    #[test]
+    fn small_sizes_do_not_panic_and_stay_sane() {
+        let mut est = Estimator::new();
+        for n in [1, 7, 64, 100] {
+            let cfg = SimConfig::paper(KernelVariant::OpenBlas8x6, 1);
+            let p = est.estimate(&cfg, n);
+            assert!(p.gflops > 0.0 && p.gflops < 4.81, "n={n}: {}", p.gflops);
+        }
+    }
+
+    #[test]
+    fn sweep_caches_samples() {
+        let mut est = Estimator::new();
+        let cfg = SimConfig::paper(KernelVariant::OpenBlas8x6, 1);
+        // sizes beyond nc share one sample; the sweep must stay fast
+        let pts = est.sweep(&cfg, &[2048, 2176, 2304]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(
+            est.samples.len(),
+            1,
+            "one cached sample for saturated sizes"
+        );
+    }
+}

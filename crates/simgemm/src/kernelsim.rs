@@ -1,0 +1,362 @@
+//! Steady-state timing of the register kernels on the pipeline model.
+//!
+//! Each kernel variant is profiled by generating its full micro-kernel
+//! call stream at two depths and fitting `cycles(kc) = overhead +
+//! rate·kc`. The ATLAS-like 5×5 kernel, whose odd shape cannot map onto
+//! whole 2-lane vector operations, is profiled from a synthetic stream
+//! with its structural instruction mix (25 two-lane FMAs and 12 loads
+//! per iteration *pair*, the odd lanes amortized across consecutive
+//! k-steps) — the γ = 5 handicap the paper attributes to it.
+
+use armsim::core::CoreSim;
+use armsim::isa::Instr;
+use dgemm_core::microkernel::MicroKernelKind;
+use kernels::regkernel::{generate_microkernel_call, GebpAddrs, KernelSpec};
+
+/// Kernel variants the evaluation sweeps over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// The paper's 8×6 kernel (rotation + scheduling).
+    OpenBlas8x6,
+    /// 8×6 without register rotation (Figure 13 baseline).
+    OpenBlas8x6NoRR,
+    /// The 8×4 comparison kernel.
+    OpenBlas8x4,
+    /// The 4×4 comparison kernel.
+    OpenBlas4x4,
+    /// The ATLAS 5×5 baseline.
+    Atlas5x5,
+}
+
+impl KernelVariant {
+    /// All variants in the paper's usual presentation order.
+    pub const ALL: [KernelVariant; 5] = [
+        KernelVariant::OpenBlas8x6,
+        KernelVariant::OpenBlas8x6NoRR,
+        KernelVariant::OpenBlas8x4,
+        KernelVariant::OpenBlas4x4,
+        KernelVariant::Atlas5x5,
+    ];
+
+    /// The four variants of Figures 11/12 (no-rotation excluded).
+    pub const FIGURE11: [KernelVariant; 4] = [
+        KernelVariant::OpenBlas8x6,
+        KernelVariant::OpenBlas8x4,
+        KernelVariant::OpenBlas4x4,
+        KernelVariant::Atlas5x5,
+    ];
+
+    /// Register-block rows.
+    #[must_use]
+    pub fn mr(&self) -> usize {
+        match self {
+            KernelVariant::OpenBlas8x6
+            | KernelVariant::OpenBlas8x6NoRR
+            | KernelVariant::OpenBlas8x4 => 8,
+            KernelVariant::OpenBlas4x4 => 4,
+            KernelVariant::Atlas5x5 => 5,
+        }
+    }
+
+    /// Register-block columns.
+    #[must_use]
+    pub fn nr(&self) -> usize {
+        match self {
+            KernelVariant::OpenBlas8x6 | KernelVariant::OpenBlas8x6NoRR => 6,
+            KernelVariant::OpenBlas8x4 | KernelVariant::OpenBlas4x4 => 4,
+            KernelVariant::Atlas5x5 => 5,
+        }
+    }
+
+    /// Paper-style label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelVariant::OpenBlas8x6 => "OpenBLAS-8x6",
+            KernelVariant::OpenBlas8x6NoRR => "OpenBLAS-8x6w/oRR",
+            KernelVariant::OpenBlas8x4 => "OpenBLAS-8x4",
+            KernelVariant::OpenBlas4x4 => "OpenBLAS-4x4",
+            KernelVariant::Atlas5x5 => "ATLAS-5x5",
+        }
+    }
+
+    /// The portable microkernel this variant corresponds to (the
+    /// no-rotation variant shares the 8×6 shape).
+    #[must_use]
+    pub fn portable_kind(&self) -> MicroKernelKind {
+        match self {
+            KernelVariant::OpenBlas8x6 | KernelVariant::OpenBlas8x6NoRR => MicroKernelKind::Mk8x6,
+            KernelVariant::OpenBlas8x4 => MicroKernelKind::Mk8x4,
+            KernelVariant::OpenBlas4x4 => MicroKernelKind::Mk4x4,
+            KernelVariant::Atlas5x5 => MicroKernelKind::Mk5x5,
+        }
+    }
+
+    /// 128-bit loads per rank-1 update: `(mr+nr)/2` for even shapes; the
+    /// 5×5 kernel needs 6 (3 q-loads per 5-element operand, amortizing
+    /// the odd lanes across iteration pairs).
+    #[must_use]
+    pub fn loads_per_iter(&self) -> f64 {
+        if *self == KernelVariant::Atlas5x5 {
+            6.0
+        } else {
+            (self.mr() + self.nr()) as f64 / 2.0
+        }
+    }
+
+    /// FMA issue slots per rank-1 update: `mr·nr/2` for even shapes;
+    /// 12.5 for 5×5 (25 two-lane FMAs per iteration *pair*, the odd C
+    /// element's lanes paired across consecutive k-steps).
+    #[must_use]
+    pub fn fma_slots_per_iter(&self) -> f64 {
+        if *self == KernelVariant::Atlas5x5 {
+            12.5
+        } else {
+            (self.mr() * self.nr()) as f64 / 2.0
+        }
+    }
+
+    /// Useful flops per rank-1 update (`2·mr·nr`).
+    #[must_use]
+    pub fn flops_per_iter(&self) -> usize {
+        2 * self.mr() * self.nr()
+    }
+}
+
+/// Fitted timing of one kernel variant.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelProfile {
+    /// Variant profiled.
+    pub variant: KernelVariant,
+    /// Fixed per-call overhead in cycles (C tile load/store, preloads).
+    pub overhead_cycles: f64,
+    /// Cycles per unit of `kc` in steady state.
+    pub cycles_per_k: f64,
+    /// Structural efficiency bound of the body
+    /// (`flops_per_iter / (cycles_per_k · flops_per_cycle)`).
+    pub body_efficiency: f64,
+}
+
+impl KernelProfile {
+    /// Cycles of one micro-kernel call at depth `kc`.
+    #[must_use]
+    pub fn call_cycles(&self, kc: usize) -> f64 {
+        self.overhead_cycles + self.cycles_per_k * kc as f64
+    }
+}
+
+/// Miss-injection settings for stressed profiling (`None` = perfect L1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MissModel {
+    /// Every `period`-th load misses L1.
+    pub period: u64,
+    /// Latency of a missing load (L2 hit latency by default).
+    pub latency: u64,
+}
+
+impl MissModel {
+    /// The steady-state GEBP miss profile our cache study measures:
+    /// roughly one load in nine misses to L2 (Table VII territory).
+    #[must_use]
+    pub fn gebp_steady_state() -> Self {
+        MissModel {
+            period: 9,
+            latency: 14,
+        }
+    }
+}
+
+fn run_stream(stream: &[armsim::isa::Instr], miss: Option<MissModel>) -> u64 {
+    let mut core = CoreSim::new(0, 16 << 20);
+    match miss {
+        None => core.run_perfect_l1(stream, 4).cycles,
+        Some(m) => {
+            core.run_with_periodic_miss(stream, 4, m.latency, m.period)
+                .cycles
+        }
+    }
+}
+
+fn measure_even_kernel(spec: &KernelSpec, kc: usize, miss: Option<MissModel>) -> u64 {
+    let shape = spec.shape();
+    let addrs = GebpAddrs {
+        a: 4096,
+        b: 4096 + kernels::regkernel::padded_a_bytes(shape.mr, kc) as u64 + 64,
+        c: 8 << 20,
+        ldc_bytes: (shape.mr * 8) as u64,
+    };
+    let stream = generate_microkernel_call(spec, kc, &addrs);
+    run_stream(&stream, miss)
+}
+
+/// Synthetic 5×5 stream, modelled per iteration *pair* (the odd fifth
+/// lane of each operand is paired with the next k-step's): 25 two-lane
+/// FMAs + 12 loads per 2 rank-1 updates, plus a 13-register C tile
+/// prologue/epilogue. This reproduces the γ = 5 register kernel the
+/// paper attributes to ATLAS.
+fn measure_5x5(kc: usize, miss: Option<MissModel>) -> u64 {
+    let mut stream = Vec::new();
+    stream.push(Instr::MovX { xd: 14, imm: 4096 });
+    stream.push(Instr::MovX { xd: 15, imm: 65536 });
+    // C tile: 25 elements -> 13 q-registers v19..v31
+    for r in 0..13u8 {
+        stream.push(Instr::LdrQOff {
+            qd: 19 + r,
+            base: 15,
+            off: (r as i64) * 16,
+        });
+    }
+    // operands double-buffered in v0..v11 (6 regs per pair phase)
+    for g in 0..kc / 2 {
+        let ph = (g % 2) as u8 * 6;
+        let rd = (1 - g % 2) as u8 * 6;
+        // interleave 12 loads among 25 FMAs, evenly (one load every
+        // two FMAs, trailing FMAs unbroken)
+        let mut loads = (0..12u8).peekable();
+        for s in 0..25u8 {
+            if s % 2 == 0 {
+                if let Some(l) = loads.next() {
+                    stream.push(Instr::LdrQOff {
+                        qd: ph + (l % 6),
+                        base: 14,
+                        off: (g as i64 % 8) * 16,
+                    });
+                }
+            }
+            stream.push(Instr::Fmla {
+                vd: 19 + (s % 13),
+                vn: rd + (s % 3),
+                vm: rd + 3 + (s % 3),
+                lane: Some(s % 2),
+            });
+        }
+    }
+    for r in 0..13u8 {
+        stream.push(Instr::StrQOff {
+            qs: 19 + r,
+            base: 15,
+            off: (r as i64) * 16,
+        });
+    }
+    run_stream(&stream, miss)
+}
+
+/// Profile one variant by fitting two depths, optionally under a
+/// deterministic miss model.
+#[must_use]
+pub fn profile_with_misses(variant: KernelVariant, miss: Option<MissModel>) -> KernelProfile {
+    let (k1, k2) = (128usize, 512usize);
+    let (c1, c2) = match variant {
+        KernelVariant::OpenBlas8x6 => {
+            let spec = KernelSpec::paper_8x6(None);
+            (
+                measure_even_kernel(&spec, k1, miss),
+                measure_even_kernel(&spec, k2, miss),
+            )
+        }
+        KernelVariant::OpenBlas8x6NoRR => {
+            let spec = KernelSpec::paper_8x6_no_rotation(None);
+            (
+                measure_even_kernel(&spec, k1, miss),
+                measure_even_kernel(&spec, k2, miss),
+            )
+        }
+        KernelVariant::OpenBlas8x4 => {
+            let spec = KernelSpec::paper_8x4();
+            (
+                measure_even_kernel(&spec, k1, miss),
+                measure_even_kernel(&spec, k2, miss),
+            )
+        }
+        KernelVariant::OpenBlas4x4 => {
+            let spec = KernelSpec::paper_4x4();
+            (
+                measure_even_kernel(&spec, k1, miss),
+                measure_even_kernel(&spec, k2, miss),
+            )
+        }
+        KernelVariant::Atlas5x5 => (measure_5x5(k1, miss), measure_5x5(k2, miss)),
+    };
+    let rate = (c2 - c1) as f64 / (k2 - k1) as f64;
+    let overhead = c1 as f64 - rate * k1 as f64;
+    let peak = 2.0; // flops per cycle (one 2-lane FMA per 2 cycles)
+    KernelProfile {
+        variant,
+        overhead_cycles: overhead.max(0.0),
+        cycles_per_k: rate,
+        body_efficiency: variant.flops_per_iter() as f64 / (rate * peak),
+    }
+}
+
+/// Profile one variant under perfect L1 (the default used by the
+/// performance sweeps).
+#[must_use]
+pub fn profile(variant: KernelVariant) -> KernelProfile {
+    profile_with_misses(variant, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_positive_and_linear() {
+        for v in KernelVariant::ALL {
+            let p = profile(v);
+            assert!(p.cycles_per_k > 0.0, "{}", v.label());
+            assert!(p.overhead_cycles >= 0.0);
+            assert!(p.call_cycles(512) > p.call_cycles(128));
+        }
+    }
+
+    #[test]
+    fn efficiency_ordering_matches_paper() {
+        // Section V-B: 8x6 > 8x4 > 4x4 and 5x5 between 8x4 and 4x4-ish;
+        // the hard requirement is 8x6 first, 4x4 worst of the OpenBLAS
+        // trio, ATLAS below 8x6.
+        let e = |v| profile(v).body_efficiency;
+        let e86 = e(KernelVariant::OpenBlas8x6);
+        let e84 = e(KernelVariant::OpenBlas8x4);
+        let e44 = e(KernelVariant::OpenBlas4x4);
+        let e55 = e(KernelVariant::Atlas5x5);
+        assert!(e86 > e84, "8x6 {e86} vs 8x4 {e84}");
+        assert!(e84 > e44, "8x4 {e84} vs 4x4 {e44}");
+        assert!(e86 > e55, "8x6 {e86} vs 5x5 {e55}");
+        assert!(e55 > e44, "5x5 {e55} vs 4x4 {e44} (paper Fig. 11 order)");
+    }
+
+    #[test]
+    fn body_efficiencies_near_structural_bounds() {
+        // 2F+L model: 8x6 -> 48/55 = 87.3%, 8x4 -> 32/38 = 84.2%,
+        // 4x4 -> 16/20 = 80%
+        let p86 = profile(KernelVariant::OpenBlas8x6);
+        assert!(
+            (p86.body_efficiency - 48.0 / 55.0).abs() < 0.03,
+            "{}",
+            p86.body_efficiency
+        );
+        let p84 = profile(KernelVariant::OpenBlas8x4);
+        assert!(
+            (p84.body_efficiency - 32.0 / 38.0).abs() < 0.03,
+            "{}",
+            p84.body_efficiency
+        );
+        let p44 = profile(KernelVariant::OpenBlas4x4);
+        assert!(
+            (p44.body_efficiency - 16.0 / 20.0).abs() < 0.03,
+            "{}",
+            p44.body_efficiency
+        );
+    }
+
+    #[test]
+    fn instruction_mix_counters() {
+        assert_eq!(KernelVariant::OpenBlas8x6.loads_per_iter(), 7.0);
+        assert_eq!(KernelVariant::OpenBlas8x6.fma_slots_per_iter(), 24.0);
+        assert_eq!(KernelVariant::OpenBlas8x6.flops_per_iter(), 96);
+        assert_eq!(KernelVariant::Atlas5x5.loads_per_iter(), 6.0);
+        assert_eq!(KernelVariant::Atlas5x5.fma_slots_per_iter(), 12.5);
+        assert_eq!(KernelVariant::Atlas5x5.flops_per_iter(), 50);
+        assert_eq!(KernelVariant::OpenBlas8x4.loads_per_iter(), 6.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests of the address-trace generator: for arbitrary block
+//! shapes the traces must have closed-form volumes, stay inside their
+//! regions, and be insensitive to cache state (generation is pure).
+
+use armsim::machine::{SimMachine, TraceOp};
+use perfmodel::cacheblock::BlockSizes;
+use proptest::prelude::*;
+use simgemm::trace::{trace_gebp, trace_pack_a, trace_pack_b, CoreLayout};
+
+fn count_reads(t: &[TraceOp]) -> usize {
+    t.iter().filter(|o| matches!(o, TraceOp::Read(_))).count()
+}
+
+fn count_writes(t: &[TraceOp]) -> usize {
+    t.iter().filter(|o| matches!(o, TraceOp::Write(_))).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packing traces move exactly the block's bytes: writes are the
+    /// packed volume in lines, reads cover the source columns.
+    #[test]
+    fn pack_volumes_are_closed_form(
+        mc in 1usize..120,
+        kc in 1usize..160,
+        nc in 1usize..120,
+    ) {
+        let blocks = BlockSizes::custom(8, 6, kc.max(1), mc.max(1), nc.max(1));
+        let layout = CoreLayout::for_core(0, 512, &blocks);
+        // per column, the packed write range may straddle one extra line
+        // when its start is not line-aligned
+        let ta = trace_pack_a(&layout, mc, kc, 0, 0);
+        let wa = count_writes(&ta);
+        let lo_a = kc * (mc * 8).div_ceil(64);
+        prop_assert!((lo_a..=lo_a + kc).contains(&wa), "{wa} not in [{lo_a}, {}]", lo_a + kc);
+        let tb = trace_pack_b(&layout, kc, nc, 0, 0);
+        let wb = count_writes(&tb);
+        let lo_b = nc * (kc * 8).div_ceil(64);
+        prop_assert!((lo_b..=lo_b + nc).contains(&wb), "{wb} not in [{lo_b}, {}]", lo_b + nc);
+        // both scale with the block volume
+        prop_assert!(count_reads(&tb) >= nc * (kc * 8) / 64);
+    }
+
+    /// GEBP traces: the A-stream read count has a closed form; every
+    /// address stays within the regions of the layout; C is written as
+    /// often as it is read.
+    #[test]
+    fn gebp_trace_structure(
+        mc_blocks in 1usize..6,
+        kc in 8usize..120,
+        nc_blocks in 1usize..6,
+    ) {
+        let (mr, nr) = (8usize, 6usize);
+        let mc = mc_blocks * mr;
+        let nc = nc_blocks * nr;
+        let blocks = BlockSizes::custom(mr, nr, kc, mc, nc);
+        let layout = CoreLayout::for_core(0, 1024, &blocks);
+        let t = trace_gebp(&layout, &blocks, mc, kc, nc, 0, 0);
+
+        // A reads: one line per k per A sliver per B sliver
+        let a_region = layout.packed_a..layout.packed_a + (1 << 27);
+        let a_reads = t.iter().filter(|o| matches!(o, TraceOp::Read(a) if a_region.contains(a))).count();
+        prop_assert_eq!(a_reads, mc_blocks * kc * nc_blocks);
+
+        // C balance: reads == writes (read-modify-write of each tile)
+        let c_region = layout.c..layout.c + (1 << 27);
+        let c_reads = t.iter().filter(|o| matches!(o, TraceOp::Read(a) if c_region.contains(a))).count();
+        let c_writes = t.iter().filter(|o| matches!(o, TraceOp::Write(a) if c_region.contains(a))).count();
+        prop_assert_eq!(c_reads, c_writes);
+
+        // everything belongs to a known region
+        let b_region = layout.packed_b..layout.packed_b + (1 << 27);
+        for op in &t {
+            let addr = match op {
+                TraceOp::Read(a) | TraceOp::Write(a) | TraceOp::Prefetch(a, _) => *a,
+            };
+            prop_assert!(
+                a_region.contains(&addr) || b_region.contains(&addr) || c_region.contains(&addr),
+                "stray address {addr:#x}"
+            );
+        }
+    }
+
+    /// Replaying the same trace twice on a warm machine is deterministic:
+    /// identical reports.
+    #[test]
+    fn trace_replay_is_deterministic(
+        kc in 8usize..96,
+        nc_blocks in 1usize..5,
+    ) {
+        let blocks = BlockSizes::custom(8, 6, kc, 24, nc_blocks * 6);
+        let layout = CoreLayout::for_core(0, 777, &blocks);
+        let t = trace_gebp(&layout, &blocks, 24, kc, nc_blocks * 6, 1024, 0);
+        let mut m1 = SimMachine::xgene();
+        m1.run_trace(0, &t);
+        let r1 = m1.run_trace(0, &t);
+        let mut m2 = SimMachine::xgene();
+        m2.run_trace(0, &t);
+        let r2 = m2.run_trace(0, &t);
+        prop_assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Blocking explorer: apply the paper's analytic machinery (Sections
+//! III–IV) to the ARMv8 machine — and to a hypothetical machine — to see
+//! how register blocks, cache blocks and prefetch distances fall out of
+//! the cache geometry.
+//!
+//! ```sh
+//! cargo run --release --example blocking_explorer
+//! ```
+
+use armv8_dgemm::prelude::*;
+use perfmodel::prefetch::prefetch_distances;
+use perfmodel::ratio::{gamma_gebp, gamma_register};
+use perfmodel::MachineDesc;
+
+fn explore(name: &str, m: &MachineDesc) {
+    println!("--- {name} ---");
+    println!(
+        "L1 {} KB/{}-way, L2 {} KB/{}-way, L3 {} MB/{}-way, {} cores",
+        m.l1.size / 1024,
+        m.l1.assoc,
+        m.l2.size / 1024,
+        m.l2.assoc,
+        m.l3.size / (1024 * 1024),
+        m.l3.assoc,
+        m.cores
+    );
+    let reg = optimize_register_block(m);
+    println!(
+        "register block: {}x{} (nrf {}), gamma = {:.3}",
+        reg.mr, reg.nr, reg.nrf, reg.gamma
+    );
+    for threads in [1, m.cores] {
+        match solve_blocking(reg.mr, reg.nr, threads, m) {
+            Ok(b) => {
+                let pf = prefetch_distances(&b, 2, 8, m.element_bytes);
+                println!(
+                    "{} thread(s): {}  gamma_GEBP = {:.3}  PREFA {} B, PREFB {} B",
+                    threads,
+                    b.label(),
+                    gamma_gebp(b.mr, b.nr, b.kc, b.mc),
+                    pf.prefa_bytes,
+                    pf.prefb_bytes
+                );
+            }
+            Err(e) => println!("{threads} thread(s): no feasible blocking ({e})"),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // the paper's platform
+    explore("ARMv8 eight-core (paper)", &MachineDesc::xgene());
+
+    // a what-if: double the L1, halve its associativity
+    let mut big_l1 = MachineDesc::xgene();
+    big_l1.l1.size = 64 * 1024;
+    big_l1.l1.assoc = 2;
+    explore("hypothetical: 64 KB 2-way L1", &big_l1);
+
+    // a what-if: twice the registers (an SVE-class register file)
+    let mut big_rf = MachineDesc::xgene();
+    big_rf.nf = 64;
+    explore("hypothetical: 64 vector registers", &big_rf);
+
+    println!("gamma of the paper's candidate register blocks (eq. 8):");
+    for (mr, nr) in [(8, 6), (8, 4), (4, 4), (5, 5)] {
+        println!("  {mr}x{nr}: {:.3}", gamma_register(mr, nr));
+    }
+}

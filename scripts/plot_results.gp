@@ -1,0 +1,30 @@
+# Render the reproduction's figure CSVs (written by reproduce_all.sh)
+# as PNGs, mirroring the paper's Figures 11-14.
+#
+#   gnuplot -e "outdir='results'" scripts/plot_results.gp
+#
+# Requires gnuplot >= 5. Each CSV has a header row: n,<curve>,<curve>,...
+
+if (!exists("outdir")) outdir = "results"
+
+set datafile separator ","
+set terminal pngcairo size 900,540 font ",11"
+set grid
+set key bottom right
+set xlabel "matrix size n"
+set ylabel "Gflops"
+
+do for [fig in "fig11 fig12 fig13 fig14"] {
+    csv = sprintf("%s/%s.csv", outdir, fig)
+    png = sprintf("%s/%s.png", outdir, fig)
+    set output png
+    title_of = fig eq "fig11" ? "Figure 11 — DGEMM, one thread" : \
+               fig eq "fig12" ? "Figure 12 — DGEMM, eight threads" : \
+               fig eq "fig13" ? "Figure 13 — register rotation effect" : \
+                                "Figure 14 — OpenBLAS-8x6 scalability"
+    set title title_of
+    stats csv skip 1 nooutput
+    ncols = STATS_columns
+    plot for [i=2:ncols] csv using 1:i skip 1 with linespoints \
+         pointsize 0.5 title columnheader(i)
+}

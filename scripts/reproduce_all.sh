@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper plus the extension studies.
+#
+#   scripts/reproduce_all.sh [--quick] [outdir]
+#
+# --quick uses the step-512 size grid (minutes); the default is the
+# paper's step-128 grid. Results land in <outdir> (default: results/).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GRID=""
+if [[ "${1:-}" == "--quick" ]]; then
+    GRID="--quick"
+    shift
+fi
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+echo "building release binaries..."
+cargo build --release -p dgemm-bench --bins
+
+run() {
+    local bin="$1"
+    shift
+    echo "== $bin =="
+    cargo run --release -q -p dgemm-bench --bin "$bin" -- "$@" \
+        | tee "$OUT/$bin.txt"
+    echo
+}
+
+# analytic artifacts (instant)
+run fig05_gamma_surface
+run tab01_rotation
+run fig07_schedule
+run tab03_blocksizes
+run tab04_ldr_fmla
+
+# simulated sweeps
+run fig11_serial_sweep $GRID --csv "$OUT/fig11.csv"
+run fig12_parallel_sweep $GRID --csv "$OUT/fig12.csv"
+run tab05_efficiency $GRID
+run fig13_rotation_effect $GRID --csv "$OUT/fig13.csv"
+run fig14_scalability $GRID --csv "$OUT/fig14.csv"
+run tab06_blocksize_sensitivity $GRID
+run fig15_l1_loads $GRID
+run tab07_l1_missrate $GRID
+
+# extension studies (Section VI future work + ablations)
+run ext_tlb_study
+run ext_autotune
+run ext_ablation
+run ext_model_validation
+run ext_sgemm_design
+run ext_machine_portability
+run ext_fullsim_crosscheck
+run ext_kernel_listing
+
+echo "all artifacts written to $OUT/"

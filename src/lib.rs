@@ -1,0 +1,64 @@
+//! # armv8-dgemm
+//!
+//! Facade crate for the reproduction of *"Design and Implementation of a
+//! Highly Efficient DGEMM for 64-bit ARMv8 Multi-Core Processors"*
+//! (Wang, Jiang, Zuo, Su, Xue, Yang — ICPP 2015).
+//!
+//! The workspace is organized bottom-up, mirroring the paper:
+//!
+//! - [`perfmodel`] — the Section III performance model and the Section IV
+//!   analytic block-size / register-allocation / instruction-scheduling
+//!   machinery (equations (1)–(20), Table I, Figures 5 and 7).
+//! - [`armsim`] — a parameterized model of the paper's ARMv8 eight-core
+//!   platform: A64-subset ISA, issue/latency pipeline, the exact
+//!   L1/L2/L3 cache geometry, and the dual-core-module sharing topology.
+//! - [`kernels`] — the register-kernel generator that emits the same
+//!   unrolled, rotated, scheduled instruction streams the paper writes in
+//!   assembly, plus the Table IV micro-benchmark streams.
+//! - [`dgemm_core`] — the production, portable Goto-style DGEMM library
+//!   (packing, layered blocking, 8×6/8×4/4×4/5×5 microkernels, threading).
+//! - [`simgemm`] — the evaluation harness that reruns Section V on the
+//!   simulated machine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use armv8_dgemm::prelude::*;
+//!
+//! let m = 64;
+//! let (n, k) = (48, 32);
+//! let a = Matrix::from_fn(m, k, |i, j| (i + j) as f64);
+//! let b = Matrix::from_fn(k, n, |i, j| (i as f64) - (j as f64));
+//! let mut c = Matrix::zeros(m, n);
+//! // C := 1.0 * A*B + 0.0 * C, with the paper's 8x6 kernel.
+//! dgemm(
+//!     Transpose::No,
+//!     Transpose::No,
+//!     1.0,
+//!     &a.view(),
+//!     &b.view(),
+//!     0.0,
+//!     &mut c.view_mut(),
+//!     &GemmConfig::default(),
+//! )
+//! .unwrap();
+//! assert!((c.get(0, 0) - (0..32).map(|p| (p as f64) * (-0.0 + p as f64)).sum::<f64>()).abs() < 1e-9);
+//! ```
+
+pub use armsim;
+pub use dgemm_core;
+pub use kernels;
+pub use perfmodel;
+pub use simgemm;
+
+/// Most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use dgemm_core::blas::dgemm;
+    pub use dgemm_core::gemm::GemmConfig;
+    pub use dgemm_core::matrix::{Matrix, MatrixView, MatrixViewMut};
+    pub use dgemm_core::microkernel::{MicroKernelKind, SgemmKernelKind};
+    pub use dgemm_core::sgemm::{sgemm, SgemmConfig};
+    pub use dgemm_core::Transpose;
+    pub use perfmodel::cacheblock::{solve_blocking, BlockSizes};
+    pub use perfmodel::regblock::{optimize_register_block, RegisterBlockChoice};
+}

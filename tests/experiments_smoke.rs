@@ -1,0 +1,145 @@
+//! Smoke tests over the Section V experiment drivers: every
+//! table/figure generator runs on a reduced grid and its headline
+//! qualitative claims hold.
+
+use simgemm::estimate::{Estimator, SimConfig};
+use simgemm::experiments::{figure13, figure14, l1_study, performance_sweep, table5, table6};
+use simgemm::kernelsim::KernelVariant;
+
+fn sizes() -> Vec<usize> {
+    vec![512, 1024]
+}
+
+#[test]
+fn figure11_and_12_shapes() {
+    let mut est = Estimator::new();
+    let serial = performance_sweep(&mut est, &sizes(), 1);
+    let parallel = performance_sweep(&mut est, &sizes(), 8);
+    // 8x6 leads both settings; every kernel gains from 8 threads
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert!(p.peak_gflops() > 4.0 * s.peak_gflops(), "{}", s.label);
+    }
+    let peak = |curves: &[simgemm::experiments::Curve], label: &str| {
+        curves
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap()
+            .peak_gflops()
+    };
+    assert!(peak(&serial, "OpenBLAS-8x6") > peak(&serial, "OpenBLAS-8x4"));
+    assert!(peak(&serial, "OpenBLAS-8x4") > peak(&serial, "OpenBLAS-4x4"));
+    assert!(peak(&serial, "OpenBLAS-8x6") > peak(&serial, "ATLAS-5x5"));
+    assert!(peak(&parallel, "OpenBLAS-8x6") > peak(&parallel, "OpenBLAS-8x4"));
+    assert!(peak(&parallel, "OpenBLAS-8x6") > peak(&parallel, "ATLAS-5x5"));
+}
+
+#[test]
+fn table5_8x6_wins_everything() {
+    let mut est = Estimator::new();
+    let rows = table5(&mut est, &sizes());
+    let best = &rows[0];
+    assert_eq!(best.label, "OpenBLAS-8x6");
+    for r in &rows[1..] {
+        assert!(best.peak_serial >= r.peak_serial, "{}", r.label);
+        assert!(best.peak_parallel >= r.peak_parallel, "{}", r.label);
+        assert!(best.avg_serial >= r.avg_serial, "{}", r.label);
+        assert!(best.avg_parallel >= r.avg_parallel, "{}", r.label);
+    }
+    // serial efficiency exceeds parallel, as in the paper
+    assert!(best.peak_serial >= best.peak_parallel);
+}
+
+#[test]
+fn figure13_rotation_wins() {
+    let mut est = Estimator::new();
+    let curves = figure13(&mut est, &sizes());
+    assert_eq!(curves.len(), 4);
+    for pair in curves.chunks(2) {
+        assert!(
+            pair[0].avg_efficiency() > pair[1].avg_efficiency(),
+            "{} must beat {}",
+            pair[0].label,
+            pair[1].label
+        );
+    }
+}
+
+#[test]
+fn figure14_near_linear_scaling() {
+    let mut est = Estimator::new();
+    let curves = figure14(&mut est, &[1024]);
+    let g: Vec<f64> = curves.iter().map(|c| c.peak_gflops()).collect();
+    assert!(g[1] / g[0] > 1.85, "2-thread speedup {}", g[1] / g[0]);
+    assert!(g[2] / g[0] > 3.5, "4-thread speedup {}", g[2] / g[0]);
+    assert!(g[3] / g[0] > 6.5, "8-thread speedup {}", g[3] / g[0]);
+}
+
+#[test]
+fn table6_analytic_blocks_best_or_tied() {
+    let mut est = Estimator::new();
+    let rows = table6(&mut est, &sizes());
+    for setting in ["Serial", "Parallel (8 Threads)"] {
+        let ours = rows
+            .iter()
+            .find(|r| r.ours && r.setting == setting)
+            .unwrap();
+        for r in rows.iter().filter(|r| r.setting == setting && !r.ours) {
+            assert!(
+                ours.peak >= r.peak - 0.005,
+                "{setting}: {} ({}) must not lose to {} ({})",
+                ours.blocks,
+                ours.peak,
+                r.blocks,
+                r.peak
+            );
+        }
+    }
+}
+
+#[test]
+fn l1_study_orderings() {
+    let mut est = Estimator::new();
+    let rows = l1_study(&mut est, &[768]);
+    let loads = |label: &str, t: usize| {
+        rows.iter()
+            .find(|r| r.label.contains(label) && r.threads == t)
+            .unwrap()
+            .points[0]
+            .1
+    };
+    // Figure 15: 8x6 fewest loads, 4x4 most, both settings
+    for t in [1usize, 8] {
+        assert!(loads("8x6", t) < loads("8x4", t));
+        assert!(loads("8x4", t) < loads("4x4", t));
+    }
+    // Table VII: 8x4 has the lowest miss rate (as in the paper), yet
+    // Figure 11/12 has 8x6 fastest — the paper's point that load count,
+    // not miss rate, is what matters here.
+    let rate = |label: &str, t: usize| {
+        rows.iter()
+            .find(|r| r.label.contains(label) && r.threads == t)
+            .unwrap()
+            .points[0]
+            .2
+    };
+    assert!(rate("8x4", 1) < rate("8x6", 1));
+    assert!(rate("8x4", 1) < rate("4x4", 1));
+}
+
+#[test]
+fn estimates_bounded_by_peak() {
+    let mut est = Estimator::new();
+    for v in KernelVariant::FIGURE11 {
+        for t in [1usize, 2, 4, 8] {
+            let cfg = SimConfig::paper(v, t);
+            let p = est.estimate(&cfg, 640);
+            assert!(
+                p.efficiency > 0.3 && p.efficiency < 1.0,
+                "{} t={t}: {}",
+                v.label(),
+                p.efficiency
+            );
+            assert!(p.gflops <= 4.8 * t as f64 + 1e-9);
+        }
+    }
+}

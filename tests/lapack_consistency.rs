@@ -1,0 +1,259 @@
+//! Cross-routine consistency of the Level-3 / factorization stack: the
+//! algebraic identities that tie DGEMM, DSYRK, DSYMM, DTRSM, LU and
+//! Cholesky together must hold across kernels and thread counts.
+
+use dgemm_core::cholesky::{cholesky, cholesky_solve};
+use dgemm_core::gemm::{gemm, GemmConfig};
+use dgemm_core::level3::{dsymm, dsyrk, dtrsm, Diag, UpLo};
+use dgemm_core::lu::{hpl_residual, lu_factor};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::reference::naive_gemm;
+use dgemm_core::Transpose;
+
+fn spd(n: usize, seed: u64) -> Matrix {
+    let g = Matrix::random(n, n, seed);
+    let mut ggt = Matrix::zeros(n, n);
+    naive_gemm(
+        Transpose::No,
+        Transpose::Yes,
+        1.0,
+        &g.view(),
+        &g.view(),
+        0.0,
+        &mut ggt.view_mut(),
+    );
+    Matrix::from_fn(n, n, |i, j| {
+        ggt.get(i, j) + if i == j { n as f64 } else { 0.0 }
+    })
+}
+
+/// `dsyrk(A) == tril(A·Aᵀ)` computed through plain gemm, for every
+/// kernel.
+#[test]
+fn syrk_equals_gemm_triangle_across_kernels() {
+    let n = 60;
+    let k = 33;
+    let a = Matrix::random(n, k, 1);
+    let mut full = Matrix::zeros(n, n);
+    naive_gemm(
+        Transpose::No,
+        Transpose::Yes,
+        1.0,
+        &a.view(),
+        &a.view(),
+        0.0,
+        &mut full.view_mut(),
+    );
+    for kind in MicroKernelKind::ALL {
+        let cfg = GemmConfig::for_kernel(kind, 1);
+        let mut c = Matrix::zeros(n, n);
+        dsyrk(
+            UpLo::Lower,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                assert!(
+                    (c.get(i, j) - full.get(i, j)).abs() < 1e-9,
+                    "{} ({i},{j})",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Cholesky of `A` then `dsymm` with the reconstructed `L·Lᵀ` round-trips
+/// through the symmetric multiply.
+#[test]
+fn cholesky_dsymm_roundtrip() {
+    let n = 72;
+    let cfg = GemmConfig::default();
+    let a = spd(n, 2);
+    let l = cholesky(&a, &cfg).unwrap();
+    // reconstruct A's lower triangle via dsyrk on L
+    let mut llt = Matrix::zeros(n, n);
+    dsyrk(
+        UpLo::Lower,
+        Transpose::No,
+        1.0,
+        &l.view(),
+        0.0,
+        &mut llt.view_mut(),
+        &cfg,
+    )
+    .unwrap();
+    // dsymm reads only the stored triangle, so feeding llt (garbage upper
+    // = zeros) must act like full A
+    let x = Matrix::random(n, 5, 3);
+    let mut want = Matrix::zeros(n, 5);
+    naive_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &a.view(),
+        &x.view(),
+        0.0,
+        &mut want.view_mut(),
+    );
+    let mut got = Matrix::zeros(n, 5);
+    dsymm(
+        UpLo::Lower,
+        1.0,
+        &llt.view(),
+        &x.view(),
+        0.0,
+        &mut got.view_mut(),
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        got.max_abs_diff(&want) < 1e-8,
+        "{}",
+        got.max_abs_diff(&want)
+    );
+}
+
+/// LU and Cholesky must agree on the solution of an SPD system.
+#[test]
+fn lu_and_cholesky_agree_on_spd_systems() {
+    let n = 90;
+    let cfg = GemmConfig::default();
+    let a = spd(n, 4);
+    let b = Matrix::random(n, 2, 5);
+    let x_lu = lu_factor(&a, &cfg).unwrap().solve(&b, &cfg);
+    let l = cholesky(&a, &cfg).unwrap();
+    let x_chol = cholesky_solve(&l, &b, &cfg);
+    assert!(
+        x_lu.max_abs_diff(&x_chol) < 1e-8,
+        "{}",
+        x_lu.max_abs_diff(&x_chol)
+    );
+    assert!(hpl_residual(&a, &x_lu, &b) < 10.0);
+}
+
+/// `dtrsm` inverts the multiplication it is defined against:
+/// `trsm(L, L·X) == X` for every uplo/trans/diag combination.
+#[test]
+fn trsm_inverts_triangular_multiply() {
+    let m = 70;
+    let n = 9;
+    let cfg = GemmConfig::default();
+    let base: Matrix = Matrix::random(m, m, 6);
+    for uplo in [UpLo::Lower, UpLo::Upper] {
+        for trans in [Transpose::No, Transpose::Yes] {
+            for diag in [Diag::NonUnit, Diag::Unit] {
+                let tri = Matrix::from_fn(m, m, |i, j| {
+                    let stored = match uplo {
+                        UpLo::Lower => i >= j,
+                        UpLo::Upper => i <= j,
+                    };
+                    if i == j {
+                        if diag == Diag::Unit {
+                            1.0
+                        } else {
+                            2.0 + base.get(i, j).abs()
+                        }
+                    } else if stored {
+                        0.4 * base.get(i, j)
+                    } else {
+                        0.0
+                    }
+                });
+                let x = Matrix::random(m, n, 7);
+                let mut b = Matrix::zeros(m, n);
+                naive_gemm(
+                    trans,
+                    Transpose::No,
+                    1.0,
+                    &tri.view(),
+                    &x.view(),
+                    0.0,
+                    &mut b.view_mut(),
+                );
+                dtrsm(uplo, trans, diag, 1.0, &tri.view(), &mut b.view_mut(), &cfg).unwrap();
+                assert!(
+                    b.max_abs_diff(&x) < 1e-8,
+                    "{uplo:?}/{trans:?}/{diag:?}: {}",
+                    b.max_abs_diff(&x)
+                );
+            }
+        }
+    }
+}
+
+/// Threaded factorizations must match serial ones exactly (same
+/// arithmetic, different scheduling of disjoint tiles).
+#[test]
+fn threaded_factorizations_match_serial() {
+    let n = 150;
+    let a = spd(n, 8);
+    let serial = GemmConfig::default();
+    let threaded = GemmConfig {
+        threads: 4,
+        ..GemmConfig::default()
+    };
+    let l1 = cholesky(&a, &serial).unwrap();
+    let l2 = cholesky(&a, &threaded).unwrap();
+    assert!(l1.max_abs_diff(&l2) < 1e-11);
+    let f1 = lu_factor(&a, &serial).unwrap();
+    let f2 = lu_factor(&a, &threaded).unwrap();
+    assert_eq!(f1.pivots, f2.pivots);
+    assert!(f1.lu.max_abs_diff(&f2.lu) < 1e-11);
+}
+
+/// Batched GEMM with a shared B equals per-element GEMM calls.
+#[test]
+fn batch_equals_loop_of_gemms() {
+    use dgemm_core::batch::gemm_batch_shared_b;
+    let (m, n, k, batch) = (40, 35, 30, 5);
+    let a_mats: Vec<Matrix> = (0..batch)
+        .map(|i| Matrix::random(m, k, 10 + i as u64))
+        .collect();
+    let b = Matrix::random(k, n, 20);
+    let cfg = GemmConfig::default();
+
+    let mut want: Vec<Matrix> = (0..batch).map(|_| Matrix::zeros(m, n)).collect();
+    for (a, c) in a_mats.iter().zip(want.iter_mut()) {
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        );
+    }
+
+    let mut got: Vec<Matrix> = (0..batch).map(|_| Matrix::zeros(m, n)).collect();
+    let a_views: Vec<_> = a_mats.iter().map(Matrix::view).collect();
+    let mut c_views: Vec<_> = got.iter_mut().map(Matrix::view_mut).collect();
+    gemm_batch_shared_b(
+        1.0,
+        &a_views,
+        Transpose::No,
+        &b.view(),
+        0.0,
+        &mut c_views,
+        &cfg,
+    )
+    .unwrap();
+    drop(c_views);
+
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(
+            g.max_abs_diff(w),
+            0.0,
+            "identical code path, identical bits"
+        );
+    }
+}
