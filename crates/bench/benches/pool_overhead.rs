@@ -1,0 +1,103 @@
+//! Runtime-overhead benchmark: the persistent pool vs spawn-per-GEPP
+//! scoped threads vs the serial walk, same kernel and blocking.
+//!
+//! The pool's whole point is to amortize what the scoped runtime pays on
+//! every `(jj, kk)` macro-iteration — thread spawns and packing-buffer
+//! allocations — so the interesting sizes are **small** ones where that
+//! fixed cost dominates. 256³ is the headline comparison; the paper-scale
+//! 2000³ run is gated behind `DGEMM_BENCH_LARGE=1` (minutes per sample on
+//! a small host). A repeated-small-GEMM case models the batch-of-tiny
+//! workload where amortization matters most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgemm_core::gemm::{gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::Parallelism;
+use dgemm_core::util::gemm_flops;
+use dgemm_core::Transpose;
+use std::hint::black_box;
+
+fn runtimes(threads: usize) -> [(&'static str, Parallelism); 3] {
+    [
+        ("serial", Parallelism::Serial),
+        ("scoped_spawn", Parallelism::Scoped(threads)),
+        ("pool", Parallelism::Pool(threads)),
+    ]
+}
+
+fn bench_square(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let mut sizes = vec![256usize];
+    if std::env::var("DGEMM_BENCH_LARGE").is_ok_and(|v| v == "1") {
+        sizes.push(2000);
+    }
+    let mut group = c.benchmark_group("pool_overhead");
+    for &n in &sizes {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+        for (label, par) in runtimes(threads) {
+            let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads.max(2))
+                .with_parallelism(par);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+                let mut cmat = Matrix::zeros(n, n);
+                bench.iter(|| {
+                    gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &a.view(),
+                        &b.view(),
+                        0.0,
+                        &mut cmat.view_mut(),
+                        &cfg,
+                    );
+                    black_box(cmat.get(0, 0))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_small_stream(c: &mut Criterion) {
+    // 32 back-to-back 64x64x64 GEMMs: fixed per-call runtime cost is a
+    // large fraction of the work, so this isolates spawn/alloc overhead.
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let n = 64usize;
+    let reps = 32usize;
+    let a = Matrix::random(n, n, 3);
+    let b = Matrix::random(n, n, 4);
+    let mut group = c.benchmark_group("pool_small_stream");
+    group.throughput(Throughput::Elements(
+        (reps as f64 * gemm_flops(n, n, n)) as u64,
+    ));
+    for (label, par) in runtimes(threads) {
+        let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads.max(2))
+            .with_blocks(64, 24, 48)
+            .with_parallelism(par);
+        group.bench_function(BenchmarkId::new(label, format!("{reps}x{n}")), |bench| {
+            let mut cmat = Matrix::zeros(n, n);
+            bench.iter(|| {
+                for _ in 0..reps {
+                    gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &a.view(),
+                        &b.view(),
+                        0.0,
+                        &mut cmat.view_mut(),
+                        &cfg,
+                    );
+                }
+                black_box(cmat.get(0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_square, bench_small_stream);
+criterion_main!(benches);

@@ -11,8 +11,8 @@
 
 use crate::gemm::GemmConfig;
 use crate::matrix::{MatrixView, MatrixViewMut};
-use crate::pack::PackedB;
-use crate::parallel::{run_layer3, Layer3Params};
+use crate::parallel::{run_layer3, run_layer3_scoped, Layer3Params};
+use crate::pool::{gemm_pooled, Parallelism, PoolScalar};
 use crate::tile::TileMut;
 use crate::{GemmError, Transpose};
 
@@ -69,8 +69,79 @@ pub fn gemm_batch_shared_b(
         return Ok(());
     }
 
+    match cfg.parallelism {
+        Parallelism::Pool(threads) => {
+            // every entry's mc-blocks are dispatched into the same epoch,
+            // all sharing one Arc'd packed panel of B
+            gemm_pooled(
+                Transpose::No,
+                transb,
+                alpha,
+                a_batch,
+                b,
+                c_batch,
+                cfg.kernel,
+                cfg.blocks,
+                threads,
+            );
+        }
+        Parallelism::Scoped(threads) if threads > 1 => {
+            f64::with_arena(|arena| {
+                let mut packed_b = arena.take_panel(cfg.kernel.nr());
+                batch_layer12(
+                    alpha,
+                    a_batch,
+                    transb,
+                    b,
+                    c_batch,
+                    cfg,
+                    &mut packed_b,
+                    |params, pb, panel| run_layer3_scoped(params, pb, panel, threads),
+                );
+                arena.put_panel(packed_b);
+            });
+        }
+        Parallelism::Serial | Parallelism::Scoped(_) => {
+            f64::with_arena(|arena| {
+                // ONE packed-A block buffer and ONE packed-B panel across
+                // blocks, macro-iterations and batch entries
+                let mut slot = arena.take_slot(cfg.kernel.mr());
+                let mut packed_b = arena.take_panel(cfg.kernel.nr());
+                batch_layer12(
+                    alpha,
+                    a_batch,
+                    transb,
+                    b,
+                    c_batch,
+                    cfg,
+                    &mut packed_b,
+                    |params, pb, panel| run_layer3(params, pb, panel, slot.pa_mut()),
+                );
+                arena.put_slot(slot);
+                arena.put_panel(packed_b);
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Layers 1–2 of the non-pooled batched driver: the shared operand is
+/// packed once per `(jj, kk)` macro-iteration into the caller's recycled
+/// panel and `run` executes layer 3 for each batch entry against it.
+#[allow(clippy::too_many_arguments)] // internal driver mirroring the entry point
+fn batch_layer12(
+    alpha: f64,
+    a_batch: &[MatrixView<'_>],
+    transb: Transpose,
+    b: &MatrixView<'_>,
+    c_batch: &mut [MatrixViewMut<'_>],
+    cfg: &GemmConfig,
+    packed_b: &mut crate::pack::PackedB,
+    mut run: impl FnMut(Layer3Params<'_>, &crate::pack::PackedB, TileMut<'_>),
+) {
+    let (m, k) = (a_batch[0].rows(), a_batch[0].cols());
+    let n = c_batch[0].cols();
     let (kc, mc, nc) = (cfg.blocks.kc, cfg.blocks.mc, cfg.blocks.nc);
-    let mut packed_b = PackedB::new(cfg.kernel.nr());
     let mut jj = 0usize;
     while jj < n {
         let nc_eff = nc.min(n - jj);
@@ -92,13 +163,12 @@ pub fn gemm_batch_shared_b(
                 let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
                 let ld = panel_view.ld();
                 let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
-                run_layer3(params, &packed_b, panel, cfg.threads);
+                run(params, packed_b, panel);
             }
             kk += kc_eff;
         }
         jj += nc_eff;
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -45,9 +45,7 @@ pub fn dgemm(
             "blocking register shape != kernel shape",
         ));
     }
-    if cfg.threads == 0 {
-        return Err(GemmError::BadConfig("thread count must be positive"));
-    }
+    cfg.parallelism.validate()?;
     gemm(transa, transb, alpha, a, b, beta, c, cfg);
     Ok(())
 }
@@ -203,7 +201,7 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, GemmError::BadConfig(_)));
         cfg = GemmConfig::default();
-        cfg.threads = 0;
+        cfg.parallelism = crate::pool::Parallelism::Pool(0);
         let err = dgemm(
             Transpose::No,
             Transpose::No,

@@ -16,16 +16,15 @@
 
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::{KernelSet, MicroKernelKind};
-use crate::pack::PackedB;
-use crate::parallel::{run_layer3, Layer3Params};
-use crate::scalar::Scalar;
+use crate::parallel::{run_layer3, run_layer3_scoped, Layer3Params};
+use crate::pool::{gemm_pooled, Parallelism, PoolScalar};
 use crate::tile::TileMut;
-use crate::Transpose;
+use crate::{GemmError, Transpose};
 use perfmodel::cacheblock::{solve_blocking, BlockSizes};
 use perfmodel::MachineDesc;
 
 /// Configuration of one GEMM invocation: register kernel, blocking and
-/// thread count.
+/// threading runtime.
 #[derive(Clone, Copy, Debug)]
 pub struct GemmConfig {
     /// Register kernel to use (layer 7).
@@ -33,13 +32,15 @@ pub struct GemmConfig {
     /// Cache blocking (layers 1–6). [`GemmConfig::for_kernel`] derives it
     /// analytically for the paper's machine.
     pub blocks: BlockSizes,
-    /// Worker threads for layer 3 (1 = serial).
-    pub threads: usize,
+    /// How layer 3 executes: serial, legacy spawn-per-GEPP, or the
+    /// persistent worker pool.
+    pub parallelism: Parallelism,
 }
 
 impl GemmConfig {
     /// Analytic configuration for a kernel and thread count on the
-    /// paper's machine (Table III).
+    /// paper's machine (Table III). `threads > 1` selects the persistent
+    /// worker pool ([`Parallelism::from_threads`]).
     #[must_use]
     pub fn for_kernel(kernel: MicroKernelKind, threads: usize) -> Self {
         let m = MachineDesc::xgene();
@@ -48,8 +49,32 @@ impl GemmConfig {
         GemmConfig {
             kernel,
             blocks,
-            threads,
+            parallelism: Parallelism::from_threads(threads),
         }
+    }
+
+    /// Configuration for the host at hand: the thread count comes from
+    /// the `DGEMM_NUM_THREADS` environment variable when set, otherwise
+    /// from [`std::thread::available_parallelism`]. An unparsable or
+    /// zero `DGEMM_NUM_THREADS` is a [`GemmError::BadConfig`].
+    pub fn auto() -> Result<Self, GemmError> {
+        let threads = match std::env::var("DGEMM_NUM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(GemmError::BadConfig(
+                        "DGEMM_NUM_THREADS must be a positive integer",
+                    ))
+                }
+            },
+            Err(std::env::VarError::NotUnicode(_)) => {
+                return Err(GemmError::BadConfig("DGEMM_NUM_THREADS is not unicode"))
+            }
+            Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads))
     }
 
     /// Same kernel/threads but explicit `kc×mc×nc` (for sensitivity
@@ -58,6 +83,19 @@ impl GemmConfig {
     pub fn with_blocks(mut self, kc: usize, mc: usize, nc: usize) -> Self {
         self.blocks = BlockSizes::custom(self.kernel.mr(), self.kernel.nr(), kc, mc, nc);
         self
+    }
+
+    /// Same kernel/blocking but an explicit threading runtime.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured parallel degree (1 for serial).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.parallelism.degree()
     }
 }
 
@@ -95,15 +133,15 @@ pub fn gemm(
         c,
         cfg.kernel,
         cfg.blocks,
-        cfg.threads,
+        cfg.parallelism,
     );
 }
 
-/// The generic blocked GEMM core (any [`Scalar`], any [`KernelSet`]):
+/// The generic blocked GEMM core (any [`PoolScalar`], any [`KernelSet`]):
 /// the same layered loops serve the paper's DGEMM and the derived
 /// SGEMM ([`crate::sgemm`]).
 #[allow(clippy::too_many_arguments)]
-pub fn gemm_with<T: Scalar, K: KernelSet<T>>(
+pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     transa: Transpose,
     transb: Transpose,
     alpha: T,
@@ -113,7 +151,7 @@ pub fn gemm_with<T: Scalar, K: KernelSet<T>>(
     c: &mut MatrixViewMut<'_, T>,
     kernel: K,
     blocks: BlockSizes,
-    threads: usize,
+    parallelism: Parallelism,
 ) {
     let (m, ka) = transa.apply_dims(a.rows(), a.cols());
     let (kb, n) = transb.apply_dims(b.rows(), b.cols());
@@ -131,9 +169,97 @@ pub fn gemm_with<T: Scalar, K: KernelSet<T>>(
         return;
     }
 
-    let BlockSizes { kc, mc, nc, .. } = blocks;
-    let mut packed_b = PackedB::new(kernel.nr());
+    match parallelism {
+        Parallelism::Pool(threads) => {
+            gemm_pooled(
+                transa,
+                transb,
+                alpha,
+                core::slice::from_ref(a),
+                b,
+                core::slice::from_mut(c),
+                kernel,
+                blocks,
+                threads,
+            );
+        }
+        Parallelism::Scoped(threads) if threads > 1 => {
+            gemm_scoped(transa, transb, alpha, a, b, c, kernel, blocks, threads);
+        }
+        Parallelism::Serial | Parallelism::Scoped(_) => {
+            gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks);
+        }
+    }
+}
 
+/// Serial layers 1–3, drawing the hoisted packed-A block and packed-B
+/// panel from the thread-local arena so repeated calls (and every
+/// macro-iteration within one) reuse the same two buffers.
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial<T: PoolScalar, K: KernelSet<T>>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    kernel: K,
+    blocks: BlockSizes,
+) {
+    let (m, k) = transa.apply_dims(a.rows(), a.cols());
+    let n = c.cols();
+    let BlockSizes { kc, mc, nc, .. } = blocks;
+    T::with_arena(|arena| {
+        let mut slot = arena.take_slot(kernel.mr());
+        let mut packed_b = arena.take_panel(kernel.nr());
+        let mut jj = 0usize;
+        while jj < n {
+            let nc_eff = nc.min(n - jj);
+            let mut kk = 0usize;
+            while kk < k {
+                let kc_eff = kc.min(k - kk);
+                packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
+                let params = Layer3Params {
+                    a,
+                    transa,
+                    kk,
+                    kc_eff,
+                    alpha,
+                    kernel,
+                    mc,
+                };
+                // C panel: all m rows, columns jj..jj+nc_eff
+                let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
+                let ld = panel_view.ld();
+                let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
+                run_layer3(params, &packed_b, panel, slot.pa_mut());
+                kk += kc_eff;
+            }
+            jj += nc_eff;
+        }
+        arena.put_slot(slot);
+        arena.put_panel(packed_b);
+    });
+}
+
+/// The seed's spawn-per-GEPP path, kept verbatim behind
+/// [`Parallelism::Scoped`] as the pool's measurement baseline.
+#[allow(clippy::too_many_arguments)]
+fn gemm_scoped<T: PoolScalar, K: KernelSet<T>>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    kernel: K,
+    blocks: BlockSizes,
+    threads: usize,
+) {
+    let (m, k) = transa.apply_dims(a.rows(), a.cols());
+    let n = c.cols();
+    let BlockSizes { kc, mc, nc, .. } = blocks;
+    let mut packed_b = crate::pack::PackedB::new(kernel.nr());
     let mut jj = 0usize;
     while jj < n {
         let nc_eff = nc.min(n - jj);
@@ -150,11 +276,10 @@ pub fn gemm_with<T: Scalar, K: KernelSet<T>>(
                 kernel,
                 mc,
             };
-            // C panel: all m rows, columns jj..jj+nc_eff
             let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
             let ld = panel_view.ld();
             let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
-            run_layer3(params, &packed_b, panel, threads);
+            run_layer3_scoped(params, &packed_b, panel, threads);
             kk += kc_eff;
         }
         jj += nc_eff;
@@ -204,10 +329,8 @@ mod tests {
         );
 
         let mut got = c0.clone();
-        let mut cfg = GemmConfig::for_kernel(kind, threads);
-        cfg.threads = threads;
         // shrink blocks so tests cross block boundaries quickly
-        cfg = cfg.with_blocks(24, 16.max(kind.mr() * 2), 32);
+        let cfg = GemmConfig::for_kernel(kind, threads).with_blocks(24, 16.max(kind.mr() * 2), 32);
         gemm(
             transa,
             transb,
@@ -360,7 +483,8 @@ mod tests {
             (cfg.blocks.kc, cfg.blocks.mc, cfg.blocks.nc),
             (512, 56, 1920)
         );
-        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.parallelism, Parallelism::Serial);
+        assert_eq!(cfg.threads(), 1);
     }
 
     #[test]
@@ -370,6 +494,83 @@ mod tests {
             (cfg.blocks.kc, cfg.blocks.mc, cfg.blocks.nc),
             (512, 24, 1792)
         );
+    }
+
+    #[test]
+    fn for_kernel_threads_map_to_runtime() {
+        assert_eq!(
+            GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1).parallelism,
+            Parallelism::Serial
+        );
+        assert_eq!(
+            GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 8).parallelism,
+            Parallelism::Pool(8)
+        );
+    }
+
+    /// One test body for every `auto()` case: the env-var reads would
+    /// race if split across parallel test threads.
+    #[test]
+    fn auto_config_reads_environment() {
+        std::env::remove_var("DGEMM_NUM_THREADS");
+        let cfg = GemmConfig::auto().unwrap();
+        assert!(cfg.threads() >= 1);
+        assert!(cfg.parallelism.validate().is_ok());
+
+        std::env::set_var("DGEMM_NUM_THREADS", "3");
+        let cfg = GemmConfig::auto().unwrap();
+        assert_eq!(cfg.parallelism, Parallelism::Pool(3));
+
+        std::env::set_var("DGEMM_NUM_THREADS", "1");
+        let cfg = GemmConfig::auto().unwrap();
+        assert_eq!(cfg.parallelism, Parallelism::Serial);
+
+        for bad in ["0", "-2", "lots", ""] {
+            std::env::set_var("DGEMM_NUM_THREADS", bad);
+            assert!(GemmConfig::auto().is_err(), "accepted {bad:?}");
+        }
+        std::env::remove_var("DGEMM_NUM_THREADS");
+    }
+
+    /// The pool reorders nothing that matters: each C element's
+    /// accumulation order is fixed by the (jj, kk) epoch walk, so the
+    /// pooled and scoped runtimes must match the serial walk bit for bit.
+    #[test]
+    fn runtimes_are_bitwise_identical() {
+        for (m, n, k) in [(120, 70, 45), (61, 33, 29), (8, 96, 512)] {
+            let a = Matrix::random(m, k, 21);
+            let b = Matrix::random(k, n, 22);
+            let c0 = Matrix::random(m, n, 23);
+            let base = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1).with_blocks(32, 16, 24);
+            let mut out = Vec::new();
+            for par in [
+                Parallelism::Serial,
+                Parallelism::Scoped(3),
+                Parallelism::Pool(3),
+                Parallelism::Pool(5), // ragged: blocks % workers != 0
+            ] {
+                let cfg = base.with_parallelism(par);
+                let mut c = c0.clone();
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    1.25,
+                    &a.view(),
+                    &b.view(),
+                    -0.5,
+                    &mut c.view_mut(),
+                    &cfg,
+                );
+                out.push(c);
+            }
+            for c in &out[1..] {
+                assert_eq!(
+                    c.max_abs_diff(&out[0]),
+                    0.0,
+                    "runtime diverges from serial on {m}x{n}x{k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,8 @@
 //! | [`microkernel`] | layer 7 | the `mr×nr` rank-1-update register kernels |
 //! | [`gebp`] | layers 4–6 | GEBP / GEBS / GESS loop nest over packed data |
 //! | [`gemm`] | layers 1–3 | `nc`/`kc`/`mc` blocking, β-scaling, driver |
-//! | [`parallel`] | layer 3 | M-dimension thread partitioning (Section IV-C) |
+//! | [`parallel`] | layer 3 | serial walk + static band partitioning (Section IV-C) |
+//! | [`pool`] | layer 3 | persistent worker pool, dynamic `mc`-block scheduling, buffer arenas |
 //! | [`blas`] | — | BLAS-style checked entry points |
 //! | [`level3`] | — | DSYRK/DSYMM/DTRSM built on the same GEBP engine |
 //! | [`lu`] | — | blocked LU with partial pivoting (the LINPACK workload) |
@@ -63,11 +64,14 @@ pub mod matrix;
 pub mod microkernel;
 pub mod pack;
 pub mod parallel;
+pub mod pool;
 pub mod reference;
 pub mod scalar;
 pub mod sgemm;
 pub mod tile;
 pub mod util;
+
+pub use pool::Parallelism;
 
 /// Transposition selector for a GEMM operand, as in BLAS.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]

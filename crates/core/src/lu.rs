@@ -355,10 +355,7 @@ mod tests {
         let serial = lu_factor(&a, &GemmConfig::default())
             .unwrap()
             .solve(&b, &GemmConfig::default());
-        let cfg = GemmConfig {
-            threads: 4,
-            ..GemmConfig::default()
-        };
+        let cfg = GemmConfig::default().with_parallelism(crate::pool::Parallelism::from_threads(4));
         let parallel = lu_factor(&a, &cfg).unwrap().solve(&b, &cfg);
         assert!(serial.max_abs_diff(&parallel) < 1e-10);
     }

@@ -90,6 +90,16 @@ impl<T: Scalar> PackedA<T> {
         }
     }
 
+    /// Re-aim a recycled buffer at a (possibly different) kernel's
+    /// sliver height, keeping the allocation. The buffer is empty until
+    /// the next [`PackedA::pack`].
+    pub fn retarget(&mut self, mr: usize) {
+        self.mr = mr;
+        self.mc = 0;
+        self.kc = 0;
+        self.buf.clear();
+    }
+
     /// The sliver-major packed buffer.
     #[must_use]
     pub fn buf(&self) -> &[T] {
@@ -230,6 +240,16 @@ impl<T: Scalar> PackedB<T> {
                 });
             }
         });
+    }
+
+    /// Re-aim a recycled buffer at a (possibly different) kernel's
+    /// sliver width, keeping the allocation. The buffer is empty until
+    /// the next [`PackedB::pack`].
+    pub fn retarget(&mut self, nr: usize) {
+        self.nr = nr;
+        self.kc = 0;
+        self.nc = 0;
+        self.buf.clear();
     }
 
     /// The sliver-major packed buffer.

@@ -6,6 +6,13 @@
 //! maximizes locality in the shared L3, where the B panel lives. Threads
 //! update disjoint row bands of C, which [`TileMut::split_rows`] expresses
 //! safely.
+//!
+//! This module holds the serial layer-3 walk ([`run_layer3`]), the
+//! static band partitioner ([`partition_rows`]) and the legacy
+//! spawn-per-GEPP parallel path ([`run_layer3_scoped`]). The default
+//! parallel path now lives in [`crate::pool`]: a persistent worker pool
+//! that schedules `mc`-blocks dynamically and recycles every packing
+//! buffer, with this module's static bands as its even-split fallback.
 
 #![forbid(unsafe_code)]
 
@@ -63,11 +70,31 @@ pub struct Layer3Params<'a, T: Scalar = f64, K = crate::microkernel::MicroKernel
     pub mc: usize,
 }
 
-/// Run layer 3 over the whole M dimension, serially or with `threads`
-/// OS threads (one per core in the paper's setup). `c_panel` is the
-/// `m × nc_eff` band of C this macro-iteration updates; `packed_b` is the
-/// shared packed panel of B.
+/// Run layer 3 serially over the whole M dimension on the calling
+/// thread. `c_panel` is the `m × nc_eff` band of C this macro-iteration
+/// updates; `packed_b` is the shared packed panel of B; `pa` is the
+/// caller's (arena-recycled) packed-A buffer, reused across every
+/// `mc`-block, macro-iteration and GEMM call so the steady-state serial
+/// path allocates nothing.
 pub fn run_layer3<T: Scalar, K: KernelSet<T>>(
+    params: Layer3Params<'_, T, K>,
+    packed_b: &PackedB<T>,
+    c_panel: TileMut<'_, T>,
+    pa: &mut PackedA<T>,
+) {
+    if c_panel.rows() == 0 || packed_b.nc() == 0 {
+        return;
+    }
+    band(params, packed_b, 0, c_panel, pa);
+}
+
+/// The original spawn-per-GEPP parallel path: one `thread::scope` of up
+/// to `threads` threads per macro-iteration, each allocating its own
+/// packed-A buffer. Kept as the baseline behind
+/// [`crate::pool::Parallelism::Scoped`] so the persistent pool's
+/// amortization is measurable against it
+/// (`crates/bench/benches/pool_overhead.rs`).
+pub fn run_layer3_scoped<T: Scalar, K: KernelSet<T>>(
     params: Layer3Params<'_, T, K>,
     packed_b: &PackedB<T>,
     c_panel: TileMut<'_, T>,

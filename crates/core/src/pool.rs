@@ -1,0 +1,696 @@
+//! Persistent worker-pool runtime for layer 3 (Section IV-C, Figure 9).
+//!
+//! The original parallel path spawned a fresh set of OS threads for
+//! *every* `(jj, kk)` macro-iteration — one `thread::scope` per GEPP —
+//! and every band allocated its own packed-A buffer. For the large
+//! problems of the paper's evaluation that overhead vanishes, but for
+//! the small/batched GEMMs layered workloads issue (LU panels, im2col
+//! convolutions, batched inference) the spawn + allocate cost dominates.
+//! This module replaces that with a process-wide pool of persistent
+//! workers and per-caller-thread buffer arenas:
+//!
+//! - **[`WorkerPool`]**: lazily started, detached worker threads parked
+//!   on an MPMC channel. A GEMM call enqueues one *job* per `mc`-block
+//!   (or per static band) and workers race to pull them — dynamic
+//!   scheduling that load-balances ragged tails, falling back to the
+//!   static contiguous-band assignment of [`crate::parallel::partition_rows`]
+//!   when the blocks divide evenly. Steady state spawns **zero** threads.
+//! - **[`GemmArena`]**: a thread-local free list of [`BlockSlot`]s
+//!   (packed-A buffer + C staging buffer) and packed-B panels, recycled
+//!   across `mc`-blocks, macro-iterations, GEMM calls and batch entries.
+//!   Steady state performs **zero** packing-buffer allocations.
+//!
+//! ## Ownership-transfer epochs
+//!
+//! Persistent workers outlive any one GEMM call, so (in safe Rust) the
+//! closures they execute cannot borrow the caller's matrices. The
+//! runtime therefore splits each `(jj, kk)` macro-iteration into an
+//! *epoch* built only from owned data:
+//!
+//! 1. the **caller** packs the shared B panel into a pool-recycled
+//!    buffer and wraps it in an [`Arc`];
+//! 2. per `mc`-block, the caller packs A into a recycled [`BlockSlot`]
+//!    (which also stages that block's rows of the C panel) and sends the
+//!    slot — owned — through the job channel;
+//! 3. **workers** run GEBP on the slot's owned buffers against the
+//!    shared panel and send the slot back on a per-call done channel;
+//! 4. the caller *helps drain the queue* while waiting at the epoch
+//!    barrier, then reclaims the panel via [`Arc::try_unwrap`].
+//!
+//! Packing is thus pipelined against worker compute (the caller
+//! dispatches each block as soon as it is packed), in place of the
+//! paper's pack-everything-then-barrier. C blocks are staged in once
+//! per `jj` panel, accumulate across all `kk` epochs and are written
+//! back once, which keeps the floating-point accumulation order — and
+//! therefore every output bit — identical to the serial path.
+
+#![forbid(unsafe_code)]
+
+use crate::gebp::gebp;
+use crate::matrix::{MatrixView, MatrixViewMut};
+use crate::microkernel::KernelSet;
+use crate::pack::{PackedA, PackedB};
+use crate::scalar::Scalar;
+use crate::tile::TileMut;
+use crate::{GemmError, Transpose};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use perfmodel::cacheblock::BlockSizes;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How a GEMM call executes layer 3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Single-threaded on the calling thread, no staging copies.
+    #[default]
+    Serial,
+    /// Legacy spawn-per-GEPP path: a `thread::scope` of `n` threads per
+    /// macro-iteration (kept as the baseline the pool is measured
+    /// against; see `crates/bench/benches/pool_overhead.rs`).
+    Scoped(usize),
+    /// The persistent worker pool with `n`-way parallelism (the calling
+    /// thread participates, so `Pool(n)` keeps at most `n − 1` workers
+    /// busy plus itself).
+    Pool(usize),
+}
+
+impl Parallelism {
+    /// Idiomatic mapping from a BLAS-style thread count: `n <= 1` is
+    /// [`Parallelism::Serial`], anything larger uses the pool.
+    #[must_use]
+    pub fn from_threads(n: usize) -> Self {
+        if n <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Pool(n)
+        }
+    }
+
+    /// The parallel degree: how many threads participate in layer 3.
+    #[must_use]
+    pub fn degree(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Scoped(n) | Parallelism::Pool(n) => n.max(1),
+        }
+    }
+
+    /// Reject degenerate configurations (`Scoped(0)` / `Pool(0)`), the
+    /// checked entry points' counterpart of the old `threads == 0` test.
+    pub fn validate(self) -> Result<(), GemmError> {
+        match self {
+            Parallelism::Scoped(0) | Parallelism::Pool(0) => {
+                Err(GemmError::BadConfig("thread count must be positive"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide pool of persistent layer-3 workers.
+///
+/// Workers are detached threads parked on the job channel; they are
+/// spawned lazily by [`WorkerPool::ensure_workers`] and never exit, so
+/// after warm-up a GEMM call costs zero thread spawns. Jobs are pure
+/// compute over owned buffers, which keeps the caller's
+/// help-while-waiting drain loop deadlock-free.
+pub struct WorkerPool {
+    injector: Sender<Task>,
+    stealer: Receiver<Task>,
+    workers: AtomicUsize,
+    grow: Mutex<()>,
+    tasks: AtomicU64,
+    dynamic_epochs: AtomicU64,
+    static_epochs: AtomicU64,
+}
+
+/// A snapshot of the pool's counters (see [`stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned so far (never shrinks).
+    pub workers: usize,
+    /// Jobs enqueued over the pool's lifetime.
+    pub tasks: u64,
+    /// Epochs scheduled dynamically (workers race per `mc`-block).
+    pub dynamic_epochs: u64,
+    /// Epochs that fell back to static contiguous-band assignment.
+    pub static_epochs: u64,
+}
+
+/// Counter snapshot of the global pool — observability for tests and
+/// the steady-state acceptance criteria (worker count must stabilize
+/// after warm-up).
+#[must_use]
+pub fn stats() -> PoolStats {
+    let pool = WorkerPool::global();
+    PoolStats {
+        workers: pool.workers(),
+        tasks: pool.tasks.load(Ordering::Relaxed),
+        dynamic_epochs: pool.dynamic_epochs.load(Ordering::Relaxed),
+        static_epochs: pool.static_epochs.load(Ordering::Relaxed),
+    }
+}
+
+impl WorkerPool {
+    /// The lazily-initialized process-wide pool.
+    #[must_use]
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (injector, stealer) = channel::unbounded();
+            WorkerPool {
+                injector,
+                stealer,
+                workers: AtomicUsize::new(0),
+                grow: Mutex::new(()),
+                tasks: AtomicU64::new(0),
+                dynamic_epochs: AtomicU64::new(0),
+                static_epochs: AtomicU64::new(0),
+            }
+        })
+    }
+
+    /// Worker threads currently alive.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.load(Ordering::Acquire)
+    }
+
+    /// Upper bound on pool size: callers participate too, so there is
+    /// no point holding more workers than a small multiple of the
+    /// hardware concurrency even if callers over-subscribe.
+    fn max_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .saturating_mul(4)
+    }
+
+    /// Grow the pool to at least `want` workers (clamped to
+    /// [`WorkerPool::max_workers`]). Idempotent and cheap once satisfied:
+    /// the fast path is one atomic load.
+    pub fn ensure_workers(&self, want: usize) {
+        let want = want.min(Self::max_workers());
+        if self.workers.load(Ordering::Acquire) >= want {
+            return;
+        }
+        let _guard = self.grow.lock().expect("pool grow lock poisoned");
+        let have = self.workers.load(Ordering::Acquire);
+        for i in have..want {
+            let stealer = self.stealer.clone();
+            std::thread::Builder::new()
+                .name(format!("dgemm-pool-{i}"))
+                .spawn(move || {
+                    // The pool itself holds a receiver, so this loop only
+                    // ends with the process.
+                    for task in stealer.iter() {
+                        task();
+                    }
+                })
+                .expect("failed to spawn dgemm pool worker");
+        }
+        if want > have {
+            self.workers.store(want, Ordering::Release);
+        }
+    }
+
+    fn submit(&self, task: Task) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        // The pool keeps a receiver alive forever, so send cannot fail.
+        self.injector
+            .send(task)
+            .unwrap_or_else(|_| unreachable!("pool job channel disconnected"));
+    }
+
+    /// Pop one queued job and run it on the current thread. Used by
+    /// callers waiting at an epoch barrier so the queue drains even when
+    /// every worker is busy (including when the pool has zero workers).
+    pub fn try_run_one(&self) -> bool {
+        match self.stealer.try_recv() {
+            Ok(task) => {
+                task();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// One `mc`-block's worth of owned working memory: the packed-A buffer
+/// plus the staged rows of the current C panel. Slots are recycled
+/// through [`GemmArena`] and travel caller → worker → caller by value.
+#[derive(Debug)]
+pub struct BlockSlot<T: Scalar> {
+    pa: PackedA<T>,
+    /// Staged `mc_eff × nc_eff` C block, column-major with `ld = mc_eff`.
+    staging: Vec<T>,
+    /// Which batch entry this block belongs to.
+    entry: usize,
+    /// First row of `op(A)` / C covered by this block.
+    row0: usize,
+    /// Rows covered (`<= mc`).
+    mc_eff: usize,
+}
+
+impl<T: Scalar> BlockSlot<T> {
+    /// The slot's packed-A buffer — the serial path borrows it as its
+    /// hoisted per-call block buffer.
+    pub(crate) fn pa_mut(&mut self) -> &mut PackedA<T> {
+        &mut self.pa
+    }
+}
+
+/// Thread-local free lists of packing buffers, so steady-state GEMM
+/// calls allocate nothing: block slots and B panels are taken at the
+/// start of a panel/epoch and returned when it completes. The serial
+/// path draws its (single) hoisted packed-A/packed-B pair from the same
+/// arena.
+#[derive(Debug, Default)]
+pub struct GemmArena<T: Scalar> {
+    slots: Vec<BlockSlot<T>>,
+    panels: Vec<PackedB<T>>,
+    fresh: u64,
+}
+
+impl<T: Scalar> GemmArena<T> {
+    fn new() -> Self {
+        GemmArena {
+            slots: Vec::new(),
+            panels: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// Buffers constructed from scratch (cold path). Stable across calls
+    /// once the arena has warmed up on a shape — the steady-state
+    /// zero-allocation criterion the tests assert.
+    #[must_use]
+    pub fn fresh_buffers(&self) -> u64 {
+        self.fresh
+    }
+
+    pub(crate) fn take_slot(&mut self, mr: usize) -> BlockSlot<T> {
+        match self.slots.pop() {
+            Some(mut slot) => {
+                slot.pa.retarget(mr);
+                slot
+            }
+            None => {
+                self.fresh += 1;
+                BlockSlot {
+                    pa: PackedA::new(mr),
+                    staging: Vec::new(),
+                    entry: 0,
+                    row0: 0,
+                    mc_eff: 0,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn put_slot(&mut self, slot: BlockSlot<T>) {
+        self.slots.push(slot);
+    }
+
+    pub(crate) fn take_panel(&mut self, nr: usize) -> PackedB<T> {
+        match self.panels.pop() {
+            Some(mut panel) => {
+                panel.retarget(nr);
+                panel
+            }
+            None => {
+                self.fresh += 1;
+                PackedB::new(nr)
+            }
+        }
+    }
+
+    pub(crate) fn put_panel(&mut self, panel: PackedB<T>) {
+        self.panels.push(panel);
+    }
+}
+
+thread_local! {
+    static ARENA_F64: RefCell<GemmArena<f64>> = RefCell::new(GemmArena::new());
+    static ARENA_F32: RefCell<GemmArena<f32>> = RefCell::new(GemmArena::new());
+}
+
+/// A [`Scalar`] with a thread-local [`GemmArena`] (thread-locals cannot
+/// be generic, so each element type declares its own).
+pub trait PoolScalar: Scalar {
+    /// Run `f` with this thread's arena. Re-entrant calls (a GEMM issued
+    /// from inside another GEMM's packing) fall back to a throwaway
+    /// arena instead of aliasing the borrowed one.
+    fn with_arena<R>(f: impl FnOnce(&mut GemmArena<Self>) -> R) -> R;
+}
+
+macro_rules! impl_pool_scalar {
+    ($t:ty, $tls:ident) => {
+        impl PoolScalar for $t {
+            fn with_arena<R>(f: impl FnOnce(&mut GemmArena<Self>) -> R) -> R {
+                $tls.with(|cell| match cell.try_borrow_mut() {
+                    Ok(mut arena) => f(&mut arena),
+                    Err(_) => f(&mut GemmArena::new()),
+                })
+            }
+        }
+    };
+}
+
+impl_pool_scalar!(f64, ARENA_F64);
+impl_pool_scalar!(f32, ARENA_F32);
+
+/// Epoch-barrier message: a slot coming back from a worker.
+struct Done<T: Scalar> {
+    slot: BlockSlot<T>,
+    panicked: bool,
+}
+
+/// Returns every slot of a job run to the caller even if GEBP panics
+/// mid-run, so the barrier can never deadlock on a lost done message.
+struct RunGuard<T: Scalar> {
+    slots: Vec<BlockSlot<T>>,
+    tx: Sender<Done<T>>,
+}
+
+impl<T: Scalar> Drop for RunGuard<T> {
+    fn drop(&mut self) {
+        let panicked = std::thread::panicking();
+        for slot in self.slots.drain(..) {
+            let _ = self.tx.send(Done { slot, panicked });
+        }
+    }
+}
+
+/// GEBP one staged block against the shared panel.
+fn run_block<T: Scalar, K: KernelSet<T>>(
+    kernel: K,
+    alpha: T,
+    slot: &mut BlockSlot<T>,
+    panel: &PackedB<T>,
+    nc_eff: usize,
+) {
+    let mc_eff = slot.mc_eff;
+    let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), &mut slot.staging);
+    gebp(kernel, alpha, &slot.pa, panel, &mut tile);
+}
+
+/// Enqueue one job covering `slots` (one slot in dynamic mode, a whole
+/// band in static mode).
+fn submit_run<T: PoolScalar, K: KernelSet<T>>(
+    pool: &WorkerPool,
+    kernel: K,
+    alpha: T,
+    slots: Vec<BlockSlot<T>>,
+    panel: Arc<PackedB<T>>,
+    nc_eff: usize,
+    tx: Sender<Done<T>>,
+) {
+    pool.submit(Box::new(move || {
+        let mut guard = RunGuard { slots, tx };
+        for slot in guard.slots.iter_mut() {
+            run_block(kernel, alpha, slot, &panel, nc_eff);
+        }
+        // Release the shared panel before the guard signals done, so the
+        // caller's `Arc::try_unwrap` reclaims the buffer.
+        drop(panel);
+    }));
+}
+
+/// Collect `outstanding` done messages, running queued jobs on this
+/// thread while waiting (so the epoch completes even with zero workers).
+fn drain_epoch<T: Scalar>(
+    pool: &WorkerPool,
+    done_rx: &Receiver<Done<T>>,
+    outstanding: usize,
+    slots: &mut Vec<BlockSlot<T>>,
+) {
+    let mut received = 0usize;
+    let mut poisoned = false;
+    while received < outstanding {
+        match done_rx.try_recv() {
+            Ok(done) => {
+                poisoned |= done.panicked;
+                slots.push(done.slot);
+                received += 1;
+                continue;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                unreachable!("caller holds the done sender")
+            }
+        }
+        if pool.try_run_one() {
+            continue;
+        }
+        // Queue empty: the remaining jobs are running on other threads
+        // and will post their dones; park until one arrives.
+        match done_rx.recv() {
+            Ok(done) => {
+                poisoned |= done.panicked;
+                slots.push(done.slot);
+                received += 1;
+            }
+            Err(_) => unreachable!("caller holds the done sender"),
+        }
+    }
+    assert!(!poisoned, "dgemm pool worker panicked during layer 3");
+}
+
+fn stage_in<T: Scalar>(
+    slot: &mut BlockSlot<T>,
+    c: &mut MatrixViewMut<'_, T>,
+    jj: usize,
+    nc_eff: usize,
+) {
+    let mc_eff = slot.mc_eff;
+    slot.staging.clear();
+    slot.staging.reserve(mc_eff * nc_eff);
+    let mut band = c.sub_mut(slot.row0, jj, mc_eff, nc_eff);
+    for j in 0..nc_eff {
+        slot.staging.extend_from_slice(band.col_mut(j));
+    }
+}
+
+fn stage_out<T: Scalar>(
+    slot: &BlockSlot<T>,
+    c: &mut MatrixViewMut<'_, T>,
+    jj: usize,
+    nc_eff: usize,
+) {
+    let mc_eff = slot.mc_eff;
+    let mut band = c.sub_mut(slot.row0, jj, mc_eff, nc_eff);
+    for j in 0..nc_eff {
+        band.col_mut(j)
+            .copy_from_slice(&slot.staging[j * mc_eff..(j + 1) * mc_eff]);
+    }
+}
+
+/// The pooled layers 1–3 driver, unified over single GEMMs (a batch of
+/// one) and shared-B batches (all entries' blocks dispatched into the
+/// same epoch, sharing one packed panel).
+///
+/// β must already be applied to every C; shapes must already be
+/// validated (all `A_i` are `m×k` under `transa`, all `C_i` are `m×n`).
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the batch
+pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a_batch: &[MatrixView<'_, T>],
+    b: &MatrixView<'_, T>,
+    c_batch: &mut [MatrixViewMut<'_, T>],
+    kernel: K,
+    blocks: BlockSizes,
+    degree: usize,
+) {
+    debug_assert_eq!(a_batch.len(), c_batch.len());
+    let Some(first_a) = a_batch.first() else {
+        return;
+    };
+    let (m, k) = transa.apply_dims(first_a.rows(), first_a.cols());
+    let n = c_batch[0].cols();
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let BlockSizes { kc, mc, nc, .. } = blocks;
+    let degree = degree.max(1);
+
+    let pool = WorkerPool::global();
+    pool.ensure_workers(degree.saturating_sub(1));
+    let (done_tx, done_rx) = channel::unbounded::<Done<T>>();
+
+    T::with_arena(|arena| {
+        let mut slots: Vec<BlockSlot<T>> = Vec::new();
+        let mut jj = 0usize;
+        while jj < n {
+            let nc_eff = nc.min(n - jj);
+
+            // Stage in: one slot per (entry, mc-block) holds its rows of
+            // the C panel across every kk epoch, so the accumulation
+            // order matches the serial path bit for bit.
+            for (entry, c) in c_batch.iter_mut().enumerate() {
+                let mut ii = 0usize;
+                while ii < m {
+                    let mc_eff = mc.min(m - ii);
+                    let mut slot = arena.take_slot(kernel.mr());
+                    slot.entry = entry;
+                    slot.row0 = ii;
+                    slot.mc_eff = mc_eff;
+                    stage_in(&mut slot, c, jj, nc_eff);
+                    slots.push(slot);
+                    ii += mc_eff;
+                }
+            }
+            let total = slots.len();
+            let workers = degree.min(total);
+            // Static contiguous bands when the blocks divide evenly
+            // (the partition_rows assignment); otherwise dynamic: one
+            // job per block, workers race to pull them.
+            let static_bands = workers > 1 && total.is_multiple_of(workers);
+
+            let mut kk = 0usize;
+            while kk < k {
+                let kc_eff = kc.min(k - kk);
+                let mut panel = arena.take_panel(kernel.nr());
+                panel.pack(b, transb, kk, jj, kc_eff, nc_eff);
+                let panel = Arc::new(panel);
+
+                if static_bands {
+                    pool.static_epochs.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    pool.dynamic_epochs.fetch_add(1, Ordering::Relaxed);
+                }
+                let run_len = if static_bands { total / workers } else { 1 };
+                let mut run: Vec<BlockSlot<T>> = Vec::with_capacity(run_len);
+                for mut slot in slots.drain(..) {
+                    // The caller packs A (workers cannot read the
+                    // borrowed operand); each job ships as soon as its
+                    // blocks are packed, pipelining pack against compute.
+                    slot.pa.pack(
+                        &a_batch[slot.entry],
+                        transa,
+                        slot.row0,
+                        kk,
+                        slot.mc_eff,
+                        kc_eff,
+                    );
+                    run.push(slot);
+                    if run.len() == run_len {
+                        submit_run(
+                            pool,
+                            kernel,
+                            alpha,
+                            std::mem::replace(&mut run, Vec::with_capacity(run_len)),
+                            Arc::clone(&panel),
+                            nc_eff,
+                            done_tx.clone(),
+                        );
+                    }
+                }
+                debug_assert!(run.is_empty());
+
+                drain_epoch(pool, &done_rx, total, &mut slots);
+                // Deterministic block order for the next epoch's static
+                // bands (dones arrive in completion order).
+                slots.sort_unstable_by_key(|s| (s.entry, s.row0));
+                if let Ok(panel) = Arc::try_unwrap(panel) {
+                    arena.put_panel(panel);
+                }
+                kk += kc_eff;
+            }
+
+            for slot in std::mem::take(&mut slots) {
+                stage_out(&slot, &mut c_batch[slot.entry], jj, nc_eff);
+                arena.put_slot(slot);
+            }
+            jj += nc_eff;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_threads_mapping() {
+        assert_eq!(Parallelism::from_threads(0), Parallelism::Serial);
+        assert_eq!(Parallelism::from_threads(1), Parallelism::Serial);
+        assert_eq!(Parallelism::from_threads(4), Parallelism::Pool(4));
+    }
+
+    #[test]
+    fn degree_and_validate() {
+        assert_eq!(Parallelism::Serial.degree(), 1);
+        assert_eq!(Parallelism::Scoped(3).degree(), 3);
+        assert_eq!(Parallelism::Pool(8).degree(), 8);
+        assert!(Parallelism::Pool(0).validate().is_err());
+        assert!(Parallelism::Scoped(0).validate().is_err());
+        assert!(Parallelism::Serial.validate().is_ok());
+        assert!(Parallelism::Pool(2).validate().is_ok());
+    }
+
+    #[test]
+    fn pool_runs_submitted_tasks() {
+        let pool = WorkerPool::global();
+        pool.ensure_workers(2);
+        assert!(pool.workers() >= 2);
+        let (tx, rx) = channel::unbounded();
+        for i in 0..32 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        let mut got: Vec<i32> = (0..32).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caller_drains_queue_without_workers() {
+        // try_run_one lets a caller make progress on its own jobs even
+        // if every worker is busy elsewhere.
+        let pool = WorkerPool::global();
+        let (tx, rx) = channel::unbounded();
+        pool.submit(Box::new(move || {
+            tx.send(7u32).unwrap();
+        }));
+        // Either a worker already took it, or we run it inline.
+        while rx.try_recv().is_err() {
+            pool.try_run_one();
+        }
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut arena: GemmArena<f64> = GemmArena::new();
+        let slot = arena.take_slot(8);
+        let panel = arena.take_panel(6);
+        assert_eq!(arena.fresh_buffers(), 2);
+        arena.put_slot(slot);
+        arena.put_panel(panel);
+        // Reuse, including across a kernel change (retarget).
+        let slot = arena.take_slot(4);
+        let panel = arena.take_panel(4);
+        assert_eq!(slot.pa.mr(), 4);
+        assert_eq!(panel.nr(), 4);
+        assert_eq!(arena.fresh_buffers(), 2);
+        arena.put_slot(slot);
+        arena.put_panel(panel);
+    }
+
+    #[test]
+    fn with_arena_is_reentrant() {
+        let depth2 = f64::with_arena(|outer| {
+            outer.take_slot(8);
+            // Inner call must not panic on the borrowed thread-local.
+            f64::with_arena(|inner| inner.fresh_buffers())
+        });
+        assert_eq!(depth2, 0);
+    }
+}

@@ -19,6 +19,7 @@
 use crate::gemm::gemm_with;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::SgemmKernelKind;
+use crate::pool::Parallelism;
 use crate::{GemmError, Transpose};
 use perfmodel::cacheblock::{solve_blocking, BlockSizes};
 use perfmodel::MachineDesc;
@@ -30,8 +31,9 @@ pub struct SgemmConfig {
     pub kernel: SgemmKernelKind,
     /// Cache blocking (derived with `element = 4`).
     pub blocks: BlockSizes,
-    /// Worker threads for layer 3.
-    pub threads: usize,
+    /// How layer 3 executes (shared with DGEMM — the same pool serves
+    /// both precisions, each with its own thread-local arena).
+    pub parallelism: Parallelism,
 }
 
 /// The paper's machine re-described for f32 elements.
@@ -54,7 +56,7 @@ impl SgemmConfig {
         SgemmConfig {
             kernel,
             blocks,
-            threads,
+            parallelism: Parallelism::from_threads(threads),
         }
     }
 
@@ -63,6 +65,19 @@ impl SgemmConfig {
     pub fn with_blocks(mut self, kc: usize, mc: usize, nc: usize) -> Self {
         self.blocks = BlockSizes::custom(self.kernel.mr(), self.kernel.nr(), kc, mc, nc);
         self
+    }
+
+    /// Same kernel/blocking but an explicit threading runtime.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured parallel degree (1 for serial).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.parallelism.degree()
     }
 }
 
@@ -108,9 +123,7 @@ pub fn sgemm(
             "blocking register shape != kernel shape",
         ));
     }
-    if cfg.threads == 0 {
-        return Err(GemmError::BadConfig("thread count must be positive"));
-    }
+    cfg.parallelism.validate()?;
     gemm_with(
         transa,
         transb,
@@ -121,7 +134,7 @@ pub fn sgemm(
         c,
         cfg.kernel,
         cfg.blocks,
-        cfg.threads,
+        cfg.parallelism,
     );
     Ok(())
 }
@@ -173,9 +186,8 @@ mod tests {
         );
 
         let mut got = c0.clone();
-        let mut cfg = SgemmConfig::for_kernel(kind, threads);
-        cfg.threads = threads;
-        cfg = cfg.with_blocks(24, kind.mr() * 2, kind.nr() * 3);
+        let cfg =
+            SgemmConfig::for_kernel(kind, threads).with_blocks(24, kind.mr() * 2, kind.nr() * 3);
         sgemm(
             ta,
             tb,

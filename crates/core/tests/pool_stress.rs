@@ -1,0 +1,111 @@
+//! Concurrency stress for the persistent worker pool: many caller
+//! threads hammer the one process-wide pool with small GEMMs, and every
+//! result must be *bit-identical* to the serial walk — the pool never
+//! changes any element's accumulation order, it only reorders disjoint
+//! `mc`-block updates.
+
+use dgemm_core::gemm::{gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::Parallelism;
+use dgemm_core::Transpose;
+use proptest::prelude::*;
+
+/// Compute `C := α·A·B + β·C` under the given runtime.
+fn run(
+    par: Parallelism,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+    blocks: (usize, usize, usize),
+) -> Matrix {
+    let a = Matrix::random(m, k, seed);
+    let b = Matrix::random(k, n, seed + 1);
+    let mut c = Matrix::random(m, n, seed + 2);
+    let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1)
+        .with_blocks(blocks.0, blocks.1, blocks.2)
+        .with_parallelism(par);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        1.5,
+        &a.view(),
+        &b.view(),
+        -0.25,
+        &mut c.view_mut(),
+        &cfg,
+    );
+    c
+}
+
+/// Many caller threads sharing the one global pool, each issuing a
+/// stream of small GEMMs. Every pooled result must equal the serial
+/// result exactly, under contention, for every caller.
+#[test]
+fn concurrent_callers_share_one_pool() {
+    const CALLERS: usize = 8;
+    const REPS: usize = 12;
+    let errors: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut bad = Vec::new();
+                    for r in 0..REPS {
+                        let seed = (t * REPS + r) as u64;
+                        // shapes vary per caller/rep to stagger epochs
+                        let m = 16 + 9 * t + r;
+                        let n = 10 + 5 * ((t + r) % 4);
+                        let k = 8 + 7 * (r % 5);
+                        let want = run(Parallelism::Serial, m, n, k, seed, (24, 16, 18));
+                        let got = run(Parallelism::Pool(4), m, n, k, seed, (24, 16, 18));
+                        if got.max_abs_diff(&want) != 0.0 {
+                            bad.push(format!("caller {t} rep {r}: {m}x{n}x{k} diverged"));
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stress caller panicked"))
+            .collect()
+    });
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+/// A caller with a degree far above the machine's core count still
+/// completes and agrees with serial (callers help drain the queue, so
+/// over-subscription can stall nothing).
+#[test]
+fn oversubscribed_degree_completes() {
+    let want = run(Parallelism::Serial, 150, 90, 64, 77, (32, 16, 24));
+    let got = run(Parallelism::Pool(64), 150, 90, 64, 77, (32, 16, 24));
+    assert_eq!(got.max_abs_diff(&want), 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: pooled output is bit-identical to `threads = 1` for
+    /// arbitrary ragged shapes, degrees and (hostile) block sizes.
+    #[test]
+    fn pooled_bit_identical_to_serial(
+        m in 1usize..80,
+        n in 1usize..60,
+        k in 1usize..50,
+        degree in 2usize..7,
+        kc in 4usize..40,
+        mc_mult in 1usize..4,
+        nc_mult in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let mr = MicroKernelKind::Mk8x6.mr();
+        let nr = MicroKernelKind::Mk8x6.nr();
+        let blocks = (kc, mr * mc_mult, nr * nc_mult);
+        let want = run(Parallelism::Serial, m, n, k, seed, blocks);
+        let got = run(Parallelism::Pool(degree), m, n, k, seed, blocks);
+        prop_assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+}

@@ -9,7 +9,7 @@ use dgemm_core::microkernel::MicroKernelKind;
 use dgemm_core::pack::{PackedA, PackedB};
 use dgemm_core::reference::naive_gemm;
 use dgemm_core::util::gemm_tolerance;
-use dgemm_core::Transpose;
+use dgemm_core::{Parallelism, Transpose};
 use proptest::prelude::*;
 
 fn kernel_strategy() -> impl Strategy<Value = MicroKernelKind> {
@@ -58,7 +58,7 @@ proptest! {
 
         let mut got = c0.clone();
         let mut cfg = GemmConfig::for_kernel(kind, 1);
-        cfg.threads = threads;
+        cfg.parallelism = Parallelism::from_threads(threads);
         cfg = cfg.with_blocks(kc, kind.mr() * mc_mult, kind.nr() * nc_mult);
         gemm(ta, tb, alpha, &a.view(), &b.view(), beta, &mut got.view_mut(), &cfg);
 

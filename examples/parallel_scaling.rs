@@ -21,11 +21,25 @@ fn main() {
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
 
+    // honor DGEMM_NUM_THREADS like a BLAS would
+    match GemmConfig::auto() {
+        Ok(cfg) => println!(
+            "auto config: {} thread(s), {:?}, blocks {}",
+            cfg.threads(),
+            cfg.parallelism,
+            cfg.blocks.label()
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!();
+
     println!("native layer-3 threading on this host (n = {n}):");
     let mut serial = None;
     for threads in [1usize, 2, 4, 8] {
-        let mut cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads);
-        cfg.threads = threads;
+        let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads);
         let mut c = Matrix::zeros(n, n);
         let t0 = Instant::now();
         dgemm(
@@ -47,6 +61,53 @@ fn main() {
             dt * 1e3,
             gf,
             cfg.blocks.label()
+        );
+    }
+
+    // the persistent pool vs the legacy spawn-per-GEPP runtime, same
+    // degree: the gap is the amortized thread-spawn + buffer-alloc cost
+    println!();
+    println!("runtime comparison at 4-way parallelism (n = {n}):");
+    for (label, par) in [
+        ("pool (persistent)", Parallelism::Pool(4)),
+        ("scoped (spawning)", Parallelism::Scoped(4)),
+    ] {
+        let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 4).with_parallelism(par);
+        let mut c = Matrix::zeros(n, n);
+        // warm-up populates the pool and the packing arenas
+        for _ in 0..2 {
+            dgemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+        }
+        let t0 = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            dgemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "  {label}: {:7.1} ms  {:6.2} Gflops",
+            dt * 1e3,
+            gemm_flops(n, n, n) / dt / 1e9
         );
     }
     println!(

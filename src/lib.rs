@@ -58,7 +58,7 @@ pub mod prelude {
     pub use dgemm_core::matrix::{Matrix, MatrixView, MatrixViewMut};
     pub use dgemm_core::microkernel::{MicroKernelKind, SgemmKernelKind};
     pub use dgemm_core::sgemm::{sgemm, SgemmConfig};
-    pub use dgemm_core::Transpose;
+    pub use dgemm_core::{Parallelism, Transpose};
     pub use perfmodel::cacheblock::{solve_blocking, BlockSizes};
     pub use perfmodel::regblock::{optimize_register_block, RegisterBlockChoice};
 }

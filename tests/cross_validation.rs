@@ -132,7 +132,6 @@ fn randomized_dgemm_against_oracle() {
 
         let mut got = c0.clone();
         let mut cfg = GemmConfig::for_kernel(kind, threads);
-        cfg.threads = threads;
         // small blocks to cross boundaries often
         cfg = cfg.with_blocks(
             17 + rng.next_below(40),
@@ -191,8 +190,7 @@ fn large_problem_full_paper_blocking() {
     );
     for threads in [1usize, 8] {
         let mut got = Matrix::zeros(m, n);
-        let mut cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads);
-        cfg.threads = threads;
+        let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads);
         gemm(
             Transpose::No,
             Transpose::No,

@@ -9,7 +9,7 @@ use dgemm_core::lu::{hpl_residual, lu_factor};
 use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
 use dgemm_core::reference::naive_gemm;
-use dgemm_core::Transpose;
+use dgemm_core::{Parallelism, Transpose};
 
 fn spd(n: usize, seed: u64) -> Matrix {
     let g = Matrix::random(n, n, seed);
@@ -196,10 +196,7 @@ fn threaded_factorizations_match_serial() {
     let n = 150;
     let a = spd(n, 8);
     let serial = GemmConfig::default();
-    let threaded = GemmConfig {
-        threads: 4,
-        ..GemmConfig::default()
-    };
+    let threaded = GemmConfig::default().with_parallelism(Parallelism::from_threads(4));
     let l1 = cholesky(&a, &serial).unwrap();
     let l2 = cholesky(&a, &threaded).unwrap();
     assert!(l1.max_abs_diff(&l2) < 1e-11);

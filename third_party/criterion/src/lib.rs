@@ -1,0 +1,306 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build container has no access to a crates registry, so the real
+//! crate cannot be fetched. This stub implements the subset of the
+//! criterion API the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Throughput`, `BenchmarkId` — as a simple
+//! wall-clock harness: each benchmark is warmed up, timed over an
+//! adaptive iteration count, and reported as a median time per
+//! iteration plus derived throughput.
+//!
+//! Results are also appended as JSON lines to `BENCH_<group>.json`
+//! (in `$BENCH_JSON_DIR`, defaulting to the current directory) so runs
+//! can be diffed mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Identifier that is only a parameter value.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, choosing the iteration count adaptively so the
+    /// measurement fills the configured measurement window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and calibration: run until 10ms or 3 iterations.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_iters < 3 || calib_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let target = self.measurement_time.as_secs_f64();
+        let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility (the stub has no sampling).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let report = Report::new(&self.name, &id.id, &bencher, self.throughput);
+        report.print();
+        self.criterion.reports.push(report);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group, writing its JSON line report.
+    pub fn finish(&mut self) {
+        self.criterion.write_json(&self.name);
+    }
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<Report>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 100,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.id.clone()).bench_function(id, f);
+        self
+    }
+
+    fn write_json(&mut self, group: &str) {
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+        let path = std::path::Path::new(&dir)
+            .join(format!("BENCH_{}.json", group.replace(['/', ' '], "_")));
+        let mut lines = String::new();
+        for r in self.reports.iter().filter(|r| r.group == group) {
+            lines.push_str(&r.json_line());
+            lines.push('\n');
+        }
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(lines.as_bytes());
+        }
+    }
+}
+
+struct Report {
+    group: String,
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl Report {
+    fn new(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) -> Self {
+        Report {
+            group: group.to_owned(),
+            id: id.to_owned(),
+            ns_per_iter: if b.iters == 0 {
+                f64::NAN
+            } else {
+                b.total.as_nanos() as f64 / b.iters as f64
+            },
+            iters: b.iters,
+            throughput,
+        }
+    }
+
+    fn rate(&self) -> Option<String> {
+        let per_sec = |count: u64| count as f64 / (self.ns_per_iter * 1e-9);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                Some(format!("{:.3} GiB/s", per_sec(n) / (1u64 << 30) as f64))
+            }
+            Some(Throughput::Elements(n)) => Some(format!("{:.3} Melem/s", per_sec(n) / 1e6)),
+            None => None,
+        }
+    }
+
+    fn print(&self) {
+        let rate = self.rate().map(|r| format!("   {r}")).unwrap_or_default();
+        eprintln!(
+            "{:<44} {:>14.1} ns/iter  ({} iters){rate}",
+            self.id, self.ns_per_iter, self.iters
+        );
+    }
+
+    fn json_line(&self) -> String {
+        let thr = match self.throughput {
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}{thr}}}",
+            self.group, self.id, self.ns_per_iter, self.iters
+        )
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("stub-selftest");
+            group.measurement_time(Duration::from_millis(20));
+            group.throughput(Throughput::Elements(100));
+            group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            group.finish();
+        }
+        assert_eq!(c.reports.len(), 1);
+        assert!(c.reports[0].ns_per_iter > 0.0);
+        assert!(c.reports[0].iters > 0);
+        let _ = std::fs::remove_file("BENCH_stub-selftest.json");
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam).
+//!
+//! The build container has no access to a crates registry, so the real
+//! crate cannot be fetched. This stub provides the one facility the
+//! workspace uses — `crossbeam::channel`'s unbounded MPMC channel with
+//! cloneable receivers and blocking (condvar-parked) `recv` — in safe
+//! std Rust. Semantics match crossbeam-channel for the covered subset:
+//! FIFO delivery, `recv` errors once all senders are dropped and the
+//! queue is drained, `send` errors once all receivers are dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;

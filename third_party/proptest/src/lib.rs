@@ -1,0 +1,219 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build container has no access to a crates registry, so the real
+//! crate cannot be fetched. This stub implements the exact subset of the
+//! proptest API the workspace's test suites use — `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `prop_oneof!`,
+//! range/tuple/map/select/vec/bool strategies and `ProptestConfig` — on
+//! top of a deterministic splitmix64 generator, so the property tests
+//! genuinely execute (with reproducible cases) instead of being
+//! compiled out.
+//!
+//! Shrinking is intentionally not implemented: on failure the macro
+//! panics with the case index, and the deterministic generator makes
+//! the case replayable by rerunning the same test binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Runner configuration (case count only, which is all the workspace
+/// configures).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategy combinators and primitive strategies, mirroring the
+/// `proptest::prelude::prop` module paths used by the test suites.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniformly random booleans.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly select one of the given values.
+        pub fn select<T: Clone + core::fmt::Debug>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires at least one value");
+            Select { values }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A `Vec` whose length is drawn from `len` and whose elements
+        /// are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// The prelude, as imported by every suite (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Generate one deterministic property-test function per `fn` item.
+///
+/// Mirrors proptest's surface syntax: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = result {
+                        ::core::panic!(
+                            "property {} failed at deterministic case {}/{}: {}",
+                            stringify!($name), case, cfg.cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Skip the current case unless `cond` holds (the stub counts skipped
+/// cases as passes; there is no rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Union::arm($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3usize..17,
+            y in -2.0f64..2.0,
+            z in 0u64..5,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y out of range: {y}");
+            prop_assert!(z < 5);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u64..8).prop_map(|n| n * 2), 1..20),
+            pick in prop::sample::select(vec![1usize, 2, 4]),
+            flag in prop::bool::ANY,
+            mixed in prop_oneof![(0u64..4).prop_map(|x| x as i64), (0u64..4).prop_map(|x| -(x as i64))],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|n| n % 2 == 0));
+            prop_assert!([1usize, 2, 4].contains(&pick));
+            prop_assume!(flag || v[0] % 2 == 0);
+            prop_assert!((-4..4).contains(&mixed));
+            prop_assert_eq!(pick.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("seed");
+        let mut b = crate::test_runner::TestRng::deterministic("seed");
+        let s = 0u64..1000;
+        for _ in 0..100 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The strategy trait and the primitive strategies / combinators the
+//! workspace's suites use.
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy
+/// is simply a sampling function over the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: core::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value through `f`.
+    fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + core::fmt::Debug>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform booleans (`prop::bool::ANY`).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform selection from a fixed list (`prop::sample::select`).
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone + core::fmt::Debug> {
+    pub(crate) values: Vec<T>,
+}
+
+impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: core::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The result of `prop::collection::vec`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Type-erased strategy arm, used by [`Union`] (`prop_oneof!`).
+type DynArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice between several strategies with a common value type.
+pub struct Union<V> {
+    arms: Vec<DynArm<V>>,
+}
+
+impl<V: core::fmt::Debug> Union<V> {
+    /// Build a union from type-erased arms (see [`Union::arm`]).
+    #[must_use]
+    pub fn new(arms: Vec<DynArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+
+    /// Erase one strategy into a sampling closure.
+    pub fn arm<S: Strategy<Value = V> + 'static>(strat: S) -> DynArm<V> {
+        Box::new(move |rng| strat.sample(rng))
+    }
+}
+
+impl<V: core::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[pick])(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                let off = rng.below(span);
+                #[allow(clippy::cast_possible_wrap)]
+                {
+                    self.start.wrapping_add(off as $ty)
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $ty;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}

@@ -1,0 +1,89 @@
+//! Deterministic random generator and failure type for the offline
+//! proptest stub.
+
+/// Error carried by a failing `prop_assert!` back to the case loop.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// splitmix64 generator, seeded from the property name so every test
+/// binary run replays the identical case sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a label (the property function name).
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, then one splitmix step to spread it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng { state: h };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Modulo bias is irrelevant at test-strategy scales.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_labels_distinct_streams() {
+        let a = TestRng::deterministic("alpha").next_u64();
+        let b = TestRng::deterministic("beta").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = TestRng::deterministic("floats");
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
