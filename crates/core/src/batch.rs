@@ -83,7 +83,8 @@ pub fn gemm_batch_shared_b(
                 cfg.kernel,
                 cfg.blocks,
                 threads,
-            );
+                cfg.epoch_timeout,
+            )?;
         }
         Parallelism::Scoped(threads) if threads > 1 => {
             f64::with_arena(|arena| {

@@ -7,7 +7,7 @@
 
 #![forbid(unsafe_code)]
 
-use crate::gemm::{gemm, GemmConfig};
+use crate::gemm::{try_gemm, GemmConfig};
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::{GemmError, Transpose};
 
@@ -46,8 +46,7 @@ pub fn dgemm(
         ));
     }
     cfg.parallelism.validate()?;
-    gemm(transa, transb, alpha, a, b, beta, c, cfg);
-    Ok(())
+    try_gemm(transa, transb, alpha, a, b, beta, c, cfg)
 }
 
 /// Raw-slice variant: column-major `a` (`lda ≥ rows(A)`), `b`, `c`

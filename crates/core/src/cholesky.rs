@@ -10,7 +10,7 @@
 use crate::gemm::GemmConfig;
 use crate::level3::{dsyrk, dtrsm, Diag, UpLo};
 use crate::matrix::Matrix;
-use crate::Transpose;
+use crate::{GemmError, Transpose};
 
 /// Failure: the matrix is not positive definite.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,11 +27,55 @@ impl core::fmt::Display for NotPositiveDefinite {
 
 impl std::error::Error for NotPositiveDefinite {}
 
+/// Any failure of the blocked factorization: numerical (matrix not
+/// positive definite) or a GEMM runtime fault from the trailing update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// A diagonal pivot turned non-positive.
+    NotPositiveDefinite(NotPositiveDefinite),
+    /// The panel solve or trailing update reported a runtime fault.
+    Gemm(GemmError),
+}
+
+impl core::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite(e) => e.fmt(f),
+            CholeskyError::Gemm(e) => write!(f, "Cholesky update failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+impl From<NotPositiveDefinite> for CholeskyError {
+    fn from(e: NotPositiveDefinite) -> Self {
+        CholeskyError::NotPositiveDefinite(e)
+    }
+}
+
+impl From<GemmError> for CholeskyError {
+    fn from(e: GemmError) -> Self {
+        CholeskyError::Gemm(e)
+    }
+}
+
+impl CholeskyError {
+    /// The column of a numerical failure, if that is what this is.
+    #[must_use]
+    pub fn indefinite_column(&self) -> Option<usize> {
+        match self {
+            CholeskyError::NotPositiveDefinite(e) => Some(e.column),
+            CholeskyError::Gemm(_) => None,
+        }
+    }
+}
+
 const NB: usize = 48;
 
 /// Factor a symmetric positive-definite matrix (lower triangle read):
 /// returns `L` (lower triangular) with `A = L·Lᵀ`.
-pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, NotPositiveDefinite> {
+pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, CholeskyError> {
     assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
     let n = a.rows();
     // work on a full copy; the strict upper triangle is zeroed at the end
@@ -47,7 +91,7 @@ pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, NotPositiveDefin
                 d -= l.get(k, c) * l.get(k, c);
             }
             if d <= 0.0 {
-                return Err(NotPositiveDefinite { column: k });
+                return Err(NotPositiveDefinite { column: k }.into());
             }
             let d = d.sqrt();
             l.set(k, k, d);
@@ -75,8 +119,7 @@ pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, NotPositiveDefin
                 &Matrix::from_fn(w, w, |i, j| l.get(j0 + i, j0 + j)).view(),
                 &mut xt.view_mut(),
                 cfg,
-            )
-            .expect("consistent shapes");
+            )?;
             for j in 0..rest {
                 for i in 0..w {
                     l.set(j0 + w + j, j0 + i, xt.get(i, j));
@@ -94,8 +137,7 @@ pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, NotPositiveDefin
                 1.0,
                 &mut a22.view_mut(),
                 cfg,
-            )
-            .expect("consistent shapes");
+            )?;
             for j in 0..rest {
                 for i in j..rest {
                     l.set(j0 + w + i, j0 + w + j, a22.get(i, j));
@@ -114,8 +156,7 @@ pub fn cholesky(a: &Matrix, cfg: &GemmConfig) -> Result<Matrix, NotPositiveDefin
 }
 
 /// Solve `A·X = B` given the Cholesky factor `L` (`A = L·Lᵀ`).
-#[must_use]
-pub fn cholesky_solve(l: &Matrix, b: &Matrix, cfg: &GemmConfig) -> Matrix {
+pub fn cholesky_solve(l: &Matrix, b: &Matrix, cfg: &GemmConfig) -> Result<Matrix, GemmError> {
     let mut x = b.clone();
     dtrsm(
         UpLo::Lower,
@@ -125,8 +166,7 @@ pub fn cholesky_solve(l: &Matrix, b: &Matrix, cfg: &GemmConfig) -> Matrix {
         &l.view(),
         &mut x.view_mut(),
         cfg,
-    )
-    .expect("consistent shapes");
+    )?;
     dtrsm(
         UpLo::Lower,
         Transpose::Yes,
@@ -135,9 +175,8 @@ pub fn cholesky_solve(l: &Matrix, b: &Matrix, cfg: &GemmConfig) -> Matrix {
         &l.view(),
         &mut x.view_mut(),
         cfg,
-    )
-    .expect("consistent shapes");
-    x
+    )?;
+    Ok(x)
 }
 
 /// Flops of a Cholesky factorization (`n³/3`).
@@ -212,7 +251,7 @@ mod tests {
         let mut a = spd(6, 6);
         a.set(3, 3, -5.0); // break positive definiteness
         let err = cholesky(&a, &GemmConfig::default()).unwrap_err();
-        assert!(err.column <= 3);
+        assert!(err.indefinite_column().expect("numerical failure") <= 3);
     }
 
     #[test]
@@ -231,7 +270,7 @@ mod tests {
             &mut b.view_mut(),
         );
         let l = cholesky(&a, &GemmConfig::default()).unwrap();
-        let x = cholesky_solve(&l, &b, &GemmConfig::default());
+        let x = cholesky_solve(&l, &b, &GemmConfig::default()).unwrap();
         assert!(
             x.max_abs_diff(&x_true) < 1e-8,
             "{}",

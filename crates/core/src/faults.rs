@@ -1,0 +1,269 @@
+//! Deterministic fault injection for the pool runtime.
+//!
+//! Compiled under the `fault-injection` feature, this module lets tests
+//! install a [`FaultPlan`] describing *which* failure to provoke and
+//! *when* (the nth occurrence of the corresponding injection site).
+//! Four sites exist, matching the failure model in DESIGN.md §10:
+//!
+//! | site | hook | effect when fired |
+//! |------|------|-------------------|
+//! | job execution | `panic_in_job` | the GEBP job panics mid-epoch |
+//! | job execution | `slow_job_delay` | the job sleeps past the watchdog deadline (pool threads only) |
+//! | worker spawn  | `fail_spawn` | `thread::Builder::spawn` is treated as failed |
+//! | buffer growth | `fail_alloc` | `try_reserve` is treated as failed |
+//!
+//! A fifth pseudo-site, `take_worker_kill`, makes a worker exit its
+//! loop *after* completing a task — simulating a cleanly dead thread
+//! (the respawn path) without losing in-flight work.
+//!
+//! Occurrence counters are global atomics, so plans are deterministic
+//! for a fixed interleaving of calls: "fail the 3rd allocation" always
+//! fails the 3rd allocation. Plans can also be derived from a seed
+//! ([`FaultPlan::from_seed`]) or from `DGEMM_FAULT_SEED` in the
+//! environment ([`install_from_env`]), which is how the property suite
+//! explores the fault space reproducibly.
+//!
+//! With the feature disabled every hook is an inline no-op, so the
+//! production pool runtime carries zero overhead (verified by the
+//! `pool_steady_state` suite and the `pool_overhead` bench).
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "fault-injection")]
+pub use enabled::*;
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use crate::util::SplitMix64;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, PoisonError};
+    use std::time::Duration;
+
+    /// Fires an injection site on occurrences `nth .. nth + count`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Trigger {
+        /// Zero-based occurrence index of the first firing.
+        pub nth: u64,
+        /// How many consecutive occurrences fire.
+        pub count: u64,
+    }
+
+    impl Trigger {
+        /// Fire exactly once, on occurrence `nth`.
+        #[must_use]
+        pub fn once(nth: u64) -> Self {
+            Trigger { nth, count: 1 }
+        }
+
+        pub(crate) fn hits(self, occurrence: u64) -> bool {
+            occurrence >= self.nth && occurrence - self.nth < self.count
+        }
+    }
+
+    /// Which faults to inject and when.
+    ///
+    /// `None` sites never fire. Install with [`install`]; remove with
+    /// [`clear`]. Installing (or clearing) resets all occurrence
+    /// counters, so each installed plan observes a fresh numbering.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct FaultPlan {
+        /// Panic inside a pool job (a GEBP block run).
+        pub worker_panic: Option<Trigger>,
+        /// Delay a pool job by the given duration (fires only on pool
+        /// worker threads, never on the help-draining caller).
+        pub slow_worker: Option<(Trigger, Duration)>,
+        /// Report worker-thread spawn as failed.
+        pub spawn_fail: Option<Trigger>,
+        /// Report buffer allocation (`try_reserve`) as failed.
+        pub alloc_fail: Option<Trigger>,
+        /// Make a worker exit its loop after finishing a task.
+        pub worker_kill: Option<Trigger>,
+    }
+
+    impl FaultPlan {
+        /// Derive a single-fault plan deterministically from a seed.
+        ///
+        /// The fault kind, occurrence index, and (for slow workers) the
+        /// delay all come from a `SplitMix64` stream, so one `u64`
+        /// reproduces the exact failure. Used by the property suite to
+        /// sweep the fault space.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            let mut rng = SplitMix64::new(seed);
+            let nth = rng.next_u64() % 4;
+            let mut plan = FaultPlan::default();
+            match rng.next_u64() % 5 {
+                0 => plan.worker_panic = Some(Trigger::once(nth)),
+                1 => {
+                    let delay = Duration::from_millis(40 + rng.next_u64() % 40);
+                    plan.slow_worker = Some((Trigger::once(nth), delay));
+                }
+                2 => {
+                    plan.spawn_fail = Some(Trigger {
+                        nth: 0,
+                        count: nth + 1,
+                    })
+                }
+                3 => plan.alloc_fail = Some(Trigger::once(nth)),
+                _ => plan.worker_kill = Some(Trigger::once(nth)),
+            }
+            plan
+        }
+    }
+
+    static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+    static PANIC_HITS: AtomicU64 = AtomicU64::new(0);
+    static SLOW_HITS: AtomicU64 = AtomicU64::new(0);
+    static SPAWN_HITS: AtomicU64 = AtomicU64::new(0);
+    static ALLOC_HITS: AtomicU64 = AtomicU64::new(0);
+    static KILL_HITS: AtomicU64 = AtomicU64::new(0);
+
+    fn reset_counters() {
+        PANIC_HITS.store(0, Ordering::SeqCst);
+        SLOW_HITS.store(0, Ordering::SeqCst);
+        SPAWN_HITS.store(0, Ordering::SeqCst);
+        ALLOC_HITS.store(0, Ordering::SeqCst);
+        KILL_HITS.store(0, Ordering::SeqCst);
+    }
+
+    /// Install a plan, resetting all occurrence counters.
+    ///
+    /// Fault state is process-global (the pool under test is), so tests
+    /// that install plans must serialize against each other.
+    pub fn install(plan: FaultPlan) {
+        let mut guard = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+        reset_counters();
+        *guard = Some(plan);
+    }
+
+    /// Remove any installed plan and reset counters.
+    pub fn clear() {
+        let mut guard = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+        reset_counters();
+        *guard = None;
+    }
+
+    /// Install the plan seeded by `DGEMM_FAULT_SEED`, if set and valid.
+    ///
+    /// Returns the seed on success so harnesses can log it.
+    pub fn install_from_env() -> Option<u64> {
+        let seed: u64 = std::env::var("DGEMM_FAULT_SEED")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        install(FaultPlan::from_seed(seed));
+        Some(seed)
+    }
+
+    fn plan() -> Option<FaultPlan> {
+        *PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn fired(counter: &AtomicU64, trigger: Option<Trigger>) -> bool {
+        let Some(trigger) = trigger else { return false };
+        let occurrence = counter.fetch_add(1, Ordering::SeqCst);
+        trigger.hits(occurrence)
+    }
+
+    fn on_pool_thread() -> bool {
+        std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("dgemm-pool-"))
+    }
+
+    /// Injection site: start of a pool job. Panics when the plan says so.
+    pub(crate) fn panic_in_job() {
+        if fired(&PANIC_HITS, plan().and_then(|p| p.worker_panic)) {
+            panic!("injected worker panic (dgemm fault-injection)");
+        }
+    }
+
+    /// Injection site: start of a pool job on a worker thread. Sleeps
+    /// past the watchdog deadline when the plan says so.
+    pub(crate) fn slow_job_delay() {
+        let Some((trigger, delay)) = plan().and_then(|p| p.slow_worker) else {
+            return;
+        };
+        if on_pool_thread() && fired(&SLOW_HITS, Some(trigger)) {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Injection site: worker-thread spawn. `true` = pretend it failed.
+    pub(crate) fn fail_spawn() -> bool {
+        fired(&SPAWN_HITS, plan().and_then(|p| p.spawn_fail))
+    }
+
+    /// Injection site: buffer `try_reserve`. `true` = pretend it failed.
+    pub(crate) fn fail_alloc() -> bool {
+        fired(&ALLOC_HITS, plan().and_then(|p| p.alloc_fail))
+    }
+
+    /// Injection site: end of a worker's task loop iteration. `true` =
+    /// the worker should exit (simulated death; respawn path).
+    pub(crate) fn take_worker_kill() -> bool {
+        fired(&KILL_HITS, plan().and_then(|p| p.worker_kill))
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod disabled {
+    /// No-op injection hooks: the production build pays nothing.
+    #[inline(always)]
+    pub(crate) fn panic_in_job() {}
+    #[inline(always)]
+    pub(crate) fn slow_job_delay() {}
+    #[inline(always)]
+    pub(crate) fn fail_spawn() -> bool {
+        false
+    }
+    #[inline(always)]
+    pub(crate) fn fail_alloc() -> bool {
+        false
+    }
+    #[inline(always)]
+    pub(crate) fn take_worker_kill() -> bool {
+        false
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+pub(crate) use disabled::*;
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_fire_on_their_window() {
+        let t = Trigger { nth: 2, count: 2 };
+        assert!(!t.hits(0));
+        assert!(!t.hits(1));
+        assert!(t.hits(2));
+        assert!(t.hits(3));
+        assert!(!t.hits(4));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in 0..64 {
+            let a = format!("{:?}", FaultPlan::from_seed(seed));
+            let b = format!("{:?}", FaultPlan::from_seed(seed));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn every_seed_selects_exactly_one_fault() {
+        for seed in 0..256 {
+            let p = FaultPlan::from_seed(seed);
+            let armed = usize::from(p.worker_panic.is_some())
+                + usize::from(p.slow_worker.is_some())
+                + usize::from(p.spawn_fail.is_some())
+                + usize::from(p.alloc_fail.is_some())
+                + usize::from(p.worker_kill.is_some());
+            assert_eq!(armed, 1, "seed {seed}: {p:?}");
+        }
+    }
+}

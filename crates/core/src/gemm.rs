@@ -17,11 +17,17 @@
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::{KernelSet, MicroKernelKind};
 use crate::parallel::{run_layer3, run_layer3_scoped, Layer3Params};
-use crate::pool::{gemm_pooled, Parallelism, PoolScalar};
+use crate::pool::{gemm_pooled, Parallelism, PoolScalar, WorkerPool};
 use crate::tile::TileMut;
 use crate::{GemmError, Transpose};
 use perfmodel::cacheblock::{solve_blocking, BlockSizes};
 use perfmodel::MachineDesc;
+use std::time::Duration;
+
+/// Upper clamp for `DGEMM_EPOCH_TIMEOUT_MS`: one hour. A watchdog
+/// longer than this is indistinguishable from no watchdog, and the
+/// clamp keeps an absurd value from overflowing deadline arithmetic.
+const MAX_EPOCH_TIMEOUT_MS: u64 = 3_600_000;
 
 /// Configuration of one GEMM invocation: register kernel, blocking and
 /// threading runtime.
@@ -35,6 +41,12 @@ pub struct GemmConfig {
     /// How layer 3 executes: serial, legacy spawn-per-GEPP, or the
     /// persistent worker pool.
     pub parallelism: Parallelism,
+    /// Watchdog deadline per layer-3 epoch on the pool runtime. `None`
+    /// (the default) waits indefinitely; with a deadline, a stalled
+    /// epoch is abandoned, its blocks recomputed serially, and the call
+    /// reports [`GemmError::EpochTimeout`] (C still holds the bit-exact
+    /// result). [`GemmConfig::auto`] reads `DGEMM_EPOCH_TIMEOUT_MS`.
+    pub epoch_timeout: Option<Duration>,
 }
 
 impl GemmConfig {
@@ -44,23 +56,42 @@ impl GemmConfig {
     #[must_use]
     pub fn for_kernel(kernel: MicroKernelKind, threads: usize) -> Self {
         let m = MachineDesc::xgene();
+        // The paper machine is always solvable; the fallback covers a
+        // hypothetical unsolvable register shape without panicking in
+        // library code (conservative L1/L2-sized blocks).
         let blocks = solve_blocking(kernel.mr(), kernel.nr(), threads.clamp(1, m.cores), &m)
-            .expect("paper machine always solvable");
+            .unwrap_or_else(|_| {
+                BlockSizes::custom(
+                    kernel.mr(),
+                    kernel.nr(),
+                    256,
+                    8 * kernel.mr(),
+                    64 * kernel.nr(),
+                )
+            });
         GemmConfig {
             kernel,
             blocks,
             parallelism: Parallelism::from_threads(threads),
+            epoch_timeout: None,
         }
     }
 
     /// Configuration for the host at hand: the thread count comes from
     /// the `DGEMM_NUM_THREADS` environment variable when set, otherwise
-    /// from [`std::thread::available_parallelism`]. An unparsable or
-    /// zero `DGEMM_NUM_THREADS` is a [`GemmError::BadConfig`].
+    /// from [`std::thread::available_parallelism`]; the epoch watchdog
+    /// comes from `DGEMM_EPOCH_TIMEOUT_MS` when set. An unparsable or
+    /// zero `DGEMM_NUM_THREADS` is a [`GemmError::BadConfig`]; an
+    /// absurdly large one is clamped to [`WorkerPool::max_workers`].
+    /// `DGEMM_EPOCH_TIMEOUT_MS=0` disables the watchdog; an unparsable
+    /// value is a [`GemmError::BadConfig`]; a huge one is clamped to an
+    /// hour.
     pub fn auto() -> Result<Self, GemmError> {
         let threads = match std::env::var("DGEMM_NUM_THREADS") {
             Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n > 0 => n,
+                // Over-subscribing beyond the pool's own cap only queues
+                // jobs behind fewer workers; clamp instead of erroring.
+                Ok(n) if n > 0 => n.min(WorkerPool::max_workers()),
                 _ => {
                     return Err(GemmError::BadConfig(
                         "DGEMM_NUM_THREADS must be a positive integer",
@@ -74,7 +105,8 @@ impl GemmConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
         };
-        Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads))
+        Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads)
+            .with_epoch_timeout(epoch_timeout_from_env()?))
     }
 
     /// Same kernel/threads but explicit `kc×mc×nc` (for sensitivity
@@ -92,10 +124,36 @@ impl GemmConfig {
         self
     }
 
+    /// Same configuration with an explicit epoch watchdog deadline
+    /// (`None` disables it).
+    #[must_use]
+    pub fn with_epoch_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.epoch_timeout = timeout;
+        self
+    }
+
     /// The configured parallel degree (1 for serial).
     #[must_use]
     pub fn threads(&self) -> usize {
         self.parallelism.degree()
+    }
+}
+
+/// Parse `DGEMM_EPOCH_TIMEOUT_MS`: absent or `0` disables the watchdog,
+/// a huge value clamps to one hour, garbage is a typed error.
+fn epoch_timeout_from_env() -> Result<Option<Duration>, GemmError> {
+    match std::env::var("DGEMM_EPOCH_TIMEOUT_MS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) => Ok(None),
+            Ok(ms) => Ok(Some(Duration::from_millis(ms.min(MAX_EPOCH_TIMEOUT_MS)))),
+            Err(_) => Err(GemmError::BadConfig(
+                "DGEMM_EPOCH_TIMEOUT_MS must be a non-negative integer of milliseconds",
+            )),
+        },
+        Err(std::env::VarError::NotUnicode(_)) => Err(GemmError::BadConfig(
+            "DGEMM_EPOCH_TIMEOUT_MS is not unicode",
+        )),
+        Err(std::env::VarError::NotPresent) => Ok(None),
     }
 }
 
@@ -112,6 +170,12 @@ impl Default for GemmConfig {
 /// Dimensions are asserted (use [`crate::blas::dgemm`] for `Result`-based
 /// checking). `a` and `b` are the *stored* operands; transposition is
 /// folded into packing.
+///
+/// # Panics
+///
+/// On shape/blocking violations, and on a runtime fault the pool could
+/// not contain ([`GemmError::WorkerFault`] etc.) — use [`try_gemm`] (or
+/// [`crate::blas::dgemm`]) to receive those as typed errors instead.
 #[allow(clippy::too_many_arguments)] // canonical BLAS gemm signature
 pub fn gemm(
     transa: Transpose,
@@ -123,6 +187,26 @@ pub fn gemm(
     c: &mut MatrixViewMut<'_>,
     cfg: &GemmConfig,
 ) {
+    if let Err(e) = try_gemm(transa, transb, alpha, a, b, beta, c, cfg) {
+        panic!("gemm runtime fault: {e}");
+    }
+}
+
+/// [`gemm`] with runtime faults reported as typed errors: worker double
+/// faults, watchdog timeouts and allocation failures surface as
+/// `Err` instead of panics. Dimensions are still asserted (this is the
+/// unchecked core; [`crate::blas::dgemm`] validates shapes too).
+#[allow(clippy::too_many_arguments)] // canonical BLAS gemm signature
+pub fn try_gemm(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &GemmConfig,
+) -> Result<(), GemmError> {
     gemm_with(
         transa,
         transb,
@@ -134,12 +218,18 @@ pub fn gemm(
         cfg.kernel,
         cfg.blocks,
         cfg.parallelism,
-    );
+        cfg.epoch_timeout,
+    )
 }
 
 /// The generic blocked GEMM core (any [`PoolScalar`], any [`KernelSet`]):
 /// the same layered loops serve the paper's DGEMM and the derived
 /// SGEMM ([`crate::sgemm`]).
+///
+/// `Ok(())` guarantees C holds the bit-exact serial result, even when
+/// the pool contained worker faults along the way;
+/// [`GemmError::EpochTimeout`] guarantees the same result but reports
+/// that the watchdog fired; other errors leave C unspecified.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     transa: Transpose,
@@ -152,7 +242,8 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     kernel: K,
     blocks: BlockSizes,
     parallelism: Parallelism,
-) {
+    epoch_timeout: Option<Duration>,
+) -> Result<(), GemmError> {
     let (m, ka) = transa.apply_dims(a.rows(), a.cols());
     let (kb, n) = transb.apply_dims(b.rows(), b.cols());
     assert_eq!(ka, kb, "inner dimensions differ");
@@ -166,28 +257,29 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     // β once, up front (also handles alpha == 0 / k == 0 fully).
     c.scale(beta);
     if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
-        return;
+        return Ok(());
     }
 
     match parallelism {
-        Parallelism::Pool(threads) => {
-            gemm_pooled(
-                transa,
-                transb,
-                alpha,
-                core::slice::from_ref(a),
-                b,
-                core::slice::from_mut(c),
-                kernel,
-                blocks,
-                threads,
-            );
-        }
+        Parallelism::Pool(threads) => gemm_pooled(
+            transa,
+            transb,
+            alpha,
+            core::slice::from_ref(a),
+            b,
+            core::slice::from_mut(c),
+            kernel,
+            blocks,
+            threads,
+            epoch_timeout,
+        ),
         Parallelism::Scoped(threads) if threads > 1 => {
             gemm_scoped(transa, transb, alpha, a, b, c, kernel, blocks, threads);
+            Ok(())
         }
         Parallelism::Serial | Parallelism::Scoped(_) => {
             gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks);
+            Ok(())
         }
     }
 }
@@ -513,9 +605,11 @@ mod tests {
     #[test]
     fn auto_config_reads_environment() {
         std::env::remove_var("DGEMM_NUM_THREADS");
+        std::env::remove_var("DGEMM_EPOCH_TIMEOUT_MS");
         let cfg = GemmConfig::auto().unwrap();
         assert!(cfg.threads() >= 1);
         assert!(cfg.parallelism.validate().is_ok());
+        assert_eq!(cfg.epoch_timeout, None);
 
         std::env::set_var("DGEMM_NUM_THREADS", "3");
         let cfg = GemmConfig::auto().unwrap();
@@ -529,7 +623,42 @@ mod tests {
             std::env::set_var("DGEMM_NUM_THREADS", bad);
             assert!(GemmConfig::auto().is_err(), "accepted {bad:?}");
         }
+
+        // An absurd thread count is clamped to the pool cap, not taken
+        // literally (which would queue millions of zero-work jobs).
+        std::env::set_var("DGEMM_NUM_THREADS", "18446744073709551615");
+        let cfg = GemmConfig::auto().unwrap();
+        assert!(cfg.threads() <= WorkerPool::max_workers());
         std::env::remove_var("DGEMM_NUM_THREADS");
+
+        // Watchdog: absent -> None (checked above), 0 -> disabled,
+        // a value -> that deadline, huge -> clamped, garbage -> error.
+        std::env::set_var("DGEMM_EPOCH_TIMEOUT_MS", "0");
+        assert_eq!(GemmConfig::auto().unwrap().epoch_timeout, None);
+        std::env::set_var("DGEMM_EPOCH_TIMEOUT_MS", "250");
+        assert_eq!(
+            GemmConfig::auto().unwrap().epoch_timeout,
+            Some(Duration::from_millis(250))
+        );
+        std::env::set_var("DGEMM_EPOCH_TIMEOUT_MS", "99999999999999");
+        assert_eq!(
+            GemmConfig::auto().unwrap().epoch_timeout,
+            Some(Duration::from_millis(MAX_EPOCH_TIMEOUT_MS))
+        );
+        for bad in ["-5", "soon", "", "1.5"] {
+            std::env::set_var("DGEMM_EPOCH_TIMEOUT_MS", bad);
+            assert!(GemmConfig::auto().is_err(), "accepted {bad:?}");
+        }
+        std::env::remove_var("DGEMM_EPOCH_TIMEOUT_MS");
+    }
+
+    #[test]
+    fn epoch_timeout_builder_and_default() {
+        let cfg = GemmConfig::default();
+        assert_eq!(cfg.epoch_timeout, None);
+        let cfg = cfg.with_epoch_timeout(Some(Duration::from_millis(80)));
+        assert_eq!(cfg.epoch_timeout, Some(Duration::from_millis(80)));
+        assert_eq!(cfg.with_epoch_timeout(None).epoch_timeout, None);
     }
 
     /// The pool reorders nothing that matters: each C element's

@@ -17,7 +17,7 @@
 
 #![forbid(unsafe_code)]
 
-use crate::gemm::{gemm, GemmConfig};
+use crate::gemm::{try_gemm, GemmConfig};
 use crate::matrix::{Matrix, MatrixView, MatrixViewMut};
 use crate::{GemmError, Transpose};
 
@@ -66,7 +66,7 @@ pub fn dsyrk(
         let w = nb.min(n - j0);
         // Diagonal block: compute fully into a temp, add the triangle.
         let mut diag = Matrix::zeros(w, w);
-        gemm_syrk_block(trans, alpha, a, j0, w, j0, w, &mut diag.view_mut(), cfg);
+        gemm_syrk_block(trans, alpha, a, j0, w, j0, w, &mut diag.view_mut(), cfg)?;
         for j in 0..w {
             match uplo {
                 UpLo::Lower => {
@@ -88,11 +88,11 @@ pub fn dsyrk(
             UpLo::Lower if j0 + w < n => {
                 let rows = n - (j0 + w);
                 let mut sub = c.sub_mut(j0 + w, j0, rows, w);
-                gemm_syrk_block(trans, alpha, a, j0 + w, rows, j0, w, &mut sub, cfg);
+                gemm_syrk_block(trans, alpha, a, j0 + w, rows, j0, w, &mut sub, cfg)?;
             }
             UpLo::Upper if j0 > 0 => {
                 let mut sub = c.sub_mut(0, j0, j0, w);
-                gemm_syrk_block(trans, alpha, a, 0, j0, j0, w, &mut sub, cfg);
+                gemm_syrk_block(trans, alpha, a, 0, j0, j0, w, &mut sub, cfg)?;
             }
             _ => {}
         }
@@ -114,14 +114,14 @@ fn gemm_syrk_block(
     nj: usize,
     out: &mut MatrixViewMut<'_>,
     cfg: &GemmConfig,
-) {
+) -> Result<(), GemmError> {
     match trans {
         Transpose::No => {
             // rows of A
             let k = a.cols();
             let left = a.sub(i0, 0, mi, k);
             let right = a.sub(j0, 0, nj, k);
-            gemm(
+            try_gemm(
                 Transpose::No,
                 Transpose::Yes,
                 alpha,
@@ -130,14 +130,14 @@ fn gemm_syrk_block(
                 1.0,
                 out,
                 cfg,
-            );
+            )
         }
         Transpose::Yes => {
             // columns of A
             let k = a.rows();
             let left = a.sub(0, i0, k, mi);
             let right = a.sub(0, j0, k, nj);
-            gemm(
+            try_gemm(
                 Transpose::Yes,
                 Transpose::No,
                 alpha,
@@ -146,7 +146,7 @@ fn gemm_syrk_block(
                 1.0,
                 out,
                 cfg,
-            );
+            )
         }
     }
 }
@@ -209,7 +209,7 @@ pub fn dsymm(
             a.get(j, i)
         }
     });
-    gemm(
+    try_gemm(
         Transpose::No,
         Transpose::No,
         alpha,
@@ -218,8 +218,7 @@ pub fn dsymm(
         beta,
         c,
         cfg,
-    );
-    Ok(())
+    )
 }
 
 /// Whether the triangular operand has an implicit unit diagonal.
@@ -316,7 +315,7 @@ pub fn dtrsm(
         let a_panel = Matrix::from_fn(rest_len, wi, |r, c| opa(rest0 + r, i0 + c));
         let x_i = Matrix::from_fn(wi, n, |r, c| b.get(i0 + r, c));
         let mut b_rest = b.sub_mut(rest0, 0, rest_len, n);
-        gemm(
+        try_gemm(
             Transpose::No,
             Transpose::No,
             -1.0,
@@ -325,7 +324,7 @@ pub fn dtrsm(
             1.0,
             &mut b_rest,
             cfg,
-        );
+        )?;
     }
     Ok(())
 }

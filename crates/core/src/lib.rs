@@ -52,10 +52,14 @@
 // expresses the threaded path's disjoint row-band writes); every other
 // module carries `#![forbid(unsafe_code)]`.
 #![deny(unsafe_op_in_unsafe_fn)]
+// Library code must propagate failures as typed errors; panicking
+// shortcuts are reserved for tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 pub mod blas;
 pub mod cholesky;
+pub mod faults;
 pub mod gebp;
 pub mod gemm;
 pub mod level3;
@@ -113,6 +117,37 @@ pub enum GemmError {
     },
     /// A blocking parameter is zero or otherwise unusable.
     BadConfig(&'static str),
+    /// A pool worker panicked while computing an `mc`-block and the
+    /// caller's serial re-execution of that block panicked too.
+    ///
+    /// The runtime contains a single worker panic by recomputing the
+    /// block inline (see DESIGN.md §10); this variant means even the
+    /// retry failed, so `C` must be considered unspecified.
+    WorkerFault {
+        /// Batch entry whose block failed (0 for plain GEMM).
+        entry: usize,
+        /// First row of the failed `mc`-block.
+        row0: usize,
+    },
+    /// A layer-3 epoch exceeded [`crate::gemm::GemmConfig::epoch_timeout`].
+    ///
+    /// The caller stopped waiting, recomputed the missing blocks
+    /// serially (so `C` is still bit-identical to the serial result),
+    /// and reports the stall so the operator can inspect the pool.
+    EpochTimeout {
+        /// The deadline that expired, in milliseconds.
+        timeout_ms: u64,
+        /// How many block results were still outstanding at expiry.
+        missing_blocks: usize,
+        /// Live pool workers at the moment of expiry (diagnostic).
+        workers_alive: usize,
+    },
+    /// Memory for a packing buffer or staging area could not be
+    /// reserved, even after degrading to smaller chunks.
+    AllocFailure {
+        /// Which buffer failed (e.g. `"packed A"`, `"C staging"`).
+        what: &'static str,
+    },
 }
 
 impl core::fmt::Display for GemmError {
@@ -127,6 +162,23 @@ impl core::fmt::Display for GemmError {
                 actual.0, actual.1, expected.0, expected.1
             ),
             GemmError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            GemmError::WorkerFault { entry, row0 } => write!(
+                f,
+                "worker panic on block (entry {entry}, rows {row0}..) and serial retry failed"
+            ),
+            GemmError::EpochTimeout {
+                timeout_ms,
+                missing_blocks,
+                workers_alive,
+            } => write!(
+                f,
+                "layer-3 epoch exceeded {timeout_ms} ms with {missing_blocks} block(s) \
+                 outstanding ({workers_alive} workers alive); missing blocks were \
+                 recomputed serially"
+            ),
+            GemmError::AllocFailure { what } => {
+                write!(f, "failed to allocate memory for {what}")
+            }
         }
     }
 }

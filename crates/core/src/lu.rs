@@ -13,10 +13,10 @@
 
 #![forbid(unsafe_code)]
 
-use crate::gemm::{gemm, GemmConfig};
+use crate::gemm::{try_gemm, GemmConfig};
 use crate::level3::{dtrsm, Diag, UpLo};
 use crate::matrix::Matrix;
-use crate::Transpose;
+use crate::{GemmError, Transpose};
 
 /// The factorization result: `P·A = L·U` stored compactly in `lu`
 /// (unit-lower L below the diagonal, U on and above), with the pivot row
@@ -44,13 +44,57 @@ impl core::fmt::Display for Singular {
 
 impl std::error::Error for Singular {}
 
+/// Any failure of the blocked factorization: numerical (no usable
+/// pivot) or a GEMM runtime fault propagated from the update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LuError {
+    /// No usable pivot at some column.
+    Singular(Singular),
+    /// The trailing GEMM/TRSM update reported a runtime fault.
+    Gemm(GemmError),
+}
+
+impl core::fmt::Display for LuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LuError::Singular(s) => s.fmt(f),
+            LuError::Gemm(e) => write!(f, "LU update failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+impl From<Singular> for LuError {
+    fn from(s: Singular) -> Self {
+        LuError::Singular(s)
+    }
+}
+
+impl From<GemmError> for LuError {
+    fn from(e: GemmError) -> Self {
+        LuError::Gemm(e)
+    }
+}
+
+impl LuError {
+    /// The column of a singular failure, if that is what this is.
+    #[must_use]
+    pub fn singular_column(&self) -> Option<usize> {
+        match self {
+            LuError::Singular(s) => Some(s.column),
+            LuError::Gemm(_) => None,
+        }
+    }
+}
+
 /// Panel width for the blocked factorization: the paper's `nr`-aligned
 /// choice keeps the GEMM update's K dimension a multiple of the register
 /// block.
 const DEFAULT_NB: usize = 48;
 
 /// Factor a square matrix: `P·A = L·U` with partial pivoting.
-pub fn lu_factor(a: &Matrix, cfg: &GemmConfig) -> Result<LuFactors, Singular> {
+pub fn lu_factor(a: &Matrix, cfg: &GemmConfig) -> Result<LuFactors, LuError> {
     assert_eq!(a.rows(), a.cols(), "LU needs a square matrix");
     let n = a.rows();
     let mut lu = a.clone();
@@ -74,7 +118,7 @@ pub fn lu_factor(a: &Matrix, cfg: &GemmConfig) -> Result<LuFactors, Singular> {
                 }
             }
             if best == 0.0 {
-                return Err(Singular { column: k });
+                return Err(Singular { column: k }.into());
             }
             pivots[k] = piv;
             if piv != k {
@@ -109,15 +153,14 @@ pub fn lu_factor(a: &Matrix, cfg: &GemmConfig) -> Result<LuFactors, Singular> {
                     &l11.view(),
                     &mut view,
                     cfg,
-                )
-                .expect("shapes are consistent by construction");
+                )?;
             }
             copy_back(&mut lu, j0, j0 + w, &a12);
 
             // 4) A22 -= L21 * U12 — the GEMM that dominates LINPACK
             let l21 = lu_sub(&lu, j0 + w, j0, rest, w);
             let mut a22 = lu_sub(&lu, j0 + w, j0 + w, rest, rest);
-            gemm(
+            try_gemm(
                 Transpose::No,
                 Transpose::No,
                 -1.0,
@@ -126,7 +169,7 @@ pub fn lu_factor(a: &Matrix, cfg: &GemmConfig) -> Result<LuFactors, Singular> {
                 1.0,
                 &mut a22.view_mut(),
                 cfg,
-            );
+            )?;
             copy_back(&mut lu, j0 + w, j0 + w, &a22);
         }
         j0 += w;
@@ -176,9 +219,9 @@ impl LuFactors {
     }
 
     /// Solve `A·X = B` using the factorization (B has one column per
-    /// right-hand side).
-    #[must_use]
-    pub fn solve(&self, b: &Matrix, cfg: &GemmConfig) -> Matrix {
+    /// right-hand side). `Err` propagates a GEMM runtime fault from the
+    /// triangular solves.
+    pub fn solve(&self, b: &Matrix, cfg: &GemmConfig) -> Result<Matrix, GemmError> {
         assert_eq!(b.rows(), self.n(), "rhs rows must match");
         let mut x = b.clone();
         self.apply_pivots(&mut x);
@@ -191,8 +234,7 @@ impl LuFactors {
             &self.lu.view(),
             &mut x.view_mut(),
             cfg,
-        )
-        .expect("consistent shapes");
+        )?;
         dtrsm(
             UpLo::Upper,
             Transpose::No,
@@ -201,9 +243,8 @@ impl LuFactors {
             &self.lu.view(),
             &mut x.view_mut(),
             cfg,
-        )
-        .expect("consistent shapes");
-        x
+        )?;
+        Ok(x)
     }
 
     /// Reconstruct `P⁻¹·L·U` (which must equal the original A).
@@ -315,11 +356,11 @@ mod tests {
     fn singular_detected() {
         let a = Matrix::zeros(5, 5);
         let err = lu_factor(&a, &GemmConfig::default()).unwrap_err();
-        assert_eq!(err.column, 0);
+        assert_eq!(err.singular_column(), Some(0));
         // rank-1 matrix fails at the second column
         let r1 = Matrix::from_fn(6, 6, |i, j| ((i + 1) * (j + 1)) as f64);
         let err = lu_factor(&r1, &GemmConfig::default()).unwrap_err();
-        assert!(err.column >= 1);
+        assert!(err.singular_column().expect("numerical failure") >= 1);
     }
 
     #[test]
@@ -338,7 +379,7 @@ mod tests {
             &mut b.view_mut(),
         );
         let f = lu_factor(&a, &GemmConfig::default()).unwrap();
-        let x = f.solve(&b, &GemmConfig::default());
+        let x = f.solve(&b, &GemmConfig::default()).unwrap();
         assert!(
             x.max_abs_diff(&x_true) < 1e-8,
             "{}",
@@ -354,9 +395,10 @@ mod tests {
         let b = Matrix::random(n, 2, 10);
         let serial = lu_factor(&a, &GemmConfig::default())
             .unwrap()
-            .solve(&b, &GemmConfig::default());
+            .solve(&b, &GemmConfig::default())
+            .unwrap();
         let cfg = GemmConfig::default().with_parallelism(crate::pool::Parallelism::from_threads(4));
-        let parallel = lu_factor(&a, &cfg).unwrap().solve(&b, &cfg);
+        let parallel = lu_factor(&a, &cfg).unwrap().solve(&b, &cfg).unwrap();
         assert!(serial.max_abs_diff(&parallel) < 1e-10);
     }
 

@@ -17,7 +17,8 @@
 
 use crate::matrix::MatrixView;
 use crate::scalar::Scalar;
-use crate::Transpose;
+use crate::{GemmError, Transpose};
+use std::sync::{Mutex, PoisonError};
 
 /// A packed `mc×kc` block of A in `mr`-sliver layout.
 #[derive(Clone, Debug)]
@@ -88,6 +89,29 @@ impl<T: Scalar> PackedA<T> {
                 }
             }
         }
+    }
+
+    /// Fallible sibling of [`PackedA::pack`]: grows the buffer with
+    /// `try_reserve` and reports [`GemmError::AllocFailure`] instead of
+    /// aborting the process when memory is exhausted. On error the
+    /// buffer is left empty (the allocation, if any, is retained).
+    pub fn try_pack(
+        &mut self,
+        a: &MatrixView<'_, T>,
+        trans: Transpose,
+        i0: usize,
+        k0: usize,
+        mc: usize,
+        kc: usize,
+    ) -> Result<(), GemmError> {
+        let needed = mc.div_ceil(self.mr) * self.mr * kc;
+        self.buf.clear();
+        if crate::faults::fail_alloc() || self.buf.try_reserve(needed).is_err() {
+            return Err(GemmError::AllocFailure { what: "packed A" });
+        }
+        // capacity is in hand: the resize inside `pack` cannot allocate
+        self.pack(a, trans, i0, k0, mc, kc);
+        Ok(())
     }
 
     /// Re-aim a recycled buffer at a (possibly different) kernel's
@@ -228,18 +252,70 @@ impl<T: Scalar> PackedB<T> {
             }
             return;
         }
-        // hand each worker a contiguous run of whole slivers
+        // Hand each worker a contiguous run of whole slivers. Chunks sit
+        // in take-once cells so that when an OS thread cannot be spawned
+        // (resource exhaustion, or injected), the caller packs that
+        // chunk itself instead of panicking — same output either way.
         let per = slivers.div_ceil(workers);
+        type Cell<'c, T> = Mutex<Option<(usize, &'c mut [T])>>;
+        let cells: Vec<Cell<'_, T>> = self
+            .buf
+            .chunks_mut(per * nr * kc)
+            .enumerate()
+            .map(|(w, chunk)| Mutex::new(Some((w, chunk))))
+            .collect();
+        let pack_chunk = |w: usize, chunk: &mut [T]| {
+            for (i, sliver) in chunk.chunks_mut(nr * kc).enumerate() {
+                pack_one(w * per + i, sliver);
+            }
+        };
         std::thread::scope(|scope| {
-            for (w, chunk) in self.buf.chunks_mut(per * nr * kc).enumerate() {
-                let pack_one = &pack_one;
-                scope.spawn(move || {
-                    for (i, sliver) in chunk.chunks_mut(nr * kc).enumerate() {
-                        pack_one(w * per + i, sliver);
+            let mut orphaned = Vec::new();
+            for cell in &cells {
+                let pack_chunk = &pack_chunk;
+                let work = move || {
+                    let taken = cell.lock().unwrap_or_else(PoisonError::into_inner).take();
+                    if let Some((w, chunk)) = taken {
+                        pack_chunk(w, chunk);
                     }
-                });
+                };
+                if crate::faults::fail_spawn()
+                    || std::thread::Builder::new()
+                        .spawn_scoped(scope, work)
+                        .is_err()
+                {
+                    orphaned.push(cell);
+                }
+            }
+            for cell in orphaned {
+                let taken = cell.lock().unwrap_or_else(PoisonError::into_inner).take();
+                if let Some((w, chunk)) = taken {
+                    pack_chunk(w, chunk);
+                }
             }
         });
+    }
+
+    /// Fallible sibling of [`PackedB::pack`]: grows the buffer with
+    /// `try_reserve` and reports [`GemmError::AllocFailure`] instead of
+    /// aborting the process when memory is exhausted. On error the
+    /// buffer is left empty (the allocation, if any, is retained).
+    pub fn try_pack(
+        &mut self,
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        k0: usize,
+        j0: usize,
+        kc: usize,
+        nc: usize,
+    ) -> Result<(), GemmError> {
+        let needed = nc.div_ceil(self.nr) * self.nr * kc;
+        self.buf.clear();
+        if crate::faults::fail_alloc() || self.buf.try_reserve(needed).is_err() {
+            return Err(GemmError::AllocFailure { what: "packed B" });
+        }
+        self.pack(b, trans, k0, j0, kc, nc);
+        Ok(())
     }
 
     /// Re-aim a recycled buffer at a (possibly different) kernel's

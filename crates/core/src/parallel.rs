@@ -22,6 +22,7 @@ use crate::pack::{PackedA, PackedB};
 use crate::scalar::Scalar;
 use crate::tile::TileMut;
 use crate::Transpose;
+use std::sync::{Mutex, PoisonError};
 
 /// Split `m` rows into at most `threads` contiguous bands of whole
 /// `unit`-row blocks (the register-block height `mr`, so no thread ever
@@ -113,12 +114,41 @@ pub fn run_layer3_scoped<T: Scalar, K: KernelSet<T>>(
     // slivers per thread (each band still walks its rows in mc blocks)
     let bands = partition_rows(m, params.kernel.mr(), threads);
     let tiles = c_panel.split_rows(&bands);
+    // Each band lives in a take-once cell: `Builder::spawn_scoped` drops
+    // its closure on failure, so the band must not be owned by the
+    // closure — whoever takes the cell (spawned thread or the caller
+    // below) computes it, and a failed spawn degrades to inline
+    // execution instead of losing the band or panicking.
+    type Cell<'c, T> = Mutex<Option<(usize, TileMut<'c, T>)>>;
+    let cells: Vec<Cell<'_, T>> = bands
+        .iter()
+        .zip(tiles)
+        .map(|(&(start, _), tile)| Mutex::new(Some((start, tile))))
+        .collect();
     std::thread::scope(|scope| {
-        for (&(start, _), tile) in bands.iter().zip(tiles) {
-            scope.spawn(move || {
-                let mut pa = PackedA::new(params.kernel.mr());
+        let mut orphaned = Vec::new();
+        for cell in &cells {
+            let work = || {
+                let taken = cell.lock().unwrap_or_else(PoisonError::into_inner).take();
+                if let Some((start, tile)) = taken {
+                    let mut pa = PackedA::new(params.kernel.mr());
+                    band(params, packed_b, start, tile, &mut pa);
+                }
+            };
+            if crate::faults::fail_spawn()
+                || std::thread::Builder::new()
+                    .spawn_scoped(scope, work)
+                    .is_err()
+            {
+                orphaned.push(cell);
+            }
+        }
+        let mut pa = PackedA::new(params.kernel.mr());
+        for cell in orphaned {
+            let taken = cell.lock().unwrap_or_else(PoisonError::into_inner).take();
+            if let Some((start, tile)) = taken {
                 band(params, packed_b, start, tile, &mut pa);
-            });
+            }
         }
     });
 }

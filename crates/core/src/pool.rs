@@ -43,6 +43,36 @@
 //! per `jj` panel, accumulate across all `kk` epochs and are written
 //! back once, which keeps the floating-point accumulation order — and
 //! therefore every output bit — identical to the serial path.
+//!
+//! ## Fault tolerance (DESIGN.md §10)
+//!
+//! The paper assumes every thread finishes its band; this runtime does
+//! not. Failures are contained at the block level and the epoch always
+//! completes:
+//!
+//! - **Worker panics**: each block run executes under `catch_unwind`;
+//!   the slot comes back flagged, the caller re-stages the block's rows
+//!   from C (untouched until the panel's `stage_out`) and recomputes all
+//!   epochs so far serially — bit-identical, because every per-element
+//!   accumulation is replayed in the same order with the same kernel
+//!   calls. Only a panicking *retry* surfaces as
+//!   [`GemmError::WorkerFault`].
+//! - **Dead workers**: every worker holds a guard that records its death;
+//!   [`WorkerPool::ensure_workers`] (called at every epoch start)
+//!   respawns up to the wanted count. [`WorkerPool::status`] exposes the
+//!   live count, deaths, respawns and faults contained.
+//! - **Stalled epochs**: with an `epoch_timeout` configured, the caller
+//!   stops waiting at the deadline, recomputes the missing blocks
+//!   serially from C (same bit-identical replay), finishes the call
+//!   inline and reports [`GemmError::EpochTimeout`]. Late completions
+//!   from an abandoned epoch carry a stale sequence number and are
+//!   recycled, never mixed into a newer epoch.
+//! - **Allocation failures**: staging and packing buffers grow with
+//!   `try_reserve`; on failure the runtime degrades — smaller packing
+//!   chunks (bit-identical: each (A-sliver, B-sliver) pair still gets
+//!   exactly one kernel call per epoch), or a serial walk straight on C
+//!   — and only reports [`GemmError::AllocFailure`] when even the
+//!   minimal chunk cannot be allocated.
 
 #![forbid(unsafe_code)]
 
@@ -53,11 +83,13 @@ use crate::pack::{PackedA, PackedB};
 use crate::scalar::Scalar;
 use crate::tile::TileMut;
 use crate::{GemmError, Transpose};
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use perfmodel::cacheblock::BlockSizes;
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How a GEMM call executes layer 3.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -113,24 +145,33 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 /// The process-wide pool of persistent layer-3 workers.
 ///
 /// Workers are detached threads parked on the job channel; they are
-/// spawned lazily by [`WorkerPool::ensure_workers`] and never exit, so
-/// after warm-up a GEMM call costs zero thread spawns. Jobs are pure
-/// compute over owned buffers, which keeps the caller's
-/// help-while-waiting drain loop deadlock-free.
+/// spawned lazily by [`WorkerPool::ensure_workers`], which also
+/// respawns replacements for any that died. Jobs are pure compute over
+/// owned buffers, executed under `catch_unwind`, which keeps the
+/// caller's help-while-waiting drain loop deadlock-free and a panicking
+/// job from taking a worker (or the process) down with it.
 pub struct WorkerPool {
     injector: Sender<Task>,
     stealer: Receiver<Task>,
-    workers: AtomicUsize,
+    /// Live worker threads (decremented by a worker's drop guard).
+    alive: AtomicUsize,
+    /// Monotonic id source for worker thread names.
+    spawn_seq: AtomicUsize,
     grow: Mutex<()>,
     tasks: AtomicU64,
     dynamic_epochs: AtomicU64,
     static_epochs: AtomicU64,
+    deaths: AtomicU64,
+    respawns: AtomicU64,
+    spawn_failures: AtomicU64,
+    faults_contained: AtomicU64,
+    timeouts: AtomicU64,
 }
 
-/// A snapshot of the pool's counters (see [`stats`]).
+/// A snapshot of the pool's scheduling counters (see [`stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Worker threads spawned so far (never shrinks).
+    /// Worker threads currently alive.
     pub workers: usize,
     /// Jobs enqueued over the pool's lifetime.
     pub tasks: u64,
@@ -138,6 +179,31 @@ pub struct PoolStats {
     pub dynamic_epochs: u64,
     /// Epochs that fell back to static contiguous-band assignment.
     pub static_epochs: u64,
+}
+
+/// Health snapshot of the pool runtime (see [`WorkerPool::status`]):
+/// the observability half of the fault-tolerance layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStatus {
+    /// Worker threads currently alive.
+    pub workers_alive: usize,
+    /// Worker threads started over the pool's lifetime.
+    pub workers_started: u64,
+    /// Workers that exited their loop (panic containment keeps panicking
+    /// workers alive, so deaths normally stay zero).
+    pub deaths: u64,
+    /// Replacement workers spawned for dead ones.
+    pub respawns: u64,
+    /// Worker spawn attempts that failed (the pool runs smaller; the
+    /// caller's drain loop still guarantees progress).
+    pub spawn_failures: u64,
+    /// Layer-3 epochs served by the pool.
+    pub epochs_served: u64,
+    /// Blocks whose worker panicked or went missing and were recomputed
+    /// serially by the caller.
+    pub faults_contained: u64,
+    /// Epochs abandoned at the watchdog deadline.
+    pub timeouts: u64,
 }
 
 /// Counter snapshot of the global pool — observability for tests and
@@ -154,6 +220,35 @@ pub fn stats() -> PoolStats {
     }
 }
 
+/// Health snapshot of the global pool ([`WorkerPool::status`]).
+#[must_use]
+pub fn status() -> PoolStatus {
+    WorkerPool::global().status()
+}
+
+/// Worker-loop drop guard: records the death no matter how the loop
+/// ends, so [`WorkerPool::ensure_workers`] knows to respawn.
+struct WorkerGuard(&'static WorkerPool);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.0.alive.fetch_sub(1, Ordering::AcqRel);
+        self.0.deaths.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_main(stealer: Receiver<Task>) {
+    let _guard = WorkerGuard(WorkerPool::global());
+    for task in stealer.iter() {
+        // Containment: a panicking job must not kill the worker (nor
+        // reach the detached thread boundary and abort the process).
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        if crate::faults::take_worker_kill() {
+            break; // injected death: exercised by the respawn tests
+        }
+    }
+}
+
 impl WorkerPool {
     /// The lazily-initialized process-wide pool.
     #[must_use]
@@ -164,11 +259,17 @@ impl WorkerPool {
             WorkerPool {
                 injector,
                 stealer,
-                workers: AtomicUsize::new(0),
+                alive: AtomicUsize::new(0),
+                spawn_seq: AtomicUsize::new(0),
                 grow: Mutex::new(()),
                 tasks: AtomicU64::new(0),
                 dynamic_epochs: AtomicU64::new(0),
                 static_epochs: AtomicU64::new(0),
+                deaths: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
+                spawn_failures: AtomicU64::new(0),
+                faults_contained: AtomicU64::new(0),
+                timeouts: AtomicU64::new(0),
             }
         })
     }
@@ -176,62 +277,103 @@ impl WorkerPool {
     /// Worker threads currently alive.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.workers.load(Ordering::Acquire)
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Health snapshot: live workers, lifetime spawns/deaths/respawns,
+    /// epochs served, faults contained and watchdog timeouts.
+    #[must_use]
+    pub fn status(&self) -> PoolStatus {
+        let deaths = self.deaths.load(Ordering::Relaxed);
+        let alive = self.workers();
+        PoolStatus {
+            workers_alive: alive,
+            workers_started: alive as u64 + deaths,
+            deaths,
+            respawns: self.respawns.load(Ordering::Relaxed),
+            spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
+            epochs_served: self.dynamic_epochs.load(Ordering::Relaxed)
+                + self.static_epochs.load(Ordering::Relaxed),
+            faults_contained: self.faults_contained.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
     }
 
     /// Upper bound on pool size: callers participate too, so there is
     /// no point holding more workers than a small multiple of the
-    /// hardware concurrency even if callers over-subscribe.
-    fn max_workers() -> usize {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .saturating_mul(4)
+    /// hardware concurrency even if callers over-subscribe. Also the
+    /// clamp applied to absurd `DGEMM_NUM_THREADS` values.
+    #[must_use]
+    pub fn max_workers() -> usize {
+        static CAP: OnceLock<usize> = OnceLock::new();
+        *CAP.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .saturating_mul(4)
+        })
     }
 
-    /// Grow the pool to at least `want` workers (clamped to
-    /// [`WorkerPool::max_workers`]). Idempotent and cheap once satisfied:
-    /// the fast path is one atomic load.
+    /// Grow the pool back to at least `want` live workers (clamped to
+    /// [`WorkerPool::max_workers`]), respawning replacements for any
+    /// that died. Idempotent and cheap once satisfied: the fast path is
+    /// one atomic load — called at every epoch start as the health
+    /// check. Spawn failures are counted, not fatal: the pool simply
+    /// runs smaller and the caller's drain loop guarantees progress.
     pub fn ensure_workers(&self, want: usize) {
-        let want = want.min(Self::max_workers());
-        if self.workers.load(Ordering::Acquire) >= want {
+        // Fast path first — one atomic load, no clamp: this runs at
+        // every epoch start as the dead-worker health check.
+        if self.workers() >= want {
             return;
         }
-        let _guard = self.grow.lock().expect("pool grow lock poisoned");
-        let have = self.workers.load(Ordering::Acquire);
-        for i in have..want {
-            let stealer = self.stealer.clone();
-            std::thread::Builder::new()
-                .name(format!("dgemm-pool-{i}"))
-                .spawn(move || {
-                    // The pool itself holds a receiver, so this loop only
-                    // ends with the process.
-                    for task in stealer.iter() {
-                        task();
-                    }
-                })
-                .expect("failed to spawn dgemm pool worker");
+        let want = want.min(Self::max_workers());
+        if self.workers() >= want {
+            return;
         }
-        if want > have {
-            self.workers.store(want, Ordering::Release);
+        let _guard = self.grow.lock().unwrap_or_else(PoisonError::into_inner);
+        let have = self.workers();
+        for _ in have..want {
+            if crate::faults::fail_spawn() {
+                self.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let id = self.spawn_seq.fetch_add(1, Ordering::Relaxed);
+            let stealer = self.stealer.clone();
+            match std::thread::Builder::new()
+                .name(format!("dgemm-pool-{id}"))
+                .spawn(move || worker_main(stealer))
+            {
+                Ok(_) => {
+                    self.alive.fetch_add(1, Ordering::AcqRel);
+                    if self.deaths.load(Ordering::Relaxed) > self.respawns.load(Ordering::Relaxed) {
+                        self.respawns.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    self.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
     fn submit(&self, task: Task) {
         self.tasks.fetch_add(1, Ordering::Relaxed);
-        // The pool keeps a receiver alive forever, so send cannot fail.
-        self.injector
-            .send(task)
-            .unwrap_or_else(|_| unreachable!("pool job channel disconnected"));
+        // The pool keeps a receiver alive forever, so send cannot fail;
+        // if it somehow does, degrade to running the job inline rather
+        // than losing it (its done message keeps the barrier sound).
+        if let Err(channel::SendError(task)) = self.injector.send(task) {
+            let _ = catch_unwind(AssertUnwindSafe(task));
+        }
     }
 
     /// Pop one queued job and run it on the current thread. Used by
     /// callers waiting at an epoch barrier so the queue drains even when
     /// every worker is busy (including when the pool has zero workers).
+    /// Panics are contained exactly as on a worker.
     pub fn try_run_one(&self) -> bool {
         match self.stealer.try_recv() {
             Ok(task) => {
-                task();
+                let _ = catch_unwind(AssertUnwindSafe(task));
                 true
             }
             Err(_) => false,
@@ -366,26 +508,46 @@ impl_pool_scalar!(f32, ARENA_F32);
 /// Epoch-barrier message: a slot coming back from a worker.
 struct Done<T: Scalar> {
     slot: BlockSlot<T>,
-    panicked: bool,
+    /// Epoch sequence number: dones from an epoch abandoned at the
+    /// watchdog deadline arrive late and must not count toward (or leak
+    /// slots into) a newer epoch's barrier.
+    seq: u64,
+    /// The block run panicked; its staging is unspecified and the
+    /// caller must recover it from C.
+    failed: bool,
 }
 
-/// Returns every slot of a job run to the caller even if GEBP panics
-/// mid-run, so the barrier can never deadlock on a lost done message.
+/// Returns every slot of a job run to the caller even if the run loop
+/// itself unwinds, so the barrier can never deadlock on a lost done
+/// message. Finished slots are sent with their recorded panic flag;
+/// anything still in `todo` is reported failed.
 struct RunGuard<T: Scalar> {
-    slots: Vec<BlockSlot<T>>,
+    todo: Vec<BlockSlot<T>>,
+    finished: Vec<(BlockSlot<T>, bool)>,
     tx: Sender<Done<T>>,
+    seq: u64,
 }
 
 impl<T: Scalar> Drop for RunGuard<T> {
     fn drop(&mut self) {
-        let panicked = std::thread::panicking();
-        for slot in self.slots.drain(..) {
-            let _ = self.tx.send(Done { slot, panicked });
+        for (slot, failed) in self.finished.drain(..) {
+            let _ = self.tx.send(Done {
+                slot,
+                seq: self.seq,
+                failed,
+            });
+        }
+        for slot in self.todo.drain(..) {
+            let _ = self.tx.send(Done {
+                slot,
+                seq: self.seq,
+                failed: true,
+            });
         }
     }
 }
 
-/// GEBP one staged block against the shared panel.
+/// GEBP one staged block against the shared panel (the pool-job body).
 fn run_block<T: Scalar, K: KernelSet<T>>(
     kernel: K,
     alpha: T,
@@ -393,13 +555,20 @@ fn run_block<T: Scalar, K: KernelSet<T>>(
     panel: &PackedB<T>,
     nc_eff: usize,
 ) {
+    crate::faults::slow_job_delay();
+    crate::faults::panic_in_job();
     let mc_eff = slot.mc_eff;
     let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), &mut slot.staging);
     gebp(kernel, alpha, &slot.pa, panel, &mut tile);
 }
 
 /// Enqueue one job covering `slots` (one slot in dynamic mode, a whole
-/// band in static mode).
+/// band in static mode). Each block runs under `catch_unwind`; dones —
+/// flagged on panic — are posted only after the job's reference to the
+/// shared panel is released, so the caller's `Arc::try_unwrap` at the
+/// barrier reclaims the buffer for the arena instead of leaking it to
+/// a plain drop (which would cost a fresh panel allocation per epoch).
+#[allow(clippy::too_many_arguments)]
 fn submit_run<T: PoolScalar, K: KernelSet<T>>(
     pool: &WorkerPool,
     kernel: K,
@@ -408,71 +577,156 @@ fn submit_run<T: PoolScalar, K: KernelSet<T>>(
     panel: Arc<PackedB<T>>,
     nc_eff: usize,
     tx: Sender<Done<T>>,
+    seq: u64,
 ) {
     pool.submit(Box::new(move || {
-        let mut guard = RunGuard { slots, tx };
-        for slot in guard.slots.iter_mut() {
-            run_block(kernel, alpha, slot, &panel, nc_eff);
+        let cap = slots.len();
+        let mut guard = RunGuard {
+            todo: slots,
+            finished: Vec::with_capacity(cap),
+            tx,
+            seq,
+        };
+        while let Some(mut slot) = guard.todo.pop() {
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                run_block(kernel, alpha, &mut slot, &panel, nc_eff);
+            }))
+            .is_ok();
+            guard.finished.push((slot, !ok));
         }
-        // Release the shared panel before the guard signals done, so the
-        // caller's `Arc::try_unwrap` reclaims the buffer.
+        // Release the shared panel before the guard signals done.
         drop(panel);
+        drop(guard);
     }));
 }
 
-/// Collect `outstanding` done messages, running queued jobs on this
-/// thread while waiting (so the epoch completes even with zero workers).
+/// What [`drain_epoch`] observed besides the cleanly returned slots.
+struct EpochOutcome<T: Scalar> {
+    /// Slots whose block run panicked: staging unspecified, recover
+    /// from C.
+    failed: Vec<BlockSlot<T>>,
+    /// Slots from an abandoned earlier epoch (stale sequence number):
+    /// recycle, never use.
+    stale: Vec<BlockSlot<T>>,
+    /// The watchdog deadline expired before every done arrived.
+    timed_out: bool,
+}
+
+/// Collect this epoch's done messages, running queued jobs on this
+/// thread while waiting (so the epoch completes even with zero
+/// workers). Clean slots are pushed into `slots`; panicked and stale
+/// ones are separated into the outcome. With a deadline, gives up at
+/// its expiry instead of waiting forever on a stalled worker.
 fn drain_epoch<T: Scalar>(
     pool: &WorkerPool,
     done_rx: &Receiver<Done<T>>,
+    seq: u64,
     outstanding: usize,
+    timeout: Option<Duration>,
     slots: &mut Vec<BlockSlot<T>>,
-) {
+) -> EpochOutcome<T> {
+    fn accept<T: Scalar>(
+        done: Done<T>,
+        seq: u64,
+        slots: &mut Vec<BlockSlot<T>>,
+        out: &mut EpochOutcome<T>,
+    ) -> bool {
+        if done.seq != seq {
+            out.stale.push(done.slot);
+            return false;
+        }
+        if done.failed {
+            out.failed.push(done.slot);
+        } else {
+            slots.push(done.slot);
+        }
+        true
+    }
+
+    let deadline = timeout.map(|t| Instant::now() + t);
+    let mut out = EpochOutcome {
+        failed: Vec::new(),
+        stale: Vec::new(),
+        timed_out: false,
+    };
     let mut received = 0usize;
-    let mut poisoned = false;
     while received < outstanding {
         match done_rx.try_recv() {
             Ok(done) => {
-                poisoned |= done.panicked;
-                slots.push(done.slot);
-                received += 1;
+                if accept(done, seq, slots, &mut out) {
+                    received += 1;
+                }
                 continue;
             }
             Err(TryRecvError::Empty) => {}
-            Err(TryRecvError::Disconnected) => {
-                unreachable!("caller holds the done sender")
+            // The caller holds the sender, so this cannot happen; treat
+            // it as a stall rather than asserting.
+            Err(TryRecvError::Disconnected) => break,
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                out.timed_out = true;
+                break;
             }
         }
         if pool.try_run_one() {
             continue;
         }
         // Queue empty: the remaining jobs are running on other threads
-        // and will post their dones; park until one arrives.
-        match done_rx.recv() {
-            Ok(done) => {
-                poisoned |= done.panicked;
-                slots.push(done.slot);
-                received += 1;
+        // and will post their dones; park until one arrives (or the
+        // watchdog deadline passes).
+        match deadline {
+            None => match done_rx.recv() {
+                Ok(done) => {
+                    if accept(done, seq, slots, &mut out) {
+                        received += 1;
+                    }
+                }
+                Err(_) => break,
+            },
+            Some(dl) => {
+                let now = Instant::now();
+                let Some(remaining) = dl.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    out.timed_out = true;
+                    break;
+                };
+                match done_rx.recv_timeout(remaining) {
+                    Ok(done) => {
+                        if accept(done, seq, slots, &mut out) {
+                            received += 1;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        out.timed_out = true;
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
             }
-            Err(_) => unreachable!("caller holds the done sender"),
         }
     }
-    assert!(!poisoned, "dgemm pool worker panicked during layer 3");
+    out
 }
 
+/// Copy the block's rows of the C panel into the slot's staging buffer.
+/// Fallible: staging grows with `try_reserve`.
 fn stage_in<T: Scalar>(
     slot: &mut BlockSlot<T>,
     c: &mut MatrixViewMut<'_, T>,
     jj: usize,
     nc_eff: usize,
-) {
+) -> Result<(), GemmError> {
     let mc_eff = slot.mc_eff;
     slot.staging.clear();
-    slot.staging.reserve(mc_eff * nc_eff);
+    if crate::faults::fail_alloc() || slot.staging.try_reserve(mc_eff * nc_eff).is_err() {
+        return Err(GemmError::AllocFailure { what: "C staging" });
+    }
     let mut band = c.sub_mut(slot.row0, jj, mc_eff, nc_eff);
     for j in 0..nc_eff {
         slot.staging.extend_from_slice(band.col_mut(j));
     }
+    Ok(())
 }
 
 fn stage_out<T: Scalar>(
@@ -489,12 +743,503 @@ fn stage_out<T: Scalar>(
     }
 }
 
+/// Pack one `mc_eff × kc_eff` block of `op(A)` fallibly and GEBP it
+/// against `panel`, degrading to halved row chunks when the packing
+/// buffer cannot grow. Bit-identical to the one-shot pack: every
+/// (A-sliver, B-sliver) pair still gets exactly one kernel call with
+/// the same operand values, and each C element's k-accumulation order
+/// is unchanged. `tile` is the `mc_eff × panel.nc()` destination.
+#[allow(clippy::too_many_arguments)]
+fn gebp_block_resilient<T: Scalar, K: KernelSet<T>>(
+    kernel: K,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    transa: Transpose,
+    row0: usize,
+    kk: usize,
+    mc_eff: usize,
+    kc_eff: usize,
+    pa: &mut PackedA<T>,
+    panel: &PackedB<T>,
+    tile: &mut TileMut<'_, T>,
+) -> Result<(), GemmError> {
+    crate::faults::panic_in_job();
+    let mr = kernel.mr().max(1);
+    let nc = panel.nc();
+    let mut chunk = mc_eff;
+    let mut r = 0usize;
+    while r < mc_eff {
+        let rows = chunk.min(mc_eff - r);
+        match pa.try_pack(a, transa, row0 + r, kk, rows, kc_eff) {
+            Ok(()) => {
+                let mut sub = tile.sub_tile(r, 0, rows, nc);
+                gebp(kernel, alpha, pa, panel, &mut sub);
+                r += rows;
+            }
+            Err(e) => {
+                if chunk <= mr {
+                    return Err(e);
+                }
+                chunk = (chunk / 2).max(mr);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pack the `kc_eff × nc_eff` B panel fallibly, degrading to halved
+/// sliver-column chunks when the buffer cannot grow, and run `each`
+/// once per packed chunk with the chunk's column offset. Bit-identical
+/// for the same reason as [`gebp_block_resilient`].
+#[allow(clippy::too_many_arguments)]
+fn pack_panel_resilient<T: Scalar>(
+    panel: &mut PackedB<T>,
+    b: &MatrixView<'_, T>,
+    transb: Transpose,
+    kk: usize,
+    jj: usize,
+    kc_eff: usize,
+    nc_eff: usize,
+    nr: usize,
+    mut each: impl FnMut(usize, &PackedB<T>) -> Result<(), GemmError>,
+) -> Result<(), GemmError> {
+    let nr = nr.max(1);
+    let mut chunk = nc_eff;
+    let mut c0 = 0usize;
+    while c0 < nc_eff {
+        let cols = chunk.min(nc_eff - c0);
+        match panel.try_pack(b, transb, kk, jj + c0, kc_eff, cols) {
+            Ok(()) => {
+                each(c0, panel)?;
+                c0 += cols;
+            }
+            Err(e) => {
+                if chunk <= nr {
+                    return Err(e);
+                }
+                chunk = (chunk / 2).max(nr);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one epoch entirely on the calling thread (no pool): used when
+/// the shared panel cannot be allocated at full size and after a
+/// watchdog timeout put the call into degraded mode. Returns the
+/// indices of slots whose block run panicked (their staging is
+/// unspecified; the caller recovers them from C).
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_inline<T: PoolScalar, K: KernelSet<T>>(
+    kernel: K,
+    alpha: T,
+    a_batch: &[MatrixView<'_, T>],
+    transa: Transpose,
+    b: &MatrixView<'_, T>,
+    transb: Transpose,
+    slots: &mut [BlockSlot<T>],
+    panel: &mut PackedB<T>,
+    kk: usize,
+    kc_eff: usize,
+    jj: usize,
+    nc_eff: usize,
+) -> Result<Vec<usize>, GemmError> {
+    let mut panicked = vec![false; slots.len()];
+    pack_panel_resilient(
+        panel,
+        b,
+        transb,
+        kk,
+        jj,
+        kc_eff,
+        nc_eff,
+        kernel.nr(),
+        |c0, pchunk| {
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                if panicked[idx] {
+                    continue;
+                }
+                let entry = slot.entry;
+                let row0 = slot.row0;
+                let mc_eff = slot.mc_eff;
+                let BlockSlot { pa, staging, .. } = slot;
+                let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), staging);
+                let mut sub = tile.sub_tile(0, c0, mc_eff, pchunk.nc());
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    gebp_block_resilient(
+                        kernel,
+                        alpha,
+                        &a_batch[entry],
+                        transa,
+                        row0,
+                        kk,
+                        mc_eff,
+                        kc_eff,
+                        pa,
+                        pchunk,
+                        &mut sub,
+                    )
+                }));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => panicked[idx] = true,
+                }
+            }
+            Ok(())
+        },
+    )?;
+    Ok(panicked
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| p.then_some(i))
+        .collect())
+}
+
+/// Recompute one block from scratch after a fault: re-stage its rows
+/// from C (untouched since the panel's `stage_in`) and replay epochs
+/// `0..kk_end` serially — the same kernel calls in the same order as
+/// the undamaged path, so the recovered block is bit-identical. A panic
+/// during the replay is the double fault reported as
+/// [`GemmError::WorkerFault`].
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn recover_block<T: PoolScalar, K: KernelSet<T>>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    kernel: K,
+    kc: usize,
+    jj: usize,
+    nc_eff: usize,
+    kk_end: usize,
+    k: usize,
+    slot: &mut BlockSlot<T>,
+    panel: &mut PackedB<T>,
+) -> Result<(), GemmError> {
+    let entry = slot.entry;
+    let row0 = slot.row0;
+    let mc_eff = slot.mc_eff;
+    stage_in(slot, c, jj, nc_eff)?;
+    let BlockSlot { pa, staging, .. } = slot;
+    let mut kk = 0usize;
+    while kk < kk_end {
+        let kc_eff = kc.min(k - kk);
+        pack_panel_resilient(
+            panel,
+            b,
+            transb,
+            kk,
+            jj,
+            kc_eff,
+            nc_eff,
+            kernel.nr(),
+            |c0, pchunk| {
+                let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), staging);
+                let mut sub = tile.sub_tile(0, c0, mc_eff, pchunk.nc());
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    gebp_block_resilient(
+                        kernel, alpha, a, transa, row0, kk, mc_eff, kc_eff, pa, pchunk, &mut sub,
+                    )
+                }));
+                match result {
+                    Ok(r) => r,
+                    Err(_) => Err(GemmError::WorkerFault { entry, row0 }),
+                }
+            },
+        )?;
+        kk += kc_eff;
+    }
+    Ok(())
+}
+
+/// Serial, allocation-resilient layers 1–3 for panels `jj0..` of every
+/// batch entry, computed straight on C (no staging): the fallback when
+/// staging memory is unavailable. Panels `0..jj0` must already be
+/// complete. Bit-identical to the serial walk; a panic mid-block cannot
+/// be recovered here (C rows are already partially updated) and is
+/// reported as [`GemmError::WorkerFault`].
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn serial_tail<T: PoolScalar, K: KernelSet<T>>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a_batch: &[MatrixView<'_, T>],
+    b: &MatrixView<'_, T>,
+    c_batch: &mut [MatrixViewMut<'_, T>],
+    kernel: K,
+    blocks: BlockSizes,
+    jj0: usize,
+    arena: &mut GemmArena<T>,
+) -> Result<(), GemmError> {
+    let BlockSizes { kc, mc, nc, .. } = blocks;
+    let mut slot = arena.take_slot(kernel.mr());
+    let mut panel = arena.take_panel(kernel.nr());
+    let mut result = Ok(());
+    'entries: for (entry, c) in c_batch.iter_mut().enumerate() {
+        let a = &a_batch[entry];
+        let (m, k) = transa.apply_dims(a.rows(), a.cols());
+        let n = c.cols();
+        let mut jj = jj0;
+        while jj < n {
+            let nc_eff = nc.min(n - jj);
+            let mut kk = 0usize;
+            while kk < k {
+                let kc_eff = kc.min(k - kk);
+                let pa = slot.pa_mut();
+                let r = pack_panel_resilient(
+                    &mut panel,
+                    b,
+                    transb,
+                    kk,
+                    jj,
+                    kc_eff,
+                    nc_eff,
+                    kernel.nr(),
+                    |c0, pchunk| {
+                        let mut view = c.sub_mut(0, jj + c0, m, pchunk.nc());
+                        let ld = view.ld();
+                        let mut tile = TileMut::from_slice(m, pchunk.nc(), ld, view.data_mut());
+                        let mut ii = 0usize;
+                        while ii < m {
+                            let mc_eff = mc.min(m - ii);
+                            let mut sub = tile.sub_tile(ii, 0, mc_eff, pchunk.nc());
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                gebp_block_resilient(
+                                    kernel, alpha, a, transa, ii, kk, mc_eff, kc_eff, pa, pchunk,
+                                    &mut sub,
+                                )
+                            }));
+                            match result {
+                                Ok(Ok(())) => {}
+                                Ok(Err(e)) => return Err(e),
+                                Err(_) => return Err(GemmError::WorkerFault { entry, row0: ii }),
+                            }
+                            ii += mc_eff;
+                        }
+                        Ok(())
+                    },
+                );
+                if let Err(e) = r {
+                    result = Err(e);
+                    break 'entries;
+                }
+                kk += kc_eff;
+            }
+            jj += nc_eff;
+        }
+    }
+    arena.put_slot(slot);
+    arena.put_panel(panel);
+    result
+}
+
+/// Cold path of [`gemm_pooled`]: packed-A memory was unavailable at
+/// full size, so the block runs inline in smaller chunks against the
+/// shared panel (still under `catch_unwind`). `Ok(true)` means the
+/// block completed; `Ok(false)` means it panicked and must be recovered
+/// from C.
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn run_slot_inline_chunked<T: PoolScalar, K: KernelSet<T>>(
+    kernel: K,
+    alpha: T,
+    a: &MatrixView<'_, T>,
+    transa: Transpose,
+    kk: usize,
+    kc_eff: usize,
+    nc_eff: usize,
+    panel: &PackedB<T>,
+    slot: &mut BlockSlot<T>,
+) -> Result<bool, GemmError> {
+    let row0 = slot.row0;
+    let mc_eff = slot.mc_eff;
+    let BlockSlot { pa, staging, .. } = slot;
+    let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), staging);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        gebp_block_resilient(
+            kernel, alpha, a, transa, row0, kk, mc_eff, kc_eff, pa, panel, &mut tile,
+        )
+    }));
+    match result {
+        Ok(Ok(())) => Ok(true),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Ok(false),
+    }
+}
+
+/// The scalar geometry of one epoch, bundled so the cold settle path
+/// below keeps a readable signature.
+#[derive(Clone, Copy)]
+struct SettleCtx<T: Scalar> {
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    kc: usize,
+    jj: usize,
+    nc_eff: usize,
+    kk_end: usize,
+    k: usize,
+    epoch_timeout: Option<Duration>,
+}
+
+/// Cold path of [`gemm_pooled`]: the epoch ended with panicked, stale,
+/// inline-failed, or missing blocks (or the watchdog fired). Recycles
+/// stale slots, recomputes every lost block from C bit-identically
+/// ([`recover_block`]), and records the soft error; timeouts flip the
+/// call into degraded (inline) mode.
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
+    pool: &WorkerPool,
+    arena: &mut GemmArena<T>,
+    mut outcome: EpochOutcome<T>,
+    mut inline_failures: Vec<usize>,
+    slots: &mut Vec<BlockSlot<T>>,
+    meta: &[(usize, usize, usize)],
+    total: usize,
+    ctx: SettleCtx<T>,
+    a_batch: &[MatrixView<'_, T>],
+    b: &MatrixView<'_, T>,
+    c_batch: &mut [MatrixViewMut<'_, T>],
+    kernel: K,
+    degraded: &mut bool,
+    worst: &mut Option<GemmError>,
+) -> Result<(), GemmError> {
+    let SettleCtx {
+        transa,
+        transb,
+        alpha,
+        kc,
+        jj,
+        nc_eff,
+        kk_end,
+        k,
+        epoch_timeout,
+    } = ctx;
+    for slot in outcome.stale.drain(..) {
+        arena.put_slot(slot);
+    }
+
+    // Contained recovery: panicked blocks (from workers or inline runs)
+    // are recomputed from C, bit-identically. Sort indices descending
+    // so swap_remove stays valid.
+    inline_failures.sort_unstable_by(|x, y| y.cmp(x));
+    for idx in inline_failures {
+        outcome.failed.push(slots.swap_remove(idx));
+    }
+    for mut slot in outcome.failed.drain(..) {
+        let entry = slot.entry;
+        let mut scratch = arena.take_panel(kernel.nr());
+        let recovered = recover_block(
+            transa,
+            transb,
+            alpha,
+            &a_batch[entry],
+            b,
+            &mut c_batch[entry],
+            kernel,
+            kc,
+            jj,
+            nc_eff,
+            kk_end,
+            k,
+            &mut slot,
+            &mut scratch,
+        );
+        arena.put_panel(scratch);
+        match recovered {
+            Ok(()) => {
+                pool.faults_contained.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e @ GemmError::WorkerFault { .. }) => {
+                // Double fault: C is unspecified, but finish the call so
+                // the pool stays consistent.
+                *worst = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+        slots.push(slot);
+    }
+
+    // Timeout (or a lost done): identify blocks that never came back,
+    // recompute them from C in fresh slots, and go degraded for the
+    // rest of the call.
+    if slots.len() < total {
+        let missing: Vec<(usize, usize, usize)> = meta
+            .iter()
+            .filter(|(e, r, _)| !slots.iter().any(|s| s.entry == *e && s.row0 == *r))
+            .copied()
+            .collect();
+        if outcome.timed_out {
+            pool.timeouts.fetch_add(1, Ordering::Relaxed);
+            *degraded = true;
+            if worst.is_none() {
+                *worst = Some(GemmError::EpochTimeout {
+                    timeout_ms: epoch_timeout
+                        .map_or(0, |d| d.as_millis().min(u128::from(u64::MAX)) as u64),
+                    missing_blocks: missing.len(),
+                    workers_alive: pool.workers(),
+                });
+            }
+        }
+        for (entry, row0, mc_eff) in missing {
+            let mut slot = arena.take_slot(kernel.mr());
+            slot.entry = entry;
+            slot.row0 = row0;
+            slot.mc_eff = mc_eff;
+            let mut scratch = arena.take_panel(kernel.nr());
+            let recovered = recover_block(
+                transa,
+                transb,
+                alpha,
+                &a_batch[entry],
+                b,
+                &mut c_batch[entry],
+                kernel,
+                kc,
+                jj,
+                nc_eff,
+                kk_end,
+                k,
+                &mut slot,
+                &mut scratch,
+            );
+            arena.put_panel(scratch);
+            match recovered {
+                Ok(()) => {
+                    pool.faults_contained.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e @ GemmError::WorkerFault { .. }) => *worst = Some(e),
+                Err(e) => return Err(e),
+            }
+            slots.push(slot);
+        }
+    }
+    Ok(())
+}
+
 /// The pooled layers 1–3 driver, unified over single GEMMs (a batch of
 /// one) and shared-B batches (all entries' blocks dispatched into the
 /// same epoch, sharing one packed panel).
 ///
 /// β must already be applied to every C; shapes must already be
 /// validated (all `A_i` are `m×k` under `transa`, all `C_i` are `m×n`).
+///
+/// Faults are contained per block (see the module docs): `Ok(())` means
+/// C holds the bit-exact serial result, possibly via recovery;
+/// [`GemmError::EpochTimeout`] means the same but an epoch stalled past
+/// `epoch_timeout`; any other error means C is unspecified.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the batch
 pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
     transa: Transpose,
@@ -506,15 +1251,16 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
     kernel: K,
     blocks: BlockSizes,
     degree: usize,
-) {
+    epoch_timeout: Option<Duration>,
+) -> Result<(), GemmError> {
     debug_assert_eq!(a_batch.len(), c_batch.len());
     let Some(first_a) = a_batch.first() else {
-        return;
+        return Ok(());
     };
     let (m, k) = transa.apply_dims(first_a.rows(), first_a.cols());
     let n = c_batch[0].cols();
     if m == 0 || n == 0 || k == 0 {
-        return;
+        return Ok(());
     }
     let BlockSizes { kc, mc, nc, .. } = blocks;
     let degree = degree.max(1);
@@ -523,7 +1269,15 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
     pool.ensure_workers(degree.saturating_sub(1));
     let (done_tx, done_rx) = channel::unbounded::<Done<T>>();
 
-    T::with_arena(|arena| {
+    let soft_error = T::with_arena(|arena| -> Result<Option<GemmError>, GemmError> {
+        // The soft error (timeout / contained-but-noteworthy) reported
+        // after the call completes; hard errors return immediately.
+        let mut worst: Option<GemmError> = None;
+        // After a watchdog timeout the rest of the call runs inline:
+        // the pool may hold a stalled worker and a second stall would
+        // double the damage.
+        let mut degraded = false;
+        let mut seq: u64 = 0;
         let mut slots: Vec<BlockSlot<T>> = Vec::new();
         let mut jj = 0usize;
         while jj < n {
@@ -532,7 +1286,8 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
             // Stage in: one slot per (entry, mc-block) holds its rows of
             // the C panel across every kk epoch, so the accumulation
             // order matches the serial path bit for bit.
-            for (entry, c) in c_batch.iter_mut().enumerate() {
+            let mut staged = true;
+            'stage: for (entry, c) in c_batch.iter_mut().enumerate() {
                 let mut ii = 0usize;
                 while ii < m {
                     let mc_eff = mc.min(m - ii);
@@ -540,66 +1295,196 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     slot.entry = entry;
                     slot.row0 = ii;
                     slot.mc_eff = mc_eff;
-                    stage_in(&mut slot, c, jj, nc_eff);
+                    if stage_in(&mut slot, c, jj, nc_eff).is_err() {
+                        arena.put_slot(slot);
+                        staged = false;
+                        break 'stage;
+                    }
                     slots.push(slot);
                     ii += mc_eff;
                 }
             }
+            if !staged {
+                // Staging memory unavailable. Nothing of panels jj.. has
+                // touched C yet, so fall back to the serial walk straight
+                // on C for the rest of the call.
+                for slot in slots.drain(..) {
+                    arena.put_slot(slot);
+                }
+                serial_tail(
+                    transa, transb, alpha, a_batch, b, c_batch, kernel, blocks, jj, arena,
+                )?;
+                return Ok(worst);
+            }
+
             let total = slots.len();
             let workers = degree.min(total);
             // Static contiguous bands when the blocks divide evenly
             // (the partition_rows assignment); otherwise dynamic: one
             // job per block, workers race to pull them.
             let static_bands = workers > 1 && total.is_multiple_of(workers);
+            // Block identities for this panel, so blocks lost to a
+            // timeout can be identified and recomputed.
+            let meta: Vec<(usize, usize, usize)> =
+                slots.iter().map(|s| (s.entry, s.row0, s.mc_eff)).collect();
 
             let mut kk = 0usize;
             while kk < k {
                 let kc_eff = kc.min(k - kk);
-                let mut panel = arena.take_panel(kernel.nr());
-                panel.pack(b, transb, kk, jj, kc_eff, nc_eff);
-                let panel = Arc::new(panel);
-
-                if static_bands {
-                    pool.static_epochs.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    pool.dynamic_epochs.fetch_add(1, Ordering::Relaxed);
+                let kk_end = kk + kc_eff;
+                seq += 1;
+                // Health check: respawn workers that died since the last
+                // epoch (no-op fast path when everyone is alive).
+                if !degraded {
+                    pool.ensure_workers(degree.saturating_sub(1));
                 }
-                let run_len = if static_bands { total / workers } else { 1 };
-                let mut run: Vec<BlockSlot<T>> = Vec::with_capacity(run_len);
-                for mut slot in slots.drain(..) {
-                    // The caller packs A (workers cannot read the
-                    // borrowed operand); each job ships as soon as its
-                    // blocks are packed, pipelining pack against compute.
-                    slot.pa.pack(
-                        &a_batch[slot.entry],
-                        transa,
-                        slot.row0,
-                        kk,
-                        slot.mc_eff,
-                        kc_eff,
-                    );
-                    run.push(slot);
-                    if run.len() == run_len {
+
+                let mut inline_failures: Vec<usize> = Vec::new();
+                let mut outcome = EpochOutcome {
+                    failed: Vec::new(),
+                    stale: Vec::new(),
+                    timed_out: false,
+                };
+
+                let mut panel = arena.take_panel(kernel.nr());
+                let pooled = !degraded && panel.try_pack(b, transb, kk, jj, kc_eff, nc_eff).is_ok();
+                if pooled {
+                    let panel = Arc::new(panel);
+                    if static_bands {
+                        pool.static_epochs.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        pool.dynamic_epochs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let run_len = if static_bands { total / workers } else { 1 };
+                    let mut run: Vec<BlockSlot<T>> = Vec::with_capacity(run_len);
+                    let mut submitted = 0usize;
+                    let mut inline_done: Vec<BlockSlot<T>> = Vec::new();
+                    for mut slot in slots.drain(..) {
+                        // The caller packs A (workers cannot read the
+                        // borrowed operand); each job ships as soon as its
+                        // blocks are packed, pipelining pack against
+                        // compute.
+                        let packed = slot.pa.try_pack(
+                            &a_batch[slot.entry],
+                            transa,
+                            slot.row0,
+                            kk,
+                            slot.mc_eff,
+                            kc_eff,
+                        );
+                        match packed {
+                            Ok(()) => {
+                                run.push(slot);
+                                if run.len() == run_len {
+                                    submitted += run.len();
+                                    submit_run(
+                                        pool,
+                                        kernel,
+                                        alpha,
+                                        std::mem::replace(&mut run, Vec::with_capacity(run_len)),
+                                        Arc::clone(&panel),
+                                        nc_eff,
+                                        done_tx.clone(),
+                                        seq,
+                                    );
+                                }
+                            }
+                            Err(_) => {
+                                // Packed-A memory unavailable at full
+                                // size: compute this block inline in
+                                // smaller chunks against the shared
+                                // panel.
+                                if run_slot_inline_chunked(
+                                    kernel,
+                                    alpha,
+                                    &a_batch[slot.entry],
+                                    transa,
+                                    kk,
+                                    kc_eff,
+                                    nc_eff,
+                                    &panel,
+                                    &mut slot,
+                                )? {
+                                    inline_done.push(slot);
+                                } else {
+                                    outcome.failed.push(slot);
+                                }
+                            }
+                        }
+                    }
+                    if !run.is_empty() {
+                        submitted += run.len();
                         submit_run(
                             pool,
                             kernel,
                             alpha,
-                            std::mem::replace(&mut run, Vec::with_capacity(run_len)),
+                            run,
                             Arc::clone(&panel),
                             nc_eff,
                             done_tx.clone(),
+                            seq,
                         );
                     }
-                }
-                debug_assert!(run.is_empty());
 
-                drain_epoch(pool, &done_rx, total, &mut slots);
+                    let drained =
+                        drain_epoch(pool, &done_rx, seq, submitted, epoch_timeout, &mut slots);
+                    outcome.failed.extend(drained.failed);
+                    outcome.stale.extend(drained.stale);
+                    outcome.timed_out = drained.timed_out;
+                    slots.extend(inline_done);
+                    if let Ok(panel) = Arc::try_unwrap(panel) {
+                        arena.put_panel(panel);
+                    }
+                } else {
+                    // Panel memory unavailable (or post-timeout degraded
+                    // mode): run the whole epoch on this thread, packing
+                    // B in sliver chunks if need be.
+                    inline_failures = run_epoch_inline(
+                        kernel, alpha, a_batch, transa, b, transb, &mut slots, &mut panel, kk,
+                        kc_eff, jj, nc_eff,
+                    )?;
+                    arena.put_panel(panel);
+                }
+
+                // Anything beyond a clean full set of slots takes the
+                // cold settle path; the healthy epoch skips it entirely.
+                if outcome.timed_out
+                    || !outcome.stale.is_empty()
+                    || !outcome.failed.is_empty()
+                    || !inline_failures.is_empty()
+                    || slots.len() < total
+                {
+                    settle_epoch_faults(
+                        pool,
+                        arena,
+                        outcome,
+                        inline_failures,
+                        &mut slots,
+                        &meta,
+                        total,
+                        SettleCtx {
+                            transa,
+                            transb,
+                            alpha,
+                            kc,
+                            jj,
+                            nc_eff,
+                            kk_end,
+                            k,
+                            epoch_timeout,
+                        },
+                        a_batch,
+                        b,
+                        c_batch,
+                        kernel,
+                        &mut degraded,
+                        &mut worst,
+                    )?;
+                }
+
                 // Deterministic block order for the next epoch's static
                 // bands (dones arrive in completion order).
                 slots.sort_unstable_by_key(|s| (s.entry, s.row0));
-                if let Ok(panel) = Arc::try_unwrap(panel) {
-                    arena.put_panel(panel);
-                }
                 kk += kc_eff;
             }
 
@@ -609,7 +1494,12 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
             }
             jj += nc_eff;
         }
-    });
+        Ok(worst)
+    })?;
+    match soft_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -664,6 +1554,113 @@ mod tests {
         while rx.try_recv().is_err() {
             pool.try_run_one();
         }
+    }
+
+    #[test]
+    fn worker_survives_panicking_task() {
+        let pool = WorkerPool::global();
+        pool.ensure_workers(2);
+        pool.submit(Box::new(|| panic!("injected: task panic containment test")));
+        // Subsequent tasks are still served: no worker died, no queue
+        // corruption. (The panicking task may be drained by any thread;
+        // catch_unwind contains it wherever it runs.)
+        let (tx, rx) = channel::unbounded();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        let mut got: Vec<i32> = Vec::new();
+        while got.len() < 8 {
+            match rx.try_recv() {
+                Ok(v) => got.push(v),
+                Err(_) => {
+                    pool.try_run_one();
+                }
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert!(pool.workers() >= 2, "panicking task killed a worker");
+    }
+
+    #[test]
+    fn status_snapshot_is_consistent() {
+        let pool = WorkerPool::global();
+        pool.ensure_workers(1);
+        let status = pool.status();
+        assert!(status.workers_alive >= 1);
+        assert!(status.workers_started >= status.workers_alive as u64);
+        assert_eq!(
+            status.workers_started,
+            status.workers_alive as u64 + status.deaths
+        );
+        assert_eq!(status, super::status());
+    }
+
+    #[test]
+    fn drain_epoch_times_out_without_dones() {
+        // Deterministic watchdog check: one outstanding block whose done
+        // never arrives must trip the deadline, not hang.
+        let pool = WorkerPool::global();
+        let (_tx, rx) = channel::unbounded::<Done<f64>>();
+        let mut slots = Vec::new();
+        let out = drain_epoch(pool, &rx, 1, 1, Some(Duration::from_millis(25)), &mut slots);
+        assert!(out.timed_out);
+        assert!(slots.is_empty());
+        assert!(out.failed.is_empty());
+    }
+
+    #[test]
+    fn drain_epoch_discards_stale_dones() {
+        let pool = WorkerPool::global();
+        let (tx, rx) = channel::unbounded::<Done<f64>>();
+        let mut arena: GemmArena<f64> = GemmArena::new();
+        tx.send(Done {
+            slot: arena.take_slot(8),
+            seq: 1,
+            failed: false,
+        })
+        .map_err(|_| "send failed")
+        .unwrap();
+        tx.send(Done {
+            slot: arena.take_slot(8),
+            seq: 2,
+            failed: false,
+        })
+        .map_err(|_| "send failed")
+        .unwrap();
+        let mut slots = Vec::new();
+        let out = drain_epoch(pool, &rx, 2, 1, None, &mut slots);
+        assert_eq!(out.stale.len(), 1, "stale done must not join the epoch");
+        assert_eq!(slots.len(), 1);
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn drain_epoch_separates_failed_slots() {
+        let pool = WorkerPool::global();
+        let (tx, rx) = channel::unbounded::<Done<f64>>();
+        let mut arena: GemmArena<f64> = GemmArena::new();
+        tx.send(Done {
+            slot: arena.take_slot(8),
+            seq: 5,
+            failed: true,
+        })
+        .map_err(|_| "send failed")
+        .unwrap();
+        tx.send(Done {
+            slot: arena.take_slot(8),
+            seq: 5,
+            failed: false,
+        })
+        .map_err(|_| "send failed")
+        .unwrap();
+        let mut slots = Vec::new();
+        let out = drain_epoch(pool, &rx, 5, 2, None, &mut slots);
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!(slots.len(), 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::pool::Parallelism;
 use crate::{GemmError, Transpose};
 use perfmodel::cacheblock::{solve_blocking, BlockSizes};
 use perfmodel::MachineDesc;
+use std::time::Duration;
 
 /// Configuration of one SGEMM invocation.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +35,9 @@ pub struct SgemmConfig {
     /// How layer 3 executes (shared with DGEMM — the same pool serves
     /// both precisions, each with its own thread-local arena).
     pub parallelism: Parallelism,
+    /// Watchdog deadline per layer-3 epoch on the pool runtime (see
+    /// [`crate::gemm::GemmConfig::epoch_timeout`]).
+    pub epoch_timeout: Option<Duration>,
 }
 
 /// The paper's machine re-described for f32 elements.
@@ -51,12 +55,23 @@ impl SgemmConfig {
     #[must_use]
     pub fn for_kernel(kernel: SgemmKernelKind, threads: usize) -> Self {
         let m = machine_f32();
+        // Always solvable for the paper machine; the fallback keeps
+        // library code panic-free on a hypothetical unsolvable shape.
         let blocks = solve_blocking(kernel.mr(), kernel.nr(), threads.clamp(1, m.cores), &m)
-            .expect("paper machine solvable for f32");
+            .unwrap_or_else(|_| {
+                BlockSizes::custom(
+                    kernel.mr(),
+                    kernel.nr(),
+                    256,
+                    8 * kernel.mr(),
+                    64 * kernel.nr(),
+                )
+            });
         SgemmConfig {
             kernel,
             blocks,
             parallelism: Parallelism::from_threads(threads),
+            epoch_timeout: None,
         }
     }
 
@@ -71,6 +86,14 @@ impl SgemmConfig {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Same configuration with an explicit epoch watchdog deadline
+    /// (`None` disables it).
+    #[must_use]
+    pub fn with_epoch_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.epoch_timeout = timeout;
         self
     }
 
@@ -135,8 +158,42 @@ pub fn sgemm(
         cfg.kernel,
         cfg.blocks,
         cfg.parallelism,
-    );
-    Ok(())
+        cfg.epoch_timeout,
+    )
+}
+
+/// Raw-slice variant of [`sgemm`]: column-major `a` (`lda ≥ rows(A)`),
+/// `b`, `c` analogous; `m, n, k` are the dimensions of `op(A)·op(B)` —
+/// the f32 sibling of [`crate::blas::dgemm_slice`].
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_slice(
+    transa: Transpose,
+    transb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    cfg: &SgemmConfig,
+) -> Result<(), GemmError> {
+    let (ar, ac) = match transa {
+        Transpose::No => (m, k),
+        Transpose::Yes => (k, m),
+    };
+    let (br, bc) = match transb {
+        Transpose::No => (k, n),
+        Transpose::Yes => (n, k),
+    };
+    let av = MatrixView::from_slice(ar, ac, lda, a);
+    let bv = MatrixView::from_slice(br, bc, ldb, b);
+    let mut cv = MatrixViewMut::from_slice(m, n, ldc, c);
+    sgemm(transa, transb, alpha, &av, &bv, beta, &mut cv, cfg)
 }
 
 #[cfg(test)]
@@ -300,5 +357,117 @@ mod tests {
             ),
             Err(GemmError::InnerDimMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn output_shape_mismatch_detected() {
+        let a: Matrix<f32> = Matrix::zeros(4, 5);
+        let b: Matrix<f32> = Matrix::zeros(5, 3);
+        let mut c: Matrix<f32> = Matrix::zeros(4, 4);
+        let err = sgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &SgemmConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::OutputDimMismatch { .. }));
+        assert!(err.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn bad_config_detected() {
+        let a: Matrix<f32> = Matrix::zeros(2, 2);
+        let b: Matrix<f32> = Matrix::zeros(2, 2);
+        let mut c: Matrix<f32> = Matrix::zeros(2, 2);
+        let cfg = SgemmConfig::default().with_blocks(0, 8, 8);
+        let err = sgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::BadConfig(_)));
+        let cfg = SgemmConfig::default().with_parallelism(Parallelism::Pool(0));
+        let err = sgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::BadConfig(_)));
+    }
+
+    #[test]
+    fn mismatched_kernel_blocking_rejected() {
+        let a: Matrix<f32> = Matrix::zeros(2, 2);
+        let b: Matrix<f32> = Matrix::zeros(2, 2);
+        let mut c: Matrix<f32> = Matrix::zeros(2, 2);
+        let mut cfg = SgemmConfig::for_kernel(SgemmKernelKind::Sk12x8, 1);
+        cfg.kernel = SgemmKernelKind::Sk8x8; // blocks still say 12x8
+        let err = sgemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GemmError::BadConfig(_)));
+    }
+
+    #[test]
+    fn slice_api_with_padded_ld() {
+        // 3x2 matrices embedded in buffers with ld 5, mirroring the
+        // dgemm_slice test so both precisions guard the same contract.
+        let mut a = vec![0.0f32; 5 * 2];
+        let mut b = vec![0.0f32; 5 * 2];
+        a[0] = 1.0;
+        a[1] = 3.0;
+        a[2] = 5.0;
+        a[5] = 2.0;
+        a[6] = 4.0;
+        a[7] = 6.0;
+        b[0] = 1.0;
+        b[6] = 1.0;
+        let mut c = vec![0.0f32; 5 * 2];
+        sgemm_slice(
+            Transpose::No,
+            Transpose::No,
+            3,
+            2,
+            2,
+            1.0,
+            &a,
+            5,
+            &b,
+            5,
+            0.0,
+            &mut c,
+            5,
+            &SgemmConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(&c[0..3], &[1.0, 3.0, 5.0]);
+        assert_eq!(&c[5..8], &[2.0, 4.0, 6.0]);
+        assert_eq!(c[3], 0.0);
+        assert_eq!(c[4], 0.0);
     }
 }

@@ -1,0 +1,123 @@
+//! Property sweep over the seeded fault space (`fault-injection`
+//! feature only): for every seed, [`dgemm_core::faults::FaultPlan::from_seed`]
+//! arms exactly one failure — worker panic, stalled worker, spawn
+//! failure, allocation failure, or worker death — and the pooled GEMM
+//! must either return `Ok` with a result **bit-identical** to the
+//! serial oracle, or a typed [`dgemm_core::GemmError`]. Never a hang,
+//! an abort, or silent corruption. After the plan is cleared the same
+//! pool must immediately serve an exact result again.
+//!
+//! A seed can also be supplied externally (`DGEMM_FAULT_SEED=n cargo
+//! test -p dgemm-core --features fault-injection seeded_run_from_env`)
+//! to replay one failure in isolation.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dgemm_core::faults::{self, FaultPlan};
+use dgemm_core::gemm::{try_gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::Parallelism;
+use dgemm_core::{GemmError, Transpose};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+const M: usize = 97;
+const N: usize = 54;
+const K: usize = 50;
+
+fn cfg(par: Parallelism) -> GemmConfig {
+    GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1)
+        .with_blocks(24, 16, 18)
+        .with_parallelism(par)
+        // Short watchdog so seeded slow-worker stalls (40-80 ms) trip it
+        // instead of merely slowing the suite down.
+        .with_epoch_timeout(Some(Duration::from_millis(20)))
+}
+
+fn run(par: Parallelism, c: &mut Matrix) -> Result<(), GemmError> {
+    let a = Matrix::random(M, K, 11);
+    let b = Matrix::random(K, N, 12);
+    try_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.25,
+        &a.view(),
+        &b.view(),
+        -0.5,
+        &mut c.view_mut(),
+        &cfg(par),
+    )
+}
+
+fn check_seed(seed: u64, want: &Matrix) {
+    faults::install(FaultPlan::from_seed(seed));
+    let mut c = Matrix::random(M, N, 13);
+    let result = run(Parallelism::Pool(4), &mut c);
+    faults::clear();
+
+    match result {
+        // Contained fault (or one that never fired): the result must be
+        // indistinguishable from the serial path.
+        Ok(()) => assert_eq!(
+            c.max_abs_diff(want),
+            0.0,
+            "seed {seed}: Ok result must be bit-identical to the serial oracle"
+        ),
+        // The watchdog fired, but every missing block was recomputed
+        // from C before the error was reported — still exact.
+        Err(GemmError::EpochTimeout { .. }) => assert_eq!(
+            c.max_abs_diff(want),
+            0.0,
+            "seed {seed}: timeout recovery must leave C exact"
+        ),
+        // Any other failure must at least be a typed, displayable error
+        // (the process neither hung nor aborted to get here).
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+
+    // The pool must come back healthy: an immediate healthy call on the
+    // same process-global pool is exact.
+    let mut c = Matrix::random(M, N, 13);
+    run(Parallelism::Pool(4), &mut c).unwrap_or_else(|e| {
+        panic!("seed {seed}: healthy call after clearing the plan failed: {e}")
+    });
+    assert_eq!(
+        c.max_abs_diff(want),
+        0.0,
+        "seed {seed}: pool must serve exact results once the fault is cleared"
+    );
+}
+
+#[test]
+fn every_seeded_fault_is_contained_or_typed() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    let mut want = Matrix::random(M, N, 13);
+    run(Parallelism::Serial, &mut want).expect("serial oracle");
+
+    for seed in 0..48 {
+        check_seed(seed, &want);
+    }
+    // Drain any worker still sleeping from a slow-worker seed so later
+    // suites see a quiet pool.
+    std::thread::sleep(Duration::from_millis(100));
+}
+
+#[test]
+fn seeded_run_from_env() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    let Some(seed) = faults::install_from_env() else {
+        return; // DGEMM_FAULT_SEED not set: nothing to replay
+    };
+    faults::clear();
+    let mut want = Matrix::random(M, N, 13);
+    run(Parallelism::Serial, &mut want).expect("serial oracle");
+    check_seed(seed, &want);
+}

@@ -1,0 +1,253 @@
+//! Fault-recovery acceptance for the pooled runtime, compiled only with
+//! the `fault-injection` feature (`cargo test -p dgemm-core --features
+//! fault-injection`). Each scenario provokes one concrete failure —
+//! worker panic, worker death, spawn failure, allocation failure — and
+//! asserts the contract from DESIGN.md §10: the result is bit-identical
+//! to the serial oracle (or a typed error), the fault is visible in
+//! [`dgemm_core::pool::status`], and the pool serves subsequent calls at
+//! full capacity.
+//!
+//! Fault plans and the pool are process-global, so every test holds
+//! `LOCK` for its whole body.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dgemm_core::faults::{self, FaultPlan, Trigger};
+use dgemm_core::gemm::{try_gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::{status, Parallelism};
+use dgemm_core::Transpose;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+const M: usize = 130;
+const N: usize = 70;
+const K: usize = 60;
+
+fn cfg(par: Parallelism) -> GemmConfig {
+    GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1)
+        .with_blocks(24, 16, 18)
+        .with_parallelism(par)
+}
+
+fn run(par: Parallelism) -> Result<Matrix, dgemm_core::GemmError> {
+    let a = Matrix::random(M, K, 3);
+    let b = Matrix::random(K, N, 4);
+    let mut c = Matrix::random(M, N, 5);
+    try_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &a.view(),
+        &b.view(),
+        0.5,
+        &mut c.view_mut(),
+        &cfg(par),
+    )?;
+    Ok(c)
+}
+
+fn oracle() -> Matrix {
+    faults::clear();
+    run(Parallelism::Serial).expect("serial path has no fault hooks")
+}
+
+/// Wait (bounded) for an asynchronous pool-side counter change.
+fn wait_until(mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}
+
+#[test]
+fn worker_panic_is_contained_and_result_is_bitwise_exact() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let want = oracle();
+
+    // Warm the pool so the panic lands on a real worker thread.
+    assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+    let contained0 = status().faults_contained;
+
+    faults::install(FaultPlan {
+        worker_panic: Some(Trigger::once(1)),
+        ..FaultPlan::default()
+    });
+    let got = run(Parallelism::Pool(4)).expect("single panic must be contained");
+    faults::clear();
+
+    assert_eq!(
+        got.max_abs_diff(&want),
+        0.0,
+        "recovered block must replay the exact serial accumulation order"
+    );
+    assert!(
+        status().faults_contained > contained0,
+        "the contained panic must be visible in the pool health counters"
+    );
+
+    // Stream continues at full capacity afterwards.
+    for _ in 0..3 {
+        assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+    }
+}
+
+#[test]
+fn dead_worker_is_respawned_before_the_next_epoch() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let want = oracle();
+
+    assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+    let before = status();
+
+    // Kill one worker after it completes a task: a clean thread death.
+    faults::install(FaultPlan {
+        worker_kill: Some(Trigger::once(0)),
+        ..FaultPlan::default()
+    });
+    assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+    faults::clear();
+
+    assert!(
+        wait_until(|| status().deaths > before.deaths),
+        "the killed worker must be observed as dead"
+    );
+
+    // The next pooled call's health check respawns it.
+    assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+    let after = status();
+    assert!(
+        after.respawns > before.respawns,
+        "ensure_workers must replace the dead worker (respawns {} -> {})",
+        before.respawns,
+        after.respawns
+    );
+    assert!(
+        after.workers_alive >= before.workers_alive,
+        "the pool must be back at full capacity ({} -> {})",
+        before.workers_alive,
+        after.workers_alive
+    );
+}
+
+#[test]
+fn spawn_failure_degrades_to_caller_execution() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let want = oracle();
+    let failures0 = status().spawn_failures;
+
+    // Fail every spawn attempt for the whole call: if the pool is cold
+    // this exercises the no-workers path (caller drains the queue); if
+    // it is warm the plan simply never fires. Either way the result must
+    // be exact. Ask for more workers than are alive so at least one
+    // spawn is attempted.
+    faults::install(FaultPlan {
+        spawn_fail: Some(Trigger {
+            nth: 0,
+            count: u64::MAX,
+        }),
+        ..FaultPlan::default()
+    });
+    let alive = status().workers_alive;
+    let got = run(Parallelism::Pool(alive + 3)).expect("spawn failure is not an error");
+    faults::clear();
+
+    assert_eq!(got.max_abs_diff(&want), 0.0);
+    assert!(
+        status().spawn_failures > failures0,
+        "the failed spawn must be counted"
+    );
+
+    // With the plan cleared, growth works again.
+    assert_eq!(
+        run(Parallelism::Pool(alive + 3))
+            .unwrap()
+            .max_abs_diff(&want),
+        0.0
+    );
+}
+
+#[test]
+fn allocation_failure_degrades_gracefully() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let want = oracle();
+
+    // Fail one allocation at each successive site: staging, packed-A,
+    // packed-B. Every call must still produce the exact result (serial
+    // tail, chunked inline compute, or inline epoch).
+    for nth in 0..6 {
+        faults::install(FaultPlan {
+            alloc_fail: Some(Trigger::once(nth)),
+            ..FaultPlan::default()
+        });
+        let got = run(Parallelism::Pool(4))
+            .unwrap_or_else(|e| panic!("alloc fault #{nth} must degrade, got {e}"));
+        assert_eq!(
+            got.max_abs_diff(&want),
+            0.0,
+            "alloc fault #{nth} must not change the result"
+        );
+    }
+    faults::clear();
+    assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+}
+
+#[test]
+fn slow_worker_trips_the_watchdog_but_c_is_recovered() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let want = oracle();
+
+    // Warm the pool so a worker thread (not the help-draining caller)
+    // picks up jobs and can stall.
+    assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+
+    faults::install(FaultPlan {
+        slow_worker: Some((Trigger::once(0), Duration::from_millis(200))),
+        ..FaultPlan::default()
+    });
+    let a = Matrix::random(M, K, 3);
+    let b = Matrix::random(K, N, 4);
+    let mut c = Matrix::random(M, N, 5);
+    let cfg = cfg(Parallelism::Pool(4)).with_epoch_timeout(Some(Duration::from_millis(25)));
+    let result = try_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &a.view(),
+        &b.view(),
+        0.5,
+        &mut c.view_mut(),
+        &cfg,
+    );
+    faults::clear();
+
+    // The watchdog either fired (timeout reported, missing blocks
+    // recomputed serially) or the stall was absorbed by help-draining;
+    // in both cases C holds the exact product.
+    match result {
+        Ok(()) => {}
+        Err(dgemm_core::GemmError::EpochTimeout { missing_blocks, .. }) => {
+            assert!(missing_blocks > 0, "a timeout must name its lost blocks");
+        }
+        Err(e) => panic!("unexpected error from a slow worker: {e}"),
+    }
+    assert_eq!(
+        c.max_abs_diff(&want),
+        0.0,
+        "every block must be recovered bit-identically after a stall"
+    );
+
+    // Let the stalled worker wake up, then confirm the stream continues.
+    std::thread::sleep(Duration::from_millis(250));
+    for _ in 0..3 {
+        assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+    }
+}

@@ -54,7 +54,7 @@ fn main() {
     let t_factor = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let x = factors.solve(&b, &cfg);
+    let x = factors.solve(&b, &cfg).expect("solve succeeds");
     let t_solve = t0.elapsed().as_secs_f64();
 
     let gflops = lu_flops(n) / t_factor / 1e9;

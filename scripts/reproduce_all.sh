@@ -9,6 +9,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast with a clear message if the toolchain is missing, instead of
+# dying mid-sweep on a cryptic "command not found".
+for tool in cargo tee; do
+    if ! command -v "$tool" >/dev/null 2>&1; then
+        echo "error: '$tool' not found on PATH." >&2
+        if [[ "$tool" == cargo ]]; then
+            echo "       Install a Rust toolchain (https://rustup.rs) and retry." >&2
+        fi
+        exit 1
+    fi
+done
+if ! cargo metadata --no-deps --offline >/dev/null 2>&1; then
+    echo "error: 'cargo metadata' failed — run from a checkout of this repository" >&2
+    echo "       with its vendored third_party/ crates intact." >&2
+    exit 1
+fi
+
 GRID=""
 if [[ "${1:-}" == "--quick" ]]; then
     GRID="--quick"

@@ -128,9 +128,9 @@ fn lu_and_cholesky_agree_on_spd_systems() {
     let cfg = GemmConfig::default();
     let a = spd(n, 4);
     let b = Matrix::random(n, 2, 5);
-    let x_lu = lu_factor(&a, &cfg).unwrap().solve(&b, &cfg);
+    let x_lu = lu_factor(&a, &cfg).unwrap().solve(&b, &cfg).unwrap();
     let l = cholesky(&a, &cfg).unwrap();
-    let x_chol = cholesky_solve(&l, &b, &cfg);
+    let x_chol = cholesky_solve(&l, &b, &cfg).unwrap();
     assert!(
         x_lu.max_abs_diff(&x_chol) < 1e-8,
         "{}",

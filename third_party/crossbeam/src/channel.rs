@@ -28,6 +28,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
     ready: Condvar,
@@ -121,6 +130,36 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             queue = self.shared.ready.wait(queue).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeue a message, parking at most `timeout` before giving up.
+    ///
+    /// Recomputes the remaining budget after every condvar wake so
+    /// spurious wakeups cannot extend the deadline.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _result) = self
+                .shared
+                .ready
+                .wait_timeout(queue, remaining)
+                .expect("channel poisoned");
+            queue = guard;
         }
     }
 
@@ -220,6 +259,25 @@ mod tests {
         let mut all = consumed;
         all.sort_unstable();
         assert_eq!(all, (0..n_producers * per).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(11).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Ok(11)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
