@@ -14,9 +14,42 @@ use dgemm_core::gemm::{gemm, GemmConfig};
 use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
 use dgemm_core::pool::Parallelism;
+use dgemm_core::telemetry::{self, GemmReport};
 use dgemm_core::util::gemm_flops;
 use dgemm_core::Transpose;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Measure one pooled configuration with the telemetry counters on and
+/// write the attribution report (`GemmReport::to_json`) next to the
+/// criterion JSON: `$BENCH_JSON_DIR/TELEM_<group>.json`. Also honors
+/// `DGEMM_TELEMETRY=summary|json` on stderr. Works with the `telemetry`
+/// feature disabled too — the report then carries the analytic FLOP
+/// count and empty per-thread detail.
+fn export_telemetry(
+    group: &str,
+    dims: (usize, usize, usize),
+    calls: u64,
+    threads: usize,
+    cfg: &GemmConfig,
+    mut one_call: impl FnMut(),
+) {
+    telemetry::reset();
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        one_call();
+    }
+    let elapsed = t0.elapsed();
+    let snap = telemetry::snapshot();
+    let report = GemmReport::from_run(dims, calls, threads, elapsed, &cfg.blocks, &snap);
+    telemetry::emit(&report, &snap);
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/TELEM_{group}.json");
+    let _ = std::fs::create_dir_all(&dir);
+    if let Err(e) = std::fs::write(&path, report.to_json(&snap) + "\n") {
+        eprintln!("telemetry export failed for {path}: {e}");
+    }
+}
 
 fn runtimes(threads: usize) -> [(&'static str, Parallelism); 3] {
     [
@@ -59,6 +92,27 @@ fn bench_square(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // Attribution dump for the headline pooled size.
+    let n = sizes[0];
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads.max(2))
+        .with_parallelism(Parallelism::Pool(threads));
+    let mut cmat = Matrix::zeros(n, n);
+    export_telemetry("pool_overhead", (n, n, n), 3, threads, &cfg, || {
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut cmat.view_mut(),
+            &cfg,
+        );
+        black_box(cmat.get(0, 0));
+    });
 }
 
 fn bench_small_stream(c: &mut Criterion) {
@@ -97,6 +151,34 @@ fn bench_small_stream(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Attribution dump for the pooled small-stream case (one "call" =
+    // the full 32-GEMM burst, the shape the <2% overhead budget is
+    // judged on).
+    let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads.max(2))
+        .with_blocks(64, 24, 48)
+        .with_parallelism(Parallelism::Pool(threads));
+    let mut cmat = Matrix::zeros(n, n);
+    export_telemetry(
+        "pool_small_stream",
+        (n, n, n),
+        3 * reps as u64,
+        threads,
+        &cfg,
+        || {
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut cmat.view_mut(),
+                &cfg,
+            );
+            black_box(cmat.get(0, 0));
+        },
+    );
 }
 
 criterion_group!(benches, bench_square, bench_small_stream);

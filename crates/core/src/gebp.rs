@@ -34,6 +34,13 @@ pub fn gebp<T: Scalar, K: KernelSet<T>>(
     let (mr, nr) = (kind.mr(), kind.nr());
     let (mc, nc) = (packed_a.mc(), packed_b.nc());
 
+    // Telemetry choke point: every runtime (serial, scoped, pool,
+    // recovery replay) funnels through this call, and the unpadded
+    // mc·nc·kc product counts only useful flops — totals come out
+    // exact to the last operation.
+    let _span = crate::telemetry::span(crate::telemetry::Phase::Compute);
+    crate::telemetry::count_block(2 * (mc as u64) * (nc as u64) * (kc as u64));
+
     // layer 5 (GEBS): over kc×nr slivers of B
     for jt in 0..packed_b.slivers() {
         let j0 = jt * nr;

@@ -304,12 +304,15 @@ fn gemm_serial<T: PoolScalar, K: KernelSet<T>>(
     T::with_arena(|arena| {
         let mut slot = arena.take_slot(kernel.mr());
         let mut packed_b = arena.take_panel(kernel.nr());
+        let mut gepp: u64 = 0;
         let mut jj = 0usize;
         while jj < n {
             let nc_eff = nc.min(n - jj);
             let mut kk = 0usize;
             while kk < k {
                 let kc_eff = kc.min(k - kk);
+                gepp += 1;
+                crate::telemetry::set_gepp(gepp);
                 packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
                 let params = Layer3Params {
                     a,
@@ -352,12 +355,15 @@ fn gemm_scoped<T: PoolScalar, K: KernelSet<T>>(
     let n = c.cols();
     let BlockSizes { kc, mc, nc, .. } = blocks;
     let mut packed_b = crate::pack::PackedB::new(kernel.nr());
+    let mut gepp: u64 = 0;
     let mut jj = 0usize;
     while jj < n {
         let nc_eff = nc.min(n - jj);
         let mut kk = 0usize;
         while kk < k {
             let kc_eff = kc.min(k - kk);
+            gepp += 1;
+            crate::telemetry::set_gepp(gepp);
             packed_b.pack_parallel(b, transb, kk, jj, kc_eff, nc_eff, threads);
             let params = Layer3Params {
                 a,

@@ -67,6 +67,9 @@ pub fn dsyrk(
         // Diagonal block: compute fully into a temp, add the triangle.
         let mut diag = Matrix::zeros(w, w);
         gemm_syrk_block(trans, alpha, a, j0, w, j0, w, &mut diag.view_mut(), cfg)?;
+        // Scalar triangle accumulate: w·(w+1)/2 adds (GEMM flops inside
+        // gemm_syrk_block are already counted at the gebp choke point).
+        crate::telemetry::add_flops((w as u64) * (w as u64 + 1) / 2);
         for j in 0..w {
             match uplo {
                 UpLo::Lower => {
@@ -339,6 +342,12 @@ fn solve_diag_block(
     b: &mut MatrixViewMut<'_>,
 ) {
     let n = b.cols();
+    // Closed-form count for the scalar substitution: each of the n
+    // columns does w·(w-1) multiply/subtract flops over the triangle
+    // plus w divides when the diagonal is stored.
+    let per_col = (w as u64) * (w as u64 - u64::from(w > 0))
+        + if diag == Diag::NonUnit { w as u64 } else { 0 };
+    crate::telemetry::add_flops((n as u64) * per_col);
     for col in 0..n {
         if lower {
             for r in 0..w {

@@ -45,6 +45,7 @@
 //! | [`cholesky`] | — | blocked Cholesky factorization |
 //! | [`batch`] | — | batched GEMM with shared-operand packing reuse |
 //! | [`sgemm`] | — | single-precision GEMM from the same analytic design (12×8, γ=9.6) |
+//! | [`telemetry`] | — | per-thread counters, phase spans, model-vs-measured attribution |
 //! | [`mod@reference`] | — | naive triple-loop oracle for validation |
 
 #![warn(missing_docs)]
@@ -72,6 +73,7 @@ pub mod pool;
 pub mod reference;
 pub mod scalar;
 pub mod sgemm;
+pub mod telemetry;
 pub mod tile;
 pub mod util;
 

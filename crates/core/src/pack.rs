@@ -52,12 +52,17 @@ impl<T: Scalar> PackedA<T> {
         mc: usize,
         kc: usize,
     ) {
+        // Single telemetry site for A: `try_pack` and every degraded
+        // chunk path land here. Bytes are the padded sliver buffer —
+        // exactly what the kernels stream.
+        let _span = crate::telemetry::span(crate::telemetry::Phase::PackA);
         let mr = self.mr;
         self.mc = mc;
         self.kc = kc;
         let slivers = mc.div_ceil(mr);
         self.buf.clear();
         self.buf.resize(slivers * mr * kc, T::ZERO);
+        crate::telemetry::add_packed_a_bytes((self.buf.len() * core::mem::size_of::<T>()) as u64);
         for s in 0..slivers {
             let row_base = s * mr;
             let rows = mr.min(mc - row_base);
@@ -211,12 +216,16 @@ impl<T: Scalar> PackedB<T> {
         nc: usize,
         threads: usize,
     ) {
+        // Single telemetry site for B: `pack` delegates here, so serial
+        // and cooperative packs record once, on the calling thread.
+        let _span = crate::telemetry::span(crate::telemetry::Phase::PackB);
         let nr = self.nr;
         self.kc = kc;
         self.nc = nc;
         let slivers = nc.div_ceil(nr);
         self.buf.clear();
         self.buf.resize(slivers * nr * kc, T::ZERO);
+        crate::telemetry::add_packed_b_bytes((self.buf.len() * core::mem::size_of::<T>()) as u64);
         if kc == 0 || slivers == 0 {
             return;
         }

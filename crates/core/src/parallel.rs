@@ -167,6 +167,7 @@ fn band<T: Scalar, K: KernelSet<T>>(
     let mut ii = 0usize;
     while ii < rows {
         let mc_eff = params.mc.min(rows - ii);
+        crate::telemetry::set_block(row0 + ii);
         pa.pack(
             params.a,
             params.transa,

@@ -81,13 +81,14 @@ use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::KernelSet;
 use crate::pack::{PackedA, PackedB};
 use crate::scalar::Scalar;
+use crate::telemetry::{self, Phase, RT};
 use crate::tile::TileMut;
 use crate::{GemmError, Transpose};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use perfmodel::cacheblock::BlockSizes;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -158,17 +159,13 @@ pub struct WorkerPool {
     /// Monotonic id source for worker thread names.
     spawn_seq: AtomicUsize,
     grow: Mutex<()>,
-    tasks: AtomicU64,
-    dynamic_epochs: AtomicU64,
-    static_epochs: AtomicU64,
-    deaths: AtomicU64,
-    respawns: AtomicU64,
-    spawn_failures: AtomicU64,
-    faults_contained: AtomicU64,
-    timeouts: AtomicU64,
 }
 
 /// A snapshot of the pool's scheduling counters (see [`stats`]).
+#[deprecated(
+    since = "0.4.0",
+    note = "use `telemetry::snapshot().runtime` — one counter system"
+)]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads currently alive.
@@ -209,14 +206,23 @@ pub struct PoolStatus {
 /// Counter snapshot of the global pool — observability for tests and
 /// the steady-state acceptance criteria (worker count must stabilize
 /// after warm-up).
+///
+/// Deprecated shim over the telemetry counters: the scheduling counters
+/// now live in [`crate::telemetry`] (one counter system, not two); this
+/// reads the same atomics [`telemetry::snapshot`] reports.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `telemetry::snapshot().runtime` — one counter system"
+)]
+#[allow(deprecated)] // the shim itself must still name PoolStats
 #[must_use]
 pub fn stats() -> PoolStats {
-    let pool = WorkerPool::global();
+    let rt = crate::telemetry::snapshot().runtime;
     PoolStats {
-        workers: pool.workers(),
-        tasks: pool.tasks.load(Ordering::Relaxed),
-        dynamic_epochs: pool.dynamic_epochs.load(Ordering::Relaxed),
-        static_epochs: pool.static_epochs.load(Ordering::Relaxed),
+        workers: WorkerPool::global().workers(),
+        tasks: rt.tasks,
+        dynamic_epochs: rt.dynamic_epochs,
+        static_epochs: rt.static_epochs,
     }
 }
 
@@ -233,7 +239,7 @@ struct WorkerGuard(&'static WorkerPool);
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
         self.0.alive.fetch_sub(1, Ordering::AcqRel);
-        self.0.deaths.fetch_add(1, Ordering::Relaxed);
+        RT.deaths.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -262,14 +268,6 @@ impl WorkerPool {
                 alive: AtomicUsize::new(0),
                 spawn_seq: AtomicUsize::new(0),
                 grow: Mutex::new(()),
-                tasks: AtomicU64::new(0),
-                dynamic_epochs: AtomicU64::new(0),
-                static_epochs: AtomicU64::new(0),
-                deaths: AtomicU64::new(0),
-                respawns: AtomicU64::new(0),
-                spawn_failures: AtomicU64::new(0),
-                faults_contained: AtomicU64::new(0),
-                timeouts: AtomicU64::new(0),
             }
         })
     }
@@ -280,22 +278,24 @@ impl WorkerPool {
         self.alive.load(Ordering::Acquire)
     }
 
-    /// Health snapshot: live workers, lifetime spawns/deaths/respawns,
-    /// epochs served, faults contained and watchdog timeouts.
+    /// Health snapshot: live workers now, plus lifetime totals **since
+    /// process start** — spawns/deaths/respawns, epochs served, faults
+    /// contained and watchdog fires (timeouts) — sourced from the
+    /// telemetry runtime counters, which [`crate::telemetry::reset`]
+    /// never zeroes.
     #[must_use]
     pub fn status(&self) -> PoolStatus {
-        let deaths = self.deaths.load(Ordering::Relaxed);
+        let rt = crate::telemetry::snapshot().runtime;
         let alive = self.workers();
         PoolStatus {
             workers_alive: alive,
-            workers_started: alive as u64 + deaths,
-            deaths,
-            respawns: self.respawns.load(Ordering::Relaxed),
-            spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
-            epochs_served: self.dynamic_epochs.load(Ordering::Relaxed)
-                + self.static_epochs.load(Ordering::Relaxed),
-            faults_contained: self.faults_contained.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
+            workers_started: alive as u64 + rt.deaths,
+            deaths: rt.deaths,
+            respawns: rt.respawns,
+            spawn_failures: rt.spawn_failures,
+            epochs_served: rt.epochs_served(),
+            faults_contained: rt.faults_contained,
+            timeouts: rt.timeouts,
         }
     }
 
@@ -334,7 +334,7 @@ impl WorkerPool {
         let have = self.workers();
         for _ in have..want {
             if crate::faults::fail_spawn() {
-                self.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                RT.spawn_failures.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let id = self.spawn_seq.fetch_add(1, Ordering::Relaxed);
@@ -345,19 +345,19 @@ impl WorkerPool {
             {
                 Ok(_) => {
                     self.alive.fetch_add(1, Ordering::AcqRel);
-                    if self.deaths.load(Ordering::Relaxed) > self.respawns.load(Ordering::Relaxed) {
-                        self.respawns.fetch_add(1, Ordering::Relaxed);
+                    if RT.deaths.load(Ordering::Relaxed) > RT.respawns.load(Ordering::Relaxed) {
+                        RT.respawns.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 Err(_) => {
-                    self.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                    RT.spawn_failures.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
     }
 
     fn submit(&self, task: Task) {
-        self.tasks.fetch_add(1, Ordering::Relaxed);
+        RT.tasks.fetch_add(1, Ordering::Relaxed);
         // The pool keeps a receiver alive forever, so send cannot fail;
         // if it somehow does, degrade to running the job inline rather
         // than losing it (its done message keeps the barrier sound).
@@ -373,6 +373,7 @@ impl WorkerPool {
     pub fn try_run_one(&self) -> bool {
         match self.stealer.try_recv() {
             Ok(task) => {
+                telemetry::count_steal();
                 let _ = catch_unwind(AssertUnwindSafe(task));
                 true
             }
@@ -437,11 +438,13 @@ impl<T: Scalar> GemmArena<T> {
     pub(crate) fn take_slot(&mut self, mr: usize) -> BlockSlot<T> {
         match self.slots.pop() {
             Some(mut slot) => {
+                telemetry::count_arena_hit();
                 slot.pa.retarget(mr);
                 slot
             }
             None => {
                 self.fresh += 1;
+                telemetry::count_arena_fresh();
                 BlockSlot {
                     pa: PackedA::new(mr),
                     staging: Vec::new(),
@@ -460,11 +463,13 @@ impl<T: Scalar> GemmArena<T> {
     pub(crate) fn take_panel(&mut self, nr: usize) -> PackedB<T> {
         match self.panels.pop() {
             Some(mut panel) => {
+                telemetry::count_arena_hit();
                 panel.retarget(nr);
                 panel
             }
             None => {
                 self.fresh += 1;
+                telemetry::count_arena_fresh();
                 PackedB::new(nr)
             }
         }
@@ -587,7 +592,9 @@ fn submit_run<T: PoolScalar, K: KernelSet<T>>(
             tx,
             seq,
         };
+        telemetry::set_gepp(seq);
         while let Some(mut slot) = guard.todo.pop() {
+            telemetry::set_block(slot.row0);
             let ok = catch_unwind(AssertUnwindSafe(|| {
                 run_block(kernel, alpha, &mut slot, &panel, nc_eff);
             }))
@@ -674,16 +681,22 @@ fn drain_epoch<T: Scalar>(
         }
         // Queue empty: the remaining jobs are running on other threads
         // and will post their dones; park until one arrives (or the
-        // watchdog deadline passes).
+        // watchdog deadline passes). Only the park itself is barrier
+        // time — jobs drained via try_run_one above record as compute.
         match deadline {
-            None => match done_rx.recv() {
-                Ok(done) => {
-                    if accept(done, seq, slots, &mut out) {
-                        received += 1;
+            None => {
+                let parked = telemetry::span(Phase::Barrier);
+                let received_done = done_rx.recv();
+                drop(parked);
+                match received_done {
+                    Ok(done) => {
+                        if accept(done, seq, slots, &mut out) {
+                            received += 1;
+                        }
                     }
+                    Err(_) => break,
                 }
-                Err(_) => break,
-            },
+            }
             Some(dl) => {
                 let now = Instant::now();
                 let Some(remaining) = dl.checked_duration_since(now).filter(|d| !d.is_zero())
@@ -691,7 +704,10 @@ fn drain_epoch<T: Scalar>(
                     out.timed_out = true;
                     break;
                 };
-                match done_rx.recv_timeout(remaining) {
+                let parked = telemetry::span(Phase::Barrier);
+                let received_done = done_rx.recv_timeout(remaining);
+                drop(parked);
+                match received_done {
                     Ok(done) => {
                         if accept(done, seq, slots, &mut out) {
                             received += 1;
@@ -923,9 +939,11 @@ fn recover_block<T: PoolScalar, K: KernelSet<T>>(
     slot: &mut BlockSlot<T>,
     panel: &mut PackedB<T>,
 ) -> Result<(), GemmError> {
+    let _span = telemetry::span(Phase::Recovery);
     let entry = slot.entry;
     let row0 = slot.row0;
     let mc_eff = slot.mc_eff;
+    telemetry::set_block(row0);
     stage_in(slot, c, jj, nc_eff)?;
     let BlockSlot { pa, staging, .. } = slot;
     let mut kk = 0usize;
@@ -1127,6 +1145,10 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
         k,
         epoch_timeout,
     } = ctx;
+    // Watchdog attribution: everything settled after a fired deadline
+    // (recovery included — it nests its own Recovery/PackX/Compute
+    // spans) is watchdog aftermath.
+    let _watchdog_span = outcome.timed_out.then(|| telemetry::span(Phase::Watchdog));
     for slot in outcome.stale.drain(..) {
         arena.put_slot(slot);
     }
@@ -1160,7 +1182,7 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
         arena.put_panel(scratch);
         match recovered {
             Ok(()) => {
-                pool.faults_contained.fetch_add(1, Ordering::Relaxed);
+                RT.faults_contained.fetch_add(1, Ordering::Relaxed);
             }
             Err(e @ GemmError::WorkerFault { .. }) => {
                 // Double fault: C is unspecified, but finish the call so
@@ -1182,7 +1204,7 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
             .copied()
             .collect();
         if outcome.timed_out {
-            pool.timeouts.fetch_add(1, Ordering::Relaxed);
+            RT.timeouts.fetch_add(1, Ordering::Relaxed);
             *degraded = true;
             if worst.is_none() {
                 *worst = Some(GemmError::EpochTimeout {
@@ -1218,7 +1240,7 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
             arena.put_panel(scratch);
             match recovered {
                 Ok(()) => {
-                    pool.faults_contained.fetch_add(1, Ordering::Relaxed);
+                    RT.faults_contained.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e @ GemmError::WorkerFault { .. }) => *worst = Some(e),
                 Err(e) => return Err(e),
@@ -1333,6 +1355,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                 let kc_eff = kc.min(k - kk);
                 let kk_end = kk + kc_eff;
                 seq += 1;
+                telemetry::set_gepp(seq);
                 // Health check: respawn workers that died since the last
                 // epoch (no-op fast path when everyone is alive).
                 if !degraded {
@@ -1351,9 +1374,9 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                 if pooled {
                     let panel = Arc::new(panel);
                     if static_bands {
-                        pool.static_epochs.fetch_add(1, Ordering::Relaxed);
+                        RT.static_epochs.fetch_add(1, Ordering::Relaxed);
                     } else {
-                        pool.dynamic_epochs.fetch_add(1, Ordering::Relaxed);
+                        RT.dynamic_epochs.fetch_add(1, Ordering::Relaxed);
                     }
                     let run_len = if static_bands { total / workers } else { 1 };
                     let mut run: Vec<BlockSlot<T>> = Vec::with_capacity(run_len);
@@ -1364,6 +1387,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                         // borrowed operand); each job ships as soon as its
                         // blocks are packed, pipelining pack against
                         // compute.
+                        telemetry::set_block(slot.row0);
                         let packed = slot.pa.try_pack(
                             &a_batch[slot.entry],
                             transa,

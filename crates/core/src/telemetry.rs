@@ -1,0 +1,1165 @@
+//! Zero-overhead telemetry: per-thread counters, phase spans and
+//! model-vs-measured attribution (DESIGN.md §11).
+//!
+//! The paper's method is *attribution*: its model
+//! `T ≤ Fμ + (1+κ)Wπ·ψ(γ)` predicts where cycles go. This module makes
+//! the runtime report where they actually went, in three tiers:
+//!
+//! 1. **Counters** — per-thread monotone totals: FLOPs retired, bytes
+//!    packed (A and B separately), GEBP blocks executed, caller steals,
+//!    arena hits vs fresh allocations. Recorded at the single choke
+//!    points of each quantity ([`crate::gebp::gebp`] for FLOPs and
+//!    blocks, [`crate::pack`] for bytes), so totals are exact to the
+//!    last operation for every runtime (Serial/Scoped/Pool).
+//! 2. **Phase spans** — monotonic-clock timings of pack-A, pack-B,
+//!    GEBP compute, barrier wait, epoch watchdog settling and serial
+//!    recovery, tagged with the current (GEPP iteration, `mc`-block)
+//!    context and mirrored into a bounded per-thread ring buffer
+//!    (overwrite-oldest, [`TraceEvent`]). The hot path touches only
+//!    thread-owned atomics: no allocation, no locks.
+//! 3. **Derived attribution** — [`GemmReport`] turns a [`Snapshot`]
+//!    into achieved GFLOPS, achieved γ = F/W, pack/compute/wait
+//!    fractions, and compares them against
+//!    `perfmodel::model::{time_bound, perf_lower_bound}` for the same
+//!    blocking, flagging runs whose measured efficiency falls below the
+//!    model's lower bound (requires `DGEMM_PEAK_GFLOPS` to anchor the
+//!    peak).
+//!
+//! ## Feature gating
+//!
+//! Recording sites are compiled under the `telemetry` cargo feature (on
+//! by default). With the feature disabled every recording function is
+//! an `#[inline(always)]` no-op and [`SpanGuard`] is a zero-sized type,
+//! so the hot paths carry literally no telemetry code. The *pool
+//! lifecycle* counters ([`RuntimeSnapshot`]: tasks, epochs, deaths,
+//! respawns, spawn failures, faults contained, watchdog timeouts) are
+//! always compiled — `pool::status()` sources them and must work in
+//! every build.
+//!
+//! ## Semantics worth knowing
+//!
+//! - Counters count **work performed**, not unique data: fault recovery
+//!   replays packing and compute, so a contained fault inflates byte
+//!   and FLOP totals by the replayed work (exactly the cost the
+//!   operator wants to see).
+//! - Packed-byte totals are **buffer bytes** including the zero padding
+//!   to `mr`/`nr` sliver boundaries — the same quantity `pack.rs`
+//!   allocates and the kernels stream.
+//! - [`reset`] zeroes the per-thread counters/spans/rings but *not* the
+//!   lifetime runtime counters: `pool::status()` reports totals since
+//!   process start.
+//! - A thread's lane is recycled after the thread exits; totals are
+//!   preserved (they describe the process, not the OS thread).
+//!
+//! Env control: `DGEMM_TELEMETRY=summary|json|off` selects what
+//! [`emit`] prints to stderr (default `off`).
+
+#![forbid(unsafe_code)]
+
+pub use perfmodel::cacheblock::BlockSizes;
+
+use perfmodel::model::{
+    efficiency_lower_bound, perf_lower_bound, time_bound, MachineCosts, OverlapFactor,
+};
+use perfmodel::ratio::GebpTraffic;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of distinct phases (the length of [`Phase::ALL`]).
+pub const PHASES: usize = 6;
+
+/// The instrumented phases of a GEMM call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Packing an `mc×kc` block of A into sliver layout.
+    PackA,
+    /// Packing a `kc×nc` panel of B into sliver layout.
+    PackB,
+    /// GEBP compute (layers 4–7) on packed data.
+    Compute,
+    /// Caller parked at the epoch barrier waiting for worker dones.
+    Barrier,
+    /// Settling an epoch after the watchdog deadline expired.
+    Watchdog,
+    /// Serial bit-identical recovery of a faulted block.
+    Recovery,
+}
+
+impl Phase {
+    /// Every phase, in schema order.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::PackA,
+        Phase::PackB,
+        Phase::Compute,
+        Phase::Barrier,
+        Phase::Watchdog,
+        Phase::Recovery,
+    ];
+
+    /// Stable lowercase label (used by the JSON schema).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::PackA => "pack_a",
+            Phase::PackB => "pack_b",
+            Phase::Compute => "compute",
+            Phase::Barrier => "barrier",
+            Phase::Watchdog => "watchdog",
+            Phase::Recovery => "recovery",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Phase::PackA => 0,
+            Phase::PackB => 1,
+            Phase::Compute => 2,
+            Phase::Barrier => 3,
+            Phase::Watchdog => 4,
+            Phase::Recovery => 5,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Always-on pool lifecycle counters.
+//
+// These existed as fields of `WorkerPool` before this module; they live
+// here now so `pool::stats()` / `pool::status()` and the telemetry
+// snapshot read one counter system. They are deliberately *outside* the
+// `telemetry` feature: the fault-tolerance observability must survive a
+// no-default-features build.
+// ---------------------------------------------------------------------
+
+pub(crate) struct RuntimeCounters {
+    /// Jobs enqueued over the pool's lifetime.
+    pub(crate) tasks: AtomicU64,
+    /// Epochs scheduled dynamically (workers race per `mc`-block).
+    pub(crate) dynamic_epochs: AtomicU64,
+    /// Epochs that fell back to static contiguous-band assignment.
+    pub(crate) static_epochs: AtomicU64,
+    /// Workers that exited their loop.
+    pub(crate) deaths: AtomicU64,
+    /// Replacement workers spawned for dead ones.
+    pub(crate) respawns: AtomicU64,
+    /// Worker spawn attempts that failed.
+    pub(crate) spawn_failures: AtomicU64,
+    /// Blocks recomputed serially after a worker panic or loss.
+    pub(crate) faults_contained: AtomicU64,
+    /// Epochs abandoned at the watchdog deadline.
+    pub(crate) timeouts: AtomicU64,
+}
+
+pub(crate) static RT: RuntimeCounters = RuntimeCounters {
+    tasks: AtomicU64::new(0),
+    dynamic_epochs: AtomicU64::new(0),
+    static_epochs: AtomicU64::new(0),
+    deaths: AtomicU64::new(0),
+    respawns: AtomicU64::new(0),
+    spawn_failures: AtomicU64::new(0),
+    faults_contained: AtomicU64::new(0),
+    timeouts: AtomicU64::new(0),
+};
+
+/// Pool-runtime lifecycle totals **since process start** ([`reset`]
+/// does not touch them; `pool::status()` is defined in these terms).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeSnapshot {
+    /// Jobs enqueued over the pool's lifetime.
+    pub tasks: u64,
+    /// Epochs scheduled dynamically (workers race per `mc`-block).
+    pub dynamic_epochs: u64,
+    /// Epochs that fell back to static contiguous-band assignment.
+    pub static_epochs: u64,
+    /// Workers that exited their loop.
+    pub deaths: u64,
+    /// Replacement workers spawned for dead ones.
+    pub respawns: u64,
+    /// Worker spawn attempts that failed.
+    pub spawn_failures: u64,
+    /// Blocks recomputed serially after a worker panic or loss.
+    pub faults_contained: u64,
+    /// Epochs abandoned at the watchdog deadline (watchdog fires).
+    pub timeouts: u64,
+}
+
+impl RuntimeSnapshot {
+    /// Layer-3 epochs served by the pool (dynamic + static).
+    #[must_use]
+    pub fn epochs_served(&self) -> u64 {
+        self.dynamic_epochs + self.static_epochs
+    }
+}
+
+fn runtime_snapshot() -> RuntimeSnapshot {
+    RuntimeSnapshot {
+        tasks: RT.tasks.load(Ordering::Relaxed),
+        dynamic_epochs: RT.dynamic_epochs.load(Ordering::Relaxed),
+        static_epochs: RT.static_epochs.load(Ordering::Relaxed),
+        deaths: RT.deaths.load(Ordering::Relaxed),
+        respawns: RT.respawns.load(Ordering::Relaxed),
+        spawn_failures: RT.spawn_failures.load(Ordering::Relaxed),
+        faults_contained: RT.faults_contained.load(Ordering::Relaxed),
+        timeouts: RT.timeouts.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public snapshot types.
+// ---------------------------------------------------------------------
+
+/// One recorded span from a thread's bounded ring buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which phase the span timed.
+    pub phase: Phase,
+    /// GEPP iteration (the `(jj, kk)` epoch sequence number) current
+    /// when the span closed; 0 if never set on this thread.
+    pub gepp: u64,
+    /// First row of the `mc`-block current when the span closed.
+    pub block_row0: u64,
+    /// Span start, nanoseconds on the process-wide monotonic clock.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Telemetry totals of one recording lane (≈ one thread; lanes are
+/// recycled when threads exit, so a lane accumulates the totals of
+/// every thread that occupied it since the last [`reset`]).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadSnapshot {
+    /// Thread name of the most recent occupant (e.g. `dgemm-pool-3`).
+    pub name: String,
+    /// Useful FLOPs retired (`2·mc·nc·kc` per GEBP, unpadded).
+    pub flops: u64,
+    /// Bytes written into packed-A buffers (padded sliver layout).
+    pub packed_a_bytes: u64,
+    /// Bytes written into packed-B buffers (padded sliver layout).
+    pub packed_b_bytes: u64,
+    /// GEBP block invocations executed on this lane.
+    pub blocks: u64,
+    /// Queued jobs this lane ran while parked at an epoch barrier.
+    pub steals: u64,
+    /// Arena buffer requests served from the free list.
+    pub arena_hits: u64,
+    /// Arena buffer requests that constructed a fresh buffer.
+    pub arena_fresh: u64,
+    /// Accumulated nanoseconds per phase, indexed as [`Phase::ALL`].
+    pub phase_ns: [u64; PHASES],
+    /// Completed spans per phase, indexed as [`Phase::ALL`].
+    pub phase_hits: [u64; PHASES],
+    /// The surviving tail of the span ring buffer, oldest first.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ThreadSnapshot {
+    /// Accumulated nanoseconds in `phase`.
+    #[must_use]
+    pub fn phase_time(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()]
+    }
+
+    /// `(pack, compute, wait)` fractions of this lane's accounted time
+    /// (pack-A + pack-B + compute + barrier; watchdog/recovery nest the
+    /// other phases and are excluded from the denominator). `None` when
+    /// the lane recorded no time.
+    #[must_use]
+    pub fn fractions(&self) -> Option<(f64, f64, f64)> {
+        let pack = self.phase_time(Phase::PackA) + self.phase_time(Phase::PackB);
+        let compute = self.phase_time(Phase::Compute);
+        let wait = self.phase_time(Phase::Barrier);
+        let denom = pack + compute + wait;
+        if denom == 0 {
+            return None;
+        }
+        let d = denom as f64;
+        Some((pack as f64 / d, compute as f64 / d, wait as f64 / d))
+    }
+}
+
+/// A point-in-time copy of every telemetry counter: per-lane totals
+/// plus the always-on pool lifecycle counters. Obtain with
+/// [`snapshot`]; aggregate with the `total_*` helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// One entry per recording lane (empty when the `telemetry` feature
+    /// is disabled).
+    pub threads: Vec<ThreadSnapshot>,
+    /// Pool lifecycle totals since process start.
+    pub runtime: RuntimeSnapshot,
+}
+
+impl Snapshot {
+    /// FLOPs retired across all lanes.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.threads.iter().map(|t| t.flops).sum()
+    }
+
+    /// Packed-A bytes across all lanes.
+    #[must_use]
+    pub fn total_packed_a_bytes(&self) -> u64 {
+        self.threads.iter().map(|t| t.packed_a_bytes).sum()
+    }
+
+    /// Packed-B bytes across all lanes.
+    #[must_use]
+    pub fn total_packed_b_bytes(&self) -> u64 {
+        self.threads.iter().map(|t| t.packed_b_bytes).sum()
+    }
+
+    /// GEBP blocks executed across all lanes.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.threads.iter().map(|t| t.blocks).sum()
+    }
+
+    /// Barrier-wait steals across all lanes.
+    #[must_use]
+    pub fn total_steals(&self) -> u64 {
+        self.threads.iter().map(|t| t.steals).sum()
+    }
+
+    /// Arena free-list hits across all lanes.
+    #[must_use]
+    pub fn total_arena_hits(&self) -> u64 {
+        self.threads.iter().map(|t| t.arena_hits).sum()
+    }
+
+    /// Fresh arena buffer constructions across all lanes.
+    #[must_use]
+    pub fn total_arena_fresh(&self) -> u64 {
+        self.threads.iter().map(|t| t.arena_fresh).sum()
+    }
+
+    /// Accumulated nanoseconds in `phase` across all lanes.
+    #[must_use]
+    pub fn total_phase_ns(&self, phase: Phase) -> u64 {
+        self.threads.iter().map(|t| t.phase_time(phase)).sum()
+    }
+}
+
+/// Whether recording sites are compiled in (the `telemetry` feature).
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Copy every counter, span total and trace ring into a [`Snapshot`].
+///
+/// Reads are relaxed: a snapshot taken while GEMMs are in flight is a
+/// consistent-enough view (each counter is individually monotone), and
+/// one taken with the library quiescent is exact.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        threads: record::thread_snapshots(),
+        runtime: runtime_snapshot(),
+    }
+}
+
+/// Zero the per-thread counters, span totals and trace rings.
+///
+/// The pool lifecycle counters ([`RuntimeSnapshot`]) are *not* reset:
+/// `pool::status()` reports totals since process start. Call before a
+/// measured region; pair with [`snapshot`] after it.
+pub fn reset() {
+    record::reset_slots();
+}
+
+// ---------------------------------------------------------------------
+// Recording primitives (feature-gated hot path).
+// ---------------------------------------------------------------------
+
+pub(crate) use record::{
+    add_flops, add_packed_a_bytes, add_packed_b_bytes, count_arena_fresh, count_arena_hit,
+    count_block, count_steal, set_block, set_gepp, span,
+};
+
+#[cfg(feature = "telemetry")]
+mod record {
+    use super::{Phase, ThreadSnapshot, TraceEvent, PHASES};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    /// Spans kept per thread; older entries are overwritten. 1024 spans
+    /// cover several full GEPP sweeps of a large GEMM (4 spans per
+    /// block-epoch) while bounding memory at ~40 KiB per lane.
+    const RING_LEN: usize = 1024;
+
+    #[derive(Default)]
+    struct RingEntry {
+        /// `Phase::index() + 1`; 0 = empty.
+        phase1: AtomicU64,
+        gepp: AtomicU64,
+        block_row0: AtomicU64,
+        start_ns: AtomicU64,
+        dur_ns: AtomicU64,
+    }
+
+    pub(super) struct Slot {
+        name: Mutex<String>,
+        flops: AtomicU64,
+        packed_a_bytes: AtomicU64,
+        packed_b_bytes: AtomicU64,
+        blocks: AtomicU64,
+        steals: AtomicU64,
+        arena_hits: AtomicU64,
+        arena_fresh: AtomicU64,
+        phase_ns: [AtomicU64; PHASES],
+        phase_hits: [AtomicU64; PHASES],
+        /// Current GEPP iteration / `mc`-block context (owner-written).
+        gepp: AtomicU64,
+        block_row0: AtomicU64,
+        /// Next ring index (monotone; wraps modulo `RING_LEN`).
+        head: AtomicU64,
+        ring: Vec<RingEntry>,
+    }
+
+    impl Slot {
+        fn new(name: String) -> Self {
+            Slot {
+                name: Mutex::new(name),
+                flops: AtomicU64::new(0),
+                packed_a_bytes: AtomicU64::new(0),
+                packed_b_bytes: AtomicU64::new(0),
+                blocks: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                arena_hits: AtomicU64::new(0),
+                arena_fresh: AtomicU64::new(0),
+                phase_ns: Default::default(),
+                phase_hits: Default::default(),
+                gepp: AtomicU64::new(0),
+                block_row0: AtomicU64::new(0),
+                head: AtomicU64::new(0),
+                ring: (0..RING_LEN).map(|_| RingEntry::default()).collect(),
+            }
+        }
+
+        fn zero(&self) {
+            self.flops.store(0, Ordering::Relaxed);
+            self.packed_a_bytes.store(0, Ordering::Relaxed);
+            self.packed_b_bytes.store(0, Ordering::Relaxed);
+            self.blocks.store(0, Ordering::Relaxed);
+            self.steals.store(0, Ordering::Relaxed);
+            self.arena_hits.store(0, Ordering::Relaxed);
+            self.arena_fresh.store(0, Ordering::Relaxed);
+            for p in &self.phase_ns {
+                p.store(0, Ordering::Relaxed);
+            }
+            for p in &self.phase_hits {
+                p.store(0, Ordering::Relaxed);
+            }
+            self.gepp.store(0, Ordering::Relaxed);
+            self.block_row0.store(0, Ordering::Relaxed);
+            self.head.store(0, Ordering::Relaxed);
+            for e in &self.ring {
+                e.phase1.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        slots: Vec<Arc<Slot>>,
+        /// Lanes whose occupant thread exited, available for reuse so
+        /// short-lived threads (the Scoped runtime spawns per GEPP)
+        /// don't grow the registry without bound.
+        free: Vec<usize>,
+    }
+
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        slots: Vec::new(),
+        free: Vec::new(),
+    });
+
+    /// Process-wide monotonic clock origin for span timestamps.
+    fn now_ns() -> u64 {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let elapsed = EPOCH.get_or_init(Instant::now).elapsed();
+        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    struct Handle {
+        slot: Arc<Slot>,
+        lane: usize,
+    }
+
+    impl Drop for Handle {
+        fn drop(&mut self) {
+            let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+            reg.free.push(self.lane);
+        }
+    }
+
+    fn acquire() -> Handle {
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| "unnamed".to_owned(), str::to_owned);
+        let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(lane) = reg.free.pop() {
+            let slot = Arc::clone(&reg.slots[lane]);
+            drop(reg);
+            *slot.name.lock().unwrap_or_else(PoisonError::into_inner) = name;
+            Handle { slot, lane }
+        } else {
+            let slot = Arc::new(Slot::new(name));
+            let lane = reg.slots.len();
+            reg.slots.push(Arc::clone(&slot));
+            Handle { slot, lane }
+        }
+    }
+
+    thread_local! {
+        static HANDLE: RefCell<Option<Handle>> = const { RefCell::new(None) };
+    }
+
+    /// Run `f` on this thread's slot, acquiring a lane on first use.
+    /// Silently skips recording during thread teardown (the TLS value
+    /// may already be destroyed) — losing a span at exit beats aborting.
+    #[inline]
+    fn with_slot(f: impl FnOnce(&Slot)) {
+        let _ = HANDLE.try_with(|cell| {
+            if let Ok(mut handle) = cell.try_borrow_mut() {
+                f(&handle.get_or_insert_with(acquire).slot);
+            }
+        });
+    }
+
+    #[inline]
+    pub(crate) fn add_flops(n: u64) {
+        with_slot(|s| {
+            s.flops.fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub(crate) fn add_packed_a_bytes(n: u64) {
+        with_slot(|s| {
+            s.packed_a_bytes.fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub(crate) fn add_packed_b_bytes(n: u64) {
+        with_slot(|s| {
+            s.packed_b_bytes.fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    /// One GEBP block retired: `n` flops and the block count, in a
+    /// single lane access (this is the hottest recording site).
+    #[inline]
+    pub(crate) fn count_block(n: u64) {
+        with_slot(|s| {
+            s.flops.fetch_add(n, Ordering::Relaxed);
+            s.blocks.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub(crate) fn count_steal() {
+        with_slot(|s| {
+            s.steals.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub(crate) fn count_arena_hit() {
+        with_slot(|s| {
+            s.arena_hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub(crate) fn count_arena_fresh() {
+        with_slot(|s| {
+            s.arena_fresh.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Tag subsequent spans with the current GEPP iteration (the
+    /// `(jj, kk)` epoch sequence number).
+    #[inline]
+    pub(crate) fn set_gepp(seq: u64) {
+        with_slot(|s| s.gepp.store(seq, Ordering::Relaxed));
+    }
+
+    /// Tag subsequent spans with the current `mc`-block's first row.
+    #[inline]
+    pub(crate) fn set_block(row0: usize) {
+        with_slot(|s| s.block_row0.store(row0 as u64, Ordering::Relaxed));
+    }
+
+    /// RAII phase timer: created at phase entry, records on drop.
+    #[must_use]
+    pub(crate) struct SpanGuard {
+        phase: Phase,
+        start: u64,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let end = now_ns();
+            let dur = end.saturating_sub(self.start);
+            with_slot(|s| {
+                let idx = self.phase.index();
+                s.phase_ns[idx].fetch_add(dur, Ordering::Relaxed);
+                s.phase_hits[idx].fetch_add(1, Ordering::Relaxed);
+                let head = s.head.fetch_add(1, Ordering::Relaxed);
+                let e = &s.ring[(head as usize) % RING_LEN];
+                e.gepp
+                    .store(s.gepp.load(Ordering::Relaxed), Ordering::Relaxed);
+                e.block_row0
+                    .store(s.block_row0.load(Ordering::Relaxed), Ordering::Relaxed);
+                e.start_ns.store(self.start, Ordering::Relaxed);
+                e.dur_ns.store(dur, Ordering::Relaxed);
+                e.phase1.store(idx as u64 + 1, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Open a phase span on the calling thread.
+    #[inline]
+    pub(crate) fn span(phase: Phase) -> SpanGuard {
+        SpanGuard {
+            phase,
+            start: now_ns(),
+        }
+    }
+
+    pub(super) fn thread_snapshots() -> Vec<ThreadSnapshot> {
+        let slots: Vec<Arc<Slot>> = {
+            let reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+            reg.slots.clone()
+        };
+        slots
+            .iter()
+            .map(|s| {
+                let mut trace: Vec<TraceEvent> = s
+                    .ring
+                    .iter()
+                    .filter_map(|e| {
+                        let phase1 = e.phase1.load(Ordering::Relaxed);
+                        let phase = *Phase::ALL.get((phase1 as usize).checked_sub(1)?)?;
+                        Some(TraceEvent {
+                            phase,
+                            gepp: e.gepp.load(Ordering::Relaxed),
+                            block_row0: e.block_row0.load(Ordering::Relaxed),
+                            start_ns: e.start_ns.load(Ordering::Relaxed),
+                            dur_ns: e.dur_ns.load(Ordering::Relaxed),
+                        })
+                    })
+                    .collect();
+                trace.sort_by_key(|e| e.start_ns);
+                ThreadSnapshot {
+                    name: s
+                        .name
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone(),
+                    flops: s.flops.load(Ordering::Relaxed),
+                    packed_a_bytes: s.packed_a_bytes.load(Ordering::Relaxed),
+                    packed_b_bytes: s.packed_b_bytes.load(Ordering::Relaxed),
+                    blocks: s.blocks.load(Ordering::Relaxed),
+                    steals: s.steals.load(Ordering::Relaxed),
+                    arena_hits: s.arena_hits.load(Ordering::Relaxed),
+                    arena_fresh: s.arena_fresh.load(Ordering::Relaxed),
+                    phase_ns: std::array::from_fn(|i| s.phase_ns[i].load(Ordering::Relaxed)),
+                    phase_hits: std::array::from_fn(|i| s.phase_hits[i].load(Ordering::Relaxed)),
+                    trace,
+                }
+            })
+            .collect()
+    }
+
+    pub(super) fn reset_slots() {
+        let slots: Vec<Arc<Slot>> = {
+            let reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+            reg.slots.clone()
+        };
+        for slot in slots {
+            slot.zero();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn ring_overwrites_oldest() {
+            // More spans than RING_LEN on one thread: the ring holds the
+            // newest RING_LEN, totals hold everything.
+            super::super::reset();
+            for _ in 0..RING_LEN + 64 {
+                drop(span(Phase::Compute));
+            }
+            let snaps = thread_snapshots();
+            let me = snaps
+                .iter()
+                .find(|t| t.phase_hits[Phase::Compute.index()] >= (RING_LEN + 64) as u64)
+                .expect("this thread's lane");
+            assert!(me.trace.len() <= RING_LEN);
+            assert!(!me.trace.is_empty());
+        }
+
+        #[test]
+        fn spans_carry_context() {
+            set_gepp(7);
+            set_block(112);
+            drop(span(Phase::PackA));
+            let snaps = thread_snapshots();
+            assert!(snaps.iter().any(|t| t
+                .trace
+                .iter()
+                .any(|e| e.phase == Phase::PackA && e.gepp == 7 && e.block_row0 == 112)));
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod record {
+    //! No-op recording: every site compiles to nothing.
+    use super::{Phase, ThreadSnapshot};
+
+    #[inline(always)]
+    pub(crate) fn add_flops(_n: u64) {}
+    #[inline(always)]
+    pub(crate) fn add_packed_a_bytes(_n: u64) {}
+    #[inline(always)]
+    pub(crate) fn add_packed_b_bytes(_n: u64) {}
+    #[inline(always)]
+    pub(crate) fn count_block(_n: u64) {}
+    #[inline(always)]
+    pub(crate) fn count_steal() {}
+    #[inline(always)]
+    pub(crate) fn count_arena_hit() {}
+    #[inline(always)]
+    pub(crate) fn count_arena_fresh() {}
+    #[inline(always)]
+    pub(crate) fn set_gepp(_seq: u64) {}
+    #[inline(always)]
+    pub(crate) fn set_block(_row0: usize) {}
+
+    /// Zero-sized stand-in for the enabled build's RAII timer.
+    pub(crate) struct SpanGuard;
+
+    #[inline(always)]
+    pub(crate) fn span(_phase: Phase) -> SpanGuard {
+        SpanGuard
+    }
+
+    pub(super) fn thread_snapshots() -> Vec<ThreadSnapshot> {
+        Vec::new()
+    }
+
+    pub(super) fn reset_slots() {}
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn disabled_span_guard_is_zero_sized() {
+            assert_eq!(core::mem::size_of::<super::SpanGuard>(), 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derived attribution.
+// ---------------------------------------------------------------------
+
+/// Calibrated overlap-factor slope for the paper's machine — the
+/// `ψ(γ) = 1/(1 + c·γ)` family `ext_model_validation` fits.
+const PSI_C: f64 = 0.4;
+
+/// Attribution of one measured run: achieved GFLOPS and γ from the
+/// counters, pack/compute/wait split from the spans, and the
+/// `perfmodel` predictions for the same blocking next to them.
+#[derive(Clone, Debug)]
+pub struct GemmReport {
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// How many identical GEMM calls the measured interval covered.
+    pub calls: u64,
+    /// Configured parallel degree.
+    pub threads: usize,
+    /// Measured wall-clock seconds for all `calls`.
+    pub elapsed_s: f64,
+    /// FLOPs: counted when telemetry recorded any, else `2·m·n·k·calls`.
+    pub flops: u64,
+    /// Whether `flops` came from counters (false = analytic fallback).
+    pub flops_counted: bool,
+    /// Achieved GFLOPS over the measured interval.
+    pub gflops: f64,
+    /// Counted packed-A bytes.
+    pub packed_a_bytes: u64,
+    /// Counted packed-B bytes.
+    pub packed_b_bytes: u64,
+    /// Achieved γ = F/W: counted FLOPs per packed word actually moved
+    /// through the packing paths. `None` without byte counts.
+    pub gamma_measured: Option<f64>,
+    /// The model's exact GEBP γ for the configured blocking
+    /// (`GebpTraffic::gamma`, eq. (16) numerics).
+    pub gamma_model: f64,
+    /// Fraction of accounted time spent packing (A + B), all lanes.
+    pub pack_frac: f64,
+    /// Fraction of accounted time in GEBP compute, all lanes.
+    pub compute_frac: f64,
+    /// Fraction of accounted time parked at epoch barriers, all lanes.
+    pub wait_frac: f64,
+    /// Equation (4) time bound for the counted F and packed W, in
+    /// cycles (MachineCosts::xgene_cycles units).
+    pub model_time_cycles: f64,
+    /// Equation (6) performance lower bound at `gamma_model`, in flops
+    /// per cycle.
+    pub model_flops_per_cycle: f64,
+    /// Equation (6) efficiency lower bound (fraction of peak) at
+    /// `gamma_model`.
+    pub model_efficiency_bound: f64,
+    /// `gflops / DGEMM_PEAK_GFLOPS` when that env var is set.
+    pub measured_efficiency: Option<f64>,
+    /// `Some(true)` when measured efficiency fell below the model's
+    /// lower bound — the run left model-promised performance on the
+    /// table. Requires `DGEMM_PEAK_GFLOPS`.
+    pub below_model_bound: Option<bool>,
+}
+
+impl GemmReport {
+    /// Build the attribution report for a measured interval.
+    ///
+    /// `dims` is one call's `(m, n, k)`; `calls` how many identical
+    /// calls ran between [`reset`] and [`snapshot`]; `elapsed` the
+    /// wall-clock for all of them; `blocks` the blocking in effect
+    /// (source of the model γ).
+    #[must_use]
+    pub fn from_run(
+        dims: (usize, usize, usize),
+        calls: u64,
+        threads: usize,
+        elapsed: Duration,
+        blocks: &BlockSizes,
+        snap: &Snapshot,
+    ) -> GemmReport {
+        let (m, n, k) = dims;
+        let elapsed_s = elapsed.as_secs_f64();
+        let counted = snap.total_flops();
+        let flops_counted = counted > 0;
+        let flops = if flops_counted {
+            counted
+        } else {
+            2 * (m as u64) * (n as u64) * (k as u64) * calls
+        };
+        let gflops = if elapsed_s > 0.0 {
+            flops as f64 / elapsed_s / 1e9
+        } else {
+            0.0
+        };
+
+        let packed_a_bytes = snap.total_packed_a_bytes();
+        let packed_b_bytes = snap.total_packed_b_bytes();
+        let packed_words = (packed_a_bytes + packed_b_bytes) as f64 / 8.0;
+        let gamma_measured =
+            (flops_counted && packed_words > 0.0).then(|| flops as f64 / packed_words);
+
+        let BlockSizes {
+            mr, nr, kc, mc, nc, ..
+        } = *blocks;
+        let gamma_model = GebpTraffic::gamma(mr, nr, kc, mc.min(m.max(1)), nc.min(n.max(1)));
+
+        let pack = snap.total_phase_ns(Phase::PackA) + snap.total_phase_ns(Phase::PackB);
+        let compute = snap.total_phase_ns(Phase::Compute);
+        let wait = snap.total_phase_ns(Phase::Barrier);
+        let denom = (pack + compute + wait) as f64;
+        let (pack_frac, compute_frac, wait_frac) = if denom > 0.0 {
+            (
+                pack as f64 / denom,
+                compute as f64 / denom,
+                wait as f64 / denom,
+            )
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+
+        let costs = MachineCosts::xgene_cycles();
+        let psi = OverlapFactor::Rational { c: PSI_C };
+        let model_time_cycles = time_bound(flops as f64, packed_words, &costs, &psi);
+        let (model_flops_per_cycle, model_efficiency_bound) = if gamma_model > 0.0 {
+            (
+                perf_lower_bound(gamma_model, &costs, &psi),
+                efficiency_lower_bound(gamma_model, &costs, &psi),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+
+        let peak_gflops = std::env::var("DGEMM_PEAK_GFLOPS")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|p| *p > 0.0);
+        let measured_efficiency = peak_gflops.map(|p| gflops / p);
+        let below_model_bound = measured_efficiency.map(|e| e < model_efficiency_bound);
+
+        GemmReport {
+            m,
+            n,
+            k,
+            calls,
+            threads,
+            elapsed_s,
+            flops,
+            flops_counted,
+            gflops,
+            packed_a_bytes,
+            packed_b_bytes,
+            gamma_measured,
+            gamma_model,
+            pack_frac,
+            compute_frac,
+            wait_frac,
+            model_time_cycles,
+            model_flops_per_cycle,
+            model_efficiency_bound,
+            measured_efficiency,
+            below_model_bound,
+        }
+    }
+
+    /// One-line human summary: GFLOPS, γ (measured vs model) and the
+    /// pack/compute/wait split.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let gamma = self
+            .gamma_measured
+            .map_or_else(|| "n/a".to_owned(), |g| format!("{g:.2}"));
+        let eff = match (self.measured_efficiency, self.below_model_bound) {
+            (Some(e), Some(true)) => format!(
+                " | eff {:.1}% < model bound {:.1}% (BELOW MODEL BOUND)",
+                e * 100.0,
+                self.model_efficiency_bound * 100.0
+            ),
+            (Some(e), _) => format!(
+                " | eff {:.1}% >= model bound {:.1}%",
+                e * 100.0,
+                self.model_efficiency_bound * 100.0
+            ),
+            _ => format!(
+                " | model eff bound {:.1}%",
+                self.model_efficiency_bound * 100.0
+            ),
+        };
+        format!(
+            "telemetry: {}x{}x{} x{} t{} | {:.2} GFLOPS | gamma {} (model {:.2}) | pack {:.1}% compute {:.1}% wait {:.1}%{}",
+            self.m,
+            self.n,
+            self.k,
+            self.calls,
+            self.threads,
+            self.gflops,
+            gamma,
+            self.gamma_model,
+            self.pack_frac * 100.0,
+            self.compute_frac * 100.0,
+            self.wait_frac * 100.0,
+            eff,
+        )
+    }
+
+    /// Schema-stable JSON (`"schema": "dgemm-telem-v1"`), one object.
+    ///
+    /// Keys are emitted in a fixed order; absent measurements are
+    /// `null`. `crates/bench` writes one of these per bench group into
+    /// `results/TELEM_*.json`.
+    #[must_use]
+    pub fn to_json(&self, snap: &Snapshot) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".to_owned(), |x| format!("{x:.6}"))
+        }
+        fn opt_bool(v: Option<bool>) -> String {
+            v.map_or_else(|| "null".to_owned(), |b| b.to_string())
+        }
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut threads_json = String::new();
+        for (i, t) in snap.threads.iter().enumerate() {
+            if i > 0 {
+                threads_json.push(',');
+            }
+            threads_json.push_str(&format!(
+                "{{\"name\":\"{}\",\"flops\":{},\"packed_a_bytes\":{},\"packed_b_bytes\":{},\
+                 \"blocks\":{},\"steals\":{},\"arena_hits\":{},\"arena_fresh\":{},{}}}",
+                esc(&t.name),
+                t.flops,
+                t.packed_a_bytes,
+                t.packed_b_bytes,
+                t.blocks,
+                t.steals,
+                t.arena_hits,
+                t.arena_fresh,
+                Phase::ALL
+                    .iter()
+                    .map(|p| format!("\"{}_ns\":{}", p.label(), t.phase_time(*p)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+        }
+        let rt = &snap.runtime;
+        format!(
+            "{{\"schema\":\"dgemm-telem-v1\",\"m\":{},\"n\":{},\"k\":{},\"calls\":{},\
+             \"threads\":{},\"elapsed_s\":{:.6},\"flops\":{},\"flops_counted\":{},\
+             \"gflops\":{:.6},\"packed_a_bytes\":{},\"packed_b_bytes\":{},\
+             \"gamma_measured\":{},\"gamma_model\":{:.6},\"pack_frac\":{:.6},\
+             \"compute_frac\":{:.6},\"wait_frac\":{:.6},\"model_time_cycles\":{:.3},\
+             \"model_flops_per_cycle\":{:.6},\"model_efficiency_bound\":{:.6},\
+             \"measured_efficiency\":{},\"below_model_bound\":{},\
+             \"runtime\":{{\"tasks\":{},\"dynamic_epochs\":{},\"static_epochs\":{},\
+             \"deaths\":{},\"respawns\":{},\"spawn_failures\":{},\"faults_contained\":{},\
+             \"timeouts\":{}}},\"threads_detail\":[{}]}}",
+            self.m,
+            self.n,
+            self.k,
+            self.calls,
+            self.threads,
+            self.elapsed_s,
+            self.flops,
+            self.flops_counted,
+            self.gflops,
+            self.packed_a_bytes,
+            self.packed_b_bytes,
+            opt(self.gamma_measured),
+            self.gamma_model,
+            self.pack_frac,
+            self.compute_frac,
+            self.wait_frac,
+            self.model_time_cycles,
+            self.model_flops_per_cycle,
+            self.model_efficiency_bound,
+            opt(self.measured_efficiency),
+            opt_bool(self.below_model_bound),
+            rt.tasks,
+            rt.dynamic_epochs,
+            rt.static_epochs,
+            rt.deaths,
+            rt.respawns,
+            rt.spawn_failures,
+            rt.faults_contained,
+            rt.timeouts,
+            threads_json,
+        )
+    }
+}
+
+/// What [`emit`] prints, from `DGEMM_TELEMETRY`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Print nothing (the default).
+    #[default]
+    Off,
+    /// Print [`GemmReport::summary_line`] to stderr.
+    Summary,
+    /// Print [`GemmReport::to_json`] to stderr.
+    Json,
+}
+
+/// Parse `DGEMM_TELEMETRY` (`summary` | `json` | anything else = off).
+#[must_use]
+pub fn mode_from_env() -> TelemetryMode {
+    match std::env::var("DGEMM_TELEMETRY") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "summary" => TelemetryMode::Summary,
+            "json" => TelemetryMode::Json,
+            _ => TelemetryMode::Off,
+        },
+        Err(_) => TelemetryMode::Off,
+    }
+}
+
+/// Print `report` to stderr in the mode `DGEMM_TELEMETRY` selects
+/// (no-op when off/unset). Library code never prints unprompted; this
+/// is the explicit faucet examples and benches open.
+pub fn emit(report: &GemmReport, snap: &Snapshot) {
+    match mode_from_env() {
+        TelemetryMode::Off => {}
+        TelemetryMode::Summary => eprintln!("{}", report.summary_line()),
+        TelemetryMode::Json => eprintln!("{}", report.to_json(snap)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_and_indices_are_stable() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::PackA.label(), "pack_a");
+        assert_eq!(Phase::Barrier.label(), "barrier");
+    }
+
+    #[test]
+    fn report_falls_back_to_analytic_flops() {
+        let snap = Snapshot::default();
+        let blocks = BlockSizes::custom(8, 6, 64, 24, 48);
+        let r = GemmReport::from_run(
+            (32, 32, 32),
+            4,
+            2,
+            Duration::from_millis(10),
+            &blocks,
+            &snap,
+        );
+        assert!(!r.flops_counted);
+        assert_eq!(r.flops, 2 * 32 * 32 * 32 * 4);
+        assert!(r.gflops > 0.0);
+        assert!(r.gamma_measured.is_none());
+        assert!(r.gamma_model > 0.0);
+        let line = r.summary_line();
+        assert!(line.contains("GFLOPS"), "{line}");
+        let json = r.to_json(&snap);
+        assert!(json.starts_with("{\"schema\":\"dgemm-telem-v1\""), "{json}");
+        assert!(json.contains("\"gamma_measured\":null"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_thread_names() {
+        let mut snap = Snapshot::default();
+        snap.threads.push(ThreadSnapshot {
+            name: "we\"ird\\name".to_owned(),
+            ..ThreadSnapshot::default()
+        });
+        let blocks = BlockSizes::custom(8, 6, 64, 24, 48);
+        let r = GemmReport::from_run((8, 8, 8), 1, 1, Duration::from_millis(1), &blocks, &snap);
+        let json = r.to_json(&snap);
+        assert!(json.contains("we\\\"ird\\\\name"), "{json}");
+    }
+
+    #[test]
+    fn mode_parsing() {
+        // Exercise the match arms directly (env mutation races with
+        // other tests; auto_config_reads_environment owns that risk).
+        assert_eq!(TelemetryMode::default(), TelemetryMode::Off);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn enabled_reports_feature() {
+        assert!(enabled());
+    }
+}

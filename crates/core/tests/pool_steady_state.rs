@@ -1,13 +1,14 @@
 //! Steady-state acceptance for the pooled runtime, in its own test
-//! binary so the process-wide pool counters are deterministic: after a
-//! warm-up call, repeated GEMMs must spawn **zero** new worker threads
+//! binary so the process-wide runtime counters are deterministic: after
+//! a warm-up call, repeated GEMMs must spawn **zero** new worker threads
 //! and allocate **zero** new packing buffers — thread creation and
 //! arena growth are one-time costs.
 
 use dgemm_core::gemm::{gemm, GemmConfig};
 use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
-use dgemm_core::pool::{stats, Parallelism, PoolScalar};
+use dgemm_core::pool::{Parallelism, PoolScalar, WorkerPool};
+use dgemm_core::telemetry;
 use dgemm_core::Transpose;
 
 fn run(par: Parallelism, m: usize, n: usize, k: usize) -> Matrix {
@@ -45,8 +46,8 @@ fn no_spawns_and_no_allocations_after_warmup() {
     let first = run(Parallelism::Pool(4), m, n, k);
     assert_eq!(first.max_abs_diff(&want), 0.0);
 
-    let workers0 = stats().workers;
-    let tasks0 = stats().tasks;
+    let workers0 = WorkerPool::global().workers();
+    let rt0 = telemetry::snapshot().runtime;
     let fresh0 = fresh();
     assert!(fresh0 > 0, "warm-up must have populated the arena");
 
@@ -58,9 +59,10 @@ fn no_spawns_and_no_allocations_after_warmup() {
         run(Parallelism::Pool(3), m / 2 + 1, n / 3, k / 2);
     }
 
-    let after = stats();
+    let rt = telemetry::snapshot().runtime;
     assert_eq!(
-        after.workers, workers0,
+        WorkerPool::global().workers(),
+        workers0,
         "steady-state GEMMs must not spawn threads"
     );
     assert_eq!(
@@ -69,11 +71,20 @@ fn no_spawns_and_no_allocations_after_warmup() {
         "steady-state GEMMs must not allocate packing buffers"
     );
     assert!(
-        after.tasks > tasks0,
+        rt.tasks > rt0.tasks,
         "pooled work must flow through the shared queue"
     );
-    assert!(
-        after.dynamic_epochs + after.static_epochs > 0,
-        "layer-3 epochs must be counted"
-    );
+    assert!(rt.epochs_served() > 0, "layer-3 epochs must be counted");
+
+    // The deprecated shim must stay consistent with the counters it
+    // wraps (it is the compatibility surface for older callers).
+    #[allow(deprecated)]
+    {
+        let shim = dgemm_core::pool::stats();
+        let now = telemetry::snapshot().runtime;
+        assert_eq!(shim.workers, WorkerPool::global().workers());
+        assert_eq!(shim.dynamic_epochs, now.dynamic_epochs);
+        assert_eq!(shim.static_epochs, now.static_epochs);
+        assert!(shim.tasks >= rt.tasks);
+    }
 }

@@ -1,0 +1,275 @@
+//! Property tests for the telemetry layer: counters must be *exact*,
+//! not approximate. FLOPs retired must equal `2·m·n·k` for every
+//! runtime, and packed-byte counters must reproduce the padded-buffer
+//! arithmetic of `pack.rs` (`ceil(mc/mr)·mr·kc` slivers of A,
+//! `ceil(nc/nr)·nr·kc` slivers of B) summed over the exact macro-loop
+//! decomposition each runtime performs.
+//!
+//! Telemetry counters are process-global, so every test serializes on
+//! one lock and starts from `telemetry::reset()`.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use dgemm_core::gemm::{gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::Parallelism;
+use dgemm_core::telemetry;
+use dgemm_core::Transpose;
+
+/// Serialize tests touching the global counters; reset before each.
+fn lock_and_reset() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    telemetry::reset();
+    guard
+}
+
+const KIND: MicroKernelKind = MicroKernelKind::Mk8x6;
+const MR: usize = 8;
+const NR: usize = 6;
+const KC: usize = 20;
+const MC: usize = 24;
+const NC: usize = 16;
+
+fn cfg(par: Parallelism) -> GemmConfig {
+    GemmConfig::for_kernel(KIND, 1)
+        .with_blocks(KC, MC, NC)
+        .with_parallelism(par)
+}
+
+fn run(par: Parallelism, m: usize, n: usize, k: usize) {
+    let a = Matrix::random(m, k, 11);
+    let b = Matrix::random(k, n, 12);
+    let mut c = Matrix::zeros(m, n);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &a.view(),
+        &b.view(),
+        0.0,
+        &mut c.view_mut(),
+        &cfg(par),
+    );
+}
+
+/// Expected exact counters for one GEMM, replicating the macro loops:
+/// `jj` over `nc` panels, `kk` over `kc` depths, then `mc` blocks of A
+/// walked within each row band (`bands` is `[(0, m)]` for the serial
+/// and pooled decompositions, `partition_rows` for the scoped one).
+/// Returns `(flops, a_bytes, b_bytes, blocks)`.
+fn expected(n: usize, k: usize, bands: &[(usize, usize)]) -> (u64, u64, u64, u64) {
+    let w = core::mem::size_of::<f64>() as u64;
+    let (mut flops, mut a_bytes, mut b_bytes, mut blocks) = (0u64, 0u64, 0u64, 0u64);
+    let mut jj = 0;
+    while jj < n {
+        let nc_eff = NC.min(n - jj);
+        let mut kk = 0;
+        while kk < k {
+            let kc_eff = KC.min(k - kk);
+            b_bytes += (nc_eff.div_ceil(NR) * NR * kc_eff) as u64 * w;
+            for &(_, len) in bands {
+                let mut ii = 0;
+                while ii < len {
+                    let mc_eff = MC.min(len - ii);
+                    a_bytes += (mc_eff.div_ceil(MR) * MR * kc_eff) as u64 * w;
+                    flops += 2 * (mc_eff * nc_eff * kc_eff) as u64;
+                    blocks += 1;
+                    ii += mc_eff;
+                }
+            }
+            kk += kc_eff;
+        }
+        jj += nc_eff;
+    }
+    (flops, a_bytes, b_bytes, blocks)
+}
+
+#[cfg(feature = "telemetry")]
+mod enabled {
+    use super::*;
+    use dgemm_core::parallel::partition_rows;
+    use dgemm_core::telemetry::{BlockSizes, GemmReport, Phase, TelemetryMode};
+
+    fn check(par: Parallelism, bands: &[(usize, usize)], m: usize, n: usize, k: usize) {
+        run(par, m, n, k);
+        let snap = telemetry::snapshot();
+        let (flops, a_bytes, b_bytes, blocks) = expected(n, k, bands);
+        assert_eq!(
+            flops,
+            2 * (m * n * k) as u64,
+            "band decomposition must cover mnk"
+        );
+        assert_eq!(snap.total_flops(), flops, "{par:?} {m}x{n}x{k}: flops");
+        assert_eq!(
+            snap.total_packed_a_bytes(),
+            a_bytes,
+            "{par:?} {m}x{n}x{k}: packed-A bytes"
+        );
+        assert_eq!(
+            snap.total_packed_b_bytes(),
+            b_bytes,
+            "{par:?} {m}x{n}x{k}: packed-B bytes"
+        );
+        assert_eq!(
+            snap.total_blocks(),
+            blocks,
+            "{par:?} {m}x{n}x{k}: gebp blocks"
+        );
+    }
+
+    #[test]
+    fn serial_counters_are_exact() {
+        for (m, n, k) in [
+            (64, 48, 40),
+            (130, 70, 50),
+            (13, 7, 9),
+            (24, 16, 20),
+            (1, 1, 1),
+        ] {
+            let _g = lock_and_reset();
+            check(Parallelism::Serial, &[(0, m)], m, n, k);
+        }
+    }
+
+    #[test]
+    fn scoped_counters_are_exact() {
+        // m > mc so run_layer3_scoped actually partitions into bands.
+        for (m, n, k) in [(130, 70, 50), (96, 33, 41)] {
+            let _g = lock_and_reset();
+            let bands = partition_rows(m, MR, 3);
+            check(Parallelism::Scoped(3), &bands, m, n, k);
+        }
+    }
+
+    #[test]
+    fn pooled_counters_are_exact() {
+        // The pooled driver stages the same mc-block decomposition as
+        // the serial walk (one slot per block over the whole M range).
+        for (m, n, k) in [(130, 70, 50), (96, 33, 41)] {
+            let _g = lock_and_reset();
+            check(Parallelism::Pool(3), &[(0, m)], m, n, k);
+        }
+    }
+
+    #[test]
+    fn pooled_512_report_attributes_the_run() {
+        let _g = lock_and_reset();
+        let (m, n, k) = (512, 512, 512);
+        let t0 = std::time::Instant::now();
+        run(Parallelism::Pool(4), m, n, k);
+        let elapsed = t0.elapsed();
+
+        let snap = telemetry::snapshot();
+        assert_eq!(snap.total_flops(), 2 * (m * n * k) as u64);
+
+        // Every lane that recorded time must account for exactly 1.0
+        // across pack/compute/wait.
+        let mut active = 0;
+        for t in &snap.threads {
+            if let Some((p, c, w)) = t.fractions() {
+                active += 1;
+                assert!(
+                    (p + c + w - 1.0).abs() < 1e-9,
+                    "lane {} fractions sum to {}",
+                    t.name,
+                    p + c + w
+                );
+            }
+        }
+        assert!(active > 0, "a pooled 512^3 run must record spans");
+        assert!(snap.total_phase_ns(Phase::Compute) > 0);
+
+        let blocks = BlockSizes::custom(MR, NR, KC, MC, NC);
+        let report = GemmReport::from_run((m, n, k), 1, 4, elapsed, &blocks, &snap);
+        assert!(report.flops_counted, "counted flops must win over analytic");
+        assert_eq!(report.flops, 2 * (m * n * k) as u64);
+        assert!(report.gflops > 0.0);
+        assert!(report.gamma_measured.is_some());
+        assert!(report.gamma_model > 0.0);
+        assert!((report.pack_frac + report.compute_frac + report.wait_frac - 1.0).abs() < 1e-9);
+
+        // Both emission modes produce well-formed output for this run.
+        let line = report.summary_line();
+        assert!(
+            line.contains("GFLOPS") && line.contains("512x512x512"),
+            "{line}"
+        );
+        let json = report.to_json(&snap);
+        assert!(json.starts_with("{\"schema\":\"dgemm-telem-v1\""), "{json}");
+        assert!(json.contains("\"runtime\":{") && json.contains("\"threads_detail\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // And the env faucet selects them (emit itself prints to stderr).
+        std::env::set_var("DGEMM_TELEMETRY", "summary");
+        assert_eq!(telemetry::mode_from_env(), TelemetryMode::Summary);
+        telemetry::emit(&report, &snap);
+        std::env::set_var("DGEMM_TELEMETRY", "json");
+        assert_eq!(telemetry::mode_from_env(), TelemetryMode::Json);
+        telemetry::emit(&report, &snap);
+        std::env::remove_var("DGEMM_TELEMETRY");
+        assert_eq!(telemetry::mode_from_env(), TelemetryMode::Off);
+    }
+
+    #[test]
+    fn reset_zeroes_lanes_but_not_runtime_counters() {
+        let _g = lock_and_reset();
+        run(Parallelism::Pool(3), 96, 48, 40);
+        let before = telemetry::snapshot();
+        assert!(before.total_flops() > 0);
+        assert!(before.runtime.tasks > 0, "pooled run must enqueue tasks");
+
+        telemetry::reset();
+        let after = telemetry::snapshot();
+        assert_eq!(after.total_flops(), 0);
+        assert_eq!(after.total_packed_a_bytes(), 0);
+        assert_eq!(after.total_blocks(), 0);
+        assert!(after.threads.iter().all(|t| t.trace.is_empty()));
+        // Lifecycle counters survive: pool::status() reports since
+        // process start.
+        assert_eq!(after.runtime, before.runtime);
+        let status = dgemm_core::pool::status();
+        assert_eq!(status.epochs_served, after.runtime.epochs_served());
+        assert_eq!(status.timeouts, after.runtime.timeouts);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod disabled {
+    use super::*;
+    use dgemm_core::telemetry::BlockSizes;
+    use dgemm_core::telemetry::GemmReport;
+    use std::time::Duration;
+
+    #[test]
+    fn recording_is_compiled_out_but_runtime_counters_remain() {
+        let _g = lock_and_reset();
+        assert!(!telemetry::enabled());
+        run(Parallelism::Pool(3), 96, 48, 40);
+        let snap = telemetry::snapshot();
+        // No lanes, no counts: every recording site is a no-op.
+        assert!(snap.threads.is_empty());
+        assert_eq!(snap.total_flops(), 0);
+        assert_eq!(snap.total_packed_a_bytes(), 0);
+        // But the always-on pool lifecycle counters still work.
+        assert!(snap.runtime.tasks > 0);
+        assert!(snap.runtime.epochs_served() > 0);
+        let status = dgemm_core::pool::status();
+        assert_eq!(status.epochs_served, snap.runtime.epochs_served());
+
+        // GemmReport falls back to the analytic FLOP count.
+        let blocks = BlockSizes::custom(MR, NR, KC, MC, NC);
+        let report =
+            GemmReport::from_run((96, 48, 40), 1, 3, Duration::from_millis(5), &blocks, &snap);
+        assert!(!report.flops_counted);
+        assert_eq!(report.flops, 2 * 96 * 48 * 40);
+        // The expected-counter arithmetic stays callable (and nonzero)
+        // so enabling the feature changes measurements, not the suite.
+        let (flops, ..) = expected(48, 40, &[(0, 96)]);
+        assert_eq!(flops, 2 * 96 * 48 * 40);
+    }
+}

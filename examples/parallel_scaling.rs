@@ -11,6 +11,7 @@
 //! ```
 
 use armv8_dgemm::prelude::*;
+use dgemm_core::telemetry::{self, GemmReport};
 use dgemm_core::util::gemm_flops;
 use simgemm::estimate::{Estimator, SimConfig};
 use simgemm::kernelsim::KernelVariant;
@@ -41,6 +42,7 @@ fn main() {
     for threads in [1usize, 2, 4, 8] {
         let cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads);
         let mut c = Matrix::zeros(n, n);
+        telemetry::reset();
         let t0 = Instant::now();
         dgemm(
             Transpose::No,
@@ -53,7 +55,8 @@ fn main() {
             &cfg,
         )
         .unwrap();
-        let dt = t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed();
+        let dt = elapsed.as_secs_f64();
         let gf = gemm_flops(n, n, n) / dt / 1e9;
         let speedup = serial.get_or_insert(dt).max(1e-12) / dt;
         println!(
@@ -62,6 +65,10 @@ fn main() {
             gf,
             cfg.blocks.label()
         );
+        let snap = telemetry::snapshot();
+        let report = GemmReport::from_run((n, n, n), 1, threads, elapsed, &cfg.blocks, &snap);
+        println!("    {}", report.summary_line());
+        telemetry::emit(&report, &snap);
     }
 
     // the persistent pool vs the legacy spawn-per-GEPP runtime, same
@@ -88,6 +95,7 @@ fn main() {
             )
             .unwrap();
         }
+        telemetry::reset();
         let t0 = Instant::now();
         let reps = 5;
         for _ in 0..reps {
@@ -103,12 +111,17 @@ fn main() {
             )
             .unwrap();
         }
-        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let elapsed = t0.elapsed();
+        let dt = elapsed.as_secs_f64() / reps as f64;
         println!(
             "  {label}: {:7.1} ms  {:6.2} Gflops",
             dt * 1e3,
             gemm_flops(n, n, n) / dt / 1e9
         );
+        let snap = telemetry::snapshot();
+        let report = GemmReport::from_run((n, n, n), reps, 4, elapsed, &cfg.blocks, &snap);
+        println!("    {}", report.summary_line());
+        telemetry::emit(&report, &snap);
     }
     println!(
         "  (host parallel speedup is bounded by this machine's core count: {})",

@@ -7,6 +7,7 @@
 
 use armv8_dgemm::prelude::*;
 use dgemm_core::reference::naive_gemm;
+use dgemm_core::telemetry::{self, GemmReport};
 use dgemm_core::util::{gemm_flops, gemm_tolerance};
 use std::time::Instant;
 
@@ -29,6 +30,7 @@ fn main() {
     );
 
     let mut c = c0.clone();
+    telemetry::reset();
     let t0 = Instant::now();
     dgemm(
         Transpose::No,
@@ -41,12 +43,18 @@ fn main() {
         &cfg,
     )
     .unwrap();
-    let dt = t0.elapsed().as_secs_f64();
+    let elapsed = t0.elapsed();
+    let dt = elapsed.as_secs_f64();
     println!(
         "blocked DGEMM: {:.1} ms = {:.2} Gflops on this host",
         dt * 1e3,
         gemm_flops(m, n, k) / dt / 1e9
     );
+    // Where the cycles went, per the counters, next to the model's view.
+    let snap = telemetry::snapshot();
+    let report = GemmReport::from_run((m, n, k), 1, 1, elapsed, &cfg.blocks, &snap);
+    println!("{}", report.summary_line());
+    telemetry::emit(&report, &snap);
 
     // verify against the naive triple loop
     let mut want = c0.clone();
