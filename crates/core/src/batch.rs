@@ -69,6 +69,17 @@ pub fn gemm_batch_shared_b(
         return Ok(());
     }
 
+    // A weight-reuse batch is the pack cache's home turf: the shared
+    // operand is packed once per *process* instead of once per call.
+    // The Arc clone keeps the panels alive even if the entry is evicted
+    // mid-batch.
+    let prepacked = if cfg.pack_cache {
+        f64::pack_cache().get_or_pack(b, transb, cfg.kernel.nr(), cfg.blocks.kc, cfg.blocks.nc)
+    } else {
+        None
+    };
+    let prepacked = prepacked.as_deref();
+
     match cfg.parallelism {
         Parallelism::Pool(threads) => {
             // every entry's mc-blocks are dispatched into the same epoch,
@@ -84,6 +95,7 @@ pub fn gemm_batch_shared_b(
                 cfg.blocks,
                 threads,
                 cfg.epoch_timeout,
+                prepacked,
             )?;
         }
         Parallelism::Scoped(threads) if threads > 1 => {
@@ -97,6 +109,7 @@ pub fn gemm_batch_shared_b(
                     c_batch,
                     cfg,
                     &mut packed_b,
+                    prepacked,
                     |params, pb, panel| run_layer3_scoped(params, pb, panel, threads),
                 );
                 arena.put_panel(packed_b);
@@ -116,6 +129,7 @@ pub fn gemm_batch_shared_b(
                     c_batch,
                     cfg,
                     &mut packed_b,
+                    prepacked,
                     |params, pb, panel| run_layer3(params, pb, panel, slot.pa_mut()),
                 );
                 arena.put_slot(slot);
@@ -128,7 +142,8 @@ pub fn gemm_batch_shared_b(
 
 /// Layers 1–2 of the non-pooled batched driver: the shared operand is
 /// packed once per `(jj, kk)` macro-iteration into the caller's recycled
-/// panel and `run` executes layer 3 for each batch entry against it.
+/// panel (or borrowed from a pre-packed cache entry) and `run` executes
+/// layer 3 for each batch entry against it.
 #[allow(clippy::too_many_arguments)] // internal driver mirroring the entry point
 fn batch_layer12(
     alpha: f64,
@@ -138,6 +153,7 @@ fn batch_layer12(
     c_batch: &mut [MatrixViewMut<'_>],
     cfg: &GemmConfig,
     packed_b: &mut crate::pack::PackedB,
+    prepacked: Option<&crate::prepack::PrepackedB>,
     mut run: impl FnMut(Layer3Params<'_>, &crate::pack::PackedB, TileMut<'_>),
 ) {
     let (m, k) = (a_batch[0].rows(), a_batch[0].cols());
@@ -149,8 +165,15 @@ fn batch_layer12(
         let mut kk = 0usize;
         while kk < k {
             let kc_eff = kc.min(k - kk);
-            // pack the shared operand ONCE for the whole batch
-            packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
+            // pack the shared operand ONCE for the whole batch — or skip
+            // even that when a pre-packed tile is available
+            let pb: &crate::pack::PackedB = match prepacked {
+                Some(pp) => pp.panel(jj, kk),
+                None => {
+                    packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
+                    &*packed_b
+                }
+            };
             for (a, c) in a_batch.iter().zip(c_batch.iter_mut()) {
                 let params = Layer3Params {
                     a,
@@ -164,7 +187,7 @@ fn batch_layer12(
                 let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
                 let ld = panel_view.ld();
                 let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
-                run(params, packed_b, panel);
+                run(params, pb, panel);
             }
             kk += kc_eff;
         }

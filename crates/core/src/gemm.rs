@@ -47,6 +47,12 @@ pub struct GemmConfig {
     /// reports [`GemmError::EpochTimeout`] (C still holds the bit-exact
     /// result). [`GemmConfig::auto`] reads `DGEMM_EPOCH_TIMEOUT_MS`.
     pub epoch_timeout: Option<Duration>,
+    /// Consult the process-wide [`crate::prepack::PackCache`] for a
+    /// pre-packed B (packing it on first use), so repeated GEMMs
+    /// against the same operand pack it once instead of per call.
+    /// Off by default; see the [`crate::prepack`] coherence contract
+    /// before enabling. [`GemmConfig::auto`] reads `DGEMM_PACK_CACHE`.
+    pub pack_cache: bool,
 }
 
 impl GemmConfig {
@@ -74,6 +80,7 @@ impl GemmConfig {
             blocks,
             parallelism: Parallelism::from_threads(threads),
             epoch_timeout: None,
+            pack_cache: false,
         }
     }
 
@@ -106,7 +113,8 @@ impl GemmConfig {
                 .unwrap_or(1),
         };
         Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads)
-            .with_epoch_timeout(epoch_timeout_from_env()?))
+            .with_epoch_timeout(epoch_timeout_from_env()?)
+            .with_pack_cache(pack_cache_from_env()?))
     }
 
     /// Same kernel/threads but explicit `kc×mc×nc` (for sensitivity
@@ -132,6 +140,15 @@ impl GemmConfig {
         self
     }
 
+    /// Same configuration with the transparent pre-packed-B cache
+    /// enabled or disabled (see [`crate::prepack`] for the coherence
+    /// contract the caller takes on when enabling it).
+    #[must_use]
+    pub fn with_pack_cache(mut self, enabled: bool) -> Self {
+        self.pack_cache = enabled;
+        self
+    }
+
     /// The configured parallel degree (1 for serial).
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -154,6 +171,24 @@ fn epoch_timeout_from_env() -> Result<Option<Duration>, GemmError> {
             "DGEMM_EPOCH_TIMEOUT_MS is not unicode",
         )),
         Err(std::env::VarError::NotPresent) => Ok(None),
+    }
+}
+
+/// Parse `DGEMM_PACK_CACHE`: absent/`0`/`false` disables the pack
+/// cache, `1`/`true` enables it, anything else is a typed error.
+fn pack_cache_from_env() -> Result<bool, GemmError> {
+    match std::env::var("DGEMM_PACK_CACHE") {
+        Ok(v) => match v.trim() {
+            "1" | "true" => Ok(true),
+            "0" | "false" | "" => Ok(false),
+            _ => Err(GemmError::BadConfig(
+                "DGEMM_PACK_CACHE must be 0/1/true/false",
+            )),
+        },
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(GemmError::BadConfig("DGEMM_PACK_CACHE is not unicode"))
+        }
+        Err(std::env::VarError::NotPresent) => Ok(false),
     }
 }
 
@@ -219,6 +254,7 @@ pub fn try_gemm(
         cfg.blocks,
         cfg.parallelism,
         cfg.epoch_timeout,
+        cfg.pack_cache,
     )
 }
 
@@ -243,6 +279,7 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     blocks: BlockSizes,
     parallelism: Parallelism,
     epoch_timeout: Option<Duration>,
+    pack_cache: bool,
 ) -> Result<(), GemmError> {
     let (m, ka) = transa.apply_dims(a.rows(), a.cols());
     let (kb, n) = transb.apply_dims(b.rows(), b.cols());
@@ -260,6 +297,17 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
         return Ok(());
     }
 
+    // The cache path: cloning the Arc here keeps the panels alive for
+    // the whole call even if the entry is evicted or invalidated
+    // concurrently. A failed pack (allocation) degrades to the
+    // per-call packing below, never to an error.
+    let prepacked = if pack_cache {
+        T::pack_cache().get_or_pack(b, transb, kernel.nr(), blocks.kc, blocks.nc)
+    } else {
+        None
+    };
+    let prepacked = prepacked.as_deref();
+
     match parallelism {
         Parallelism::Pool(threads) => gemm_pooled(
             transa,
@@ -272,13 +320,16 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
             blocks,
             threads,
             epoch_timeout,
+            prepacked,
         ),
         Parallelism::Scoped(threads) if threads > 1 => {
-            gemm_scoped(transa, transb, alpha, a, b, c, kernel, blocks, threads);
+            gemm_scoped(
+                transa, transb, alpha, a, b, c, kernel, blocks, threads, prepacked,
+            );
             Ok(())
         }
         Parallelism::Serial | Parallelism::Scoped(_) => {
-            gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks);
+            gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks, prepacked);
             Ok(())
         }
     }
@@ -297,6 +348,7 @@ fn gemm_serial<T: PoolScalar, K: KernelSet<T>>(
     c: &mut MatrixViewMut<'_, T>,
     kernel: K,
     blocks: BlockSizes,
+    prepacked: Option<&crate::prepack::PrepackedB<T>>,
 ) {
     let (m, k) = transa.apply_dims(a.rows(), a.cols());
     let n = c.cols();
@@ -313,7 +365,15 @@ fn gemm_serial<T: PoolScalar, K: KernelSet<T>>(
                 let kc_eff = kc.min(k - kk);
                 gepp += 1;
                 crate::telemetry::set_gepp(gepp);
-                packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
+                // cached tiles are laid out exactly as `pack` would
+                // produce, so layer 3 is oblivious to their origin
+                let pb = match prepacked {
+                    Some(pp) => pp.panel(jj, kk),
+                    None => {
+                        packed_b.pack(b, transb, kk, jj, kc_eff, nc_eff);
+                        &packed_b
+                    }
+                };
                 let params = Layer3Params {
                     a,
                     transa,
@@ -327,7 +387,7 @@ fn gemm_serial<T: PoolScalar, K: KernelSet<T>>(
                 let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
                 let ld = panel_view.ld();
                 let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
-                run_layer3(params, &packed_b, panel, slot.pa_mut());
+                run_layer3(params, pb, panel, slot.pa_mut());
                 kk += kc_eff;
             }
             jj += nc_eff;
@@ -350,6 +410,7 @@ fn gemm_scoped<T: PoolScalar, K: KernelSet<T>>(
     kernel: K,
     blocks: BlockSizes,
     threads: usize,
+    prepacked: Option<&crate::prepack::PrepackedB<T>>,
 ) {
     let (m, k) = transa.apply_dims(a.rows(), a.cols());
     let n = c.cols();
@@ -364,7 +425,13 @@ fn gemm_scoped<T: PoolScalar, K: KernelSet<T>>(
             let kc_eff = kc.min(k - kk);
             gepp += 1;
             crate::telemetry::set_gepp(gepp);
-            packed_b.pack_parallel(b, transb, kk, jj, kc_eff, nc_eff, threads);
+            let pb = match prepacked {
+                Some(pp) => pp.panel(jj, kk),
+                None => {
+                    packed_b.pack_parallel(b, transb, kk, jj, kc_eff, nc_eff, threads);
+                    &packed_b
+                }
+            };
             let params = Layer3Params {
                 a,
                 transa,
@@ -377,7 +444,7 @@ fn gemm_scoped<T: PoolScalar, K: KernelSet<T>>(
             let mut panel_view = c.sub_mut(0, jj, m, nc_eff);
             let ld = panel_view.ld();
             let panel = TileMut::from_slice(m, nc_eff, ld, panel_view.data_mut());
-            run_layer3_scoped(params, &packed_b, panel, threads);
+            run_layer3_scoped(params, pb, panel, threads);
             kk += kc_eff;
         }
         jj += nc_eff;
@@ -656,6 +723,24 @@ mod tests {
             assert!(GemmConfig::auto().is_err(), "accepted {bad:?}");
         }
         std::env::remove_var("DGEMM_EPOCH_TIMEOUT_MS");
+
+        // Pack cache: absent -> off, 1/true -> on, 0/false/"" -> off,
+        // garbage -> error.
+        std::env::remove_var("DGEMM_PACK_CACHE");
+        assert!(!GemmConfig::auto().unwrap().pack_cache);
+        for on in ["1", "true", " true "] {
+            std::env::set_var("DGEMM_PACK_CACHE", on);
+            assert!(GemmConfig::auto().unwrap().pack_cache, "rejected {on:?}");
+        }
+        for off in ["0", "false", ""] {
+            std::env::set_var("DGEMM_PACK_CACHE", off);
+            assert!(!GemmConfig::auto().unwrap().pack_cache, "accepted {off:?}");
+        }
+        for bad in ["yes", "2", "on"] {
+            std::env::set_var("DGEMM_PACK_CACHE", bad);
+            assert!(GemmConfig::auto().is_err(), "accepted {bad:?}");
+        }
+        std::env::remove_var("DGEMM_PACK_CACHE");
     }
 
     #[test]

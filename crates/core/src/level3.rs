@@ -14,6 +14,13 @@
 //!   so all but the diagonal-block solves run through GEMM — the routine
 //!   LINPACK pairs with DGEMM in the LU update, which is the paper's
 //!   motivating workload.
+//!
+//! Because every routine here bottoms out in [`try_gemm`] with the
+//! caller's [`GemmConfig`], they inherit the pre-packed-B cache when
+//! `cfg.pack_cache` is enabled — with the same coherence contract (see
+//! [`crate::prepack`]): the interior GEMM operands are sub-views of the
+//! caller's matrices (or of short-lived scratch like `dsymm`'s expanded
+//! operand), so in-place mutation between calls requires invalidation.
 
 #![forbid(unsafe_code)]
 
@@ -756,5 +763,72 @@ mod tests {
             ),
             Err(GemmError::InnerDimMismatch { .. })
         ));
+    }
+
+    /// The level-3 routines inherit the pack cache through their interior
+    /// `try_gemm` calls; caching must not change a single bit of the
+    /// result (the cached tiles are packed by the same code).
+    #[test]
+    fn level3_routines_bit_identical_with_pack_cache() {
+        use crate::pool::PoolScalar;
+
+        let n = 43;
+        let k = 21;
+        let a_syrk = Matrix::random(n, k, 301);
+        let sym = {
+            let s: Matrix = Matrix::random(n, n, 302);
+            // symmetrize so dsymm's contract holds
+            Matrix::from_fn(n, n, |i, j| s.get(i, j) + s.get(j, i))
+        };
+        let b_mat = Matrix::random(n, 17, 303);
+        let c0 = Matrix::random(n, n, 304);
+
+        let base = GemmConfig::default().with_blocks(16, 16, 12);
+        let cached_cfg = base.with_pack_cache(true);
+        // Clear any aliased stale entries other tests may have left for
+        // these freshly allocated operands.
+        f64::pack_cache().invalidate(&a_syrk.view());
+        f64::pack_cache().invalidate(&sym.view());
+        f64::pack_cache().invalidate(&b_mat.view());
+
+        let mut baseline: Option<(Matrix, Matrix)> = None;
+        for cfg in [base, cached_cfg, cached_cfg] {
+            // third pass exercises warm cache hits
+            let mut c_syrk = c0.clone();
+            dsyrk(
+                UpLo::Lower,
+                Transpose::No,
+                1.5,
+                &a_syrk.view(),
+                -0.5,
+                &mut c_syrk.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+            let mut c_symm = Matrix::zeros(n, 17);
+            dsymm(
+                UpLo::Lower,
+                2.0,
+                &sym.view(),
+                &b_mat.view(),
+                0.0,
+                &mut c_symm.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+            match &baseline {
+                None => baseline = Some((c_syrk, c_symm)),
+                Some((want_syrk, want_symm)) => {
+                    assert_eq!(c_syrk.view().data(), want_syrk.view().data());
+                    assert_eq!(c_symm.view().data(), want_symm.view().data());
+                }
+            }
+        }
+
+        // Coherence contract: drop our entries before the operands are
+        // freed so a later allocation at the same address can't alias.
+        f64::pack_cache().invalidate(&a_syrk.view());
+        f64::pack_cache().invalidate(&sym.view());
+        f64::pack_cache().invalidate(&b_mat.view());
     }
 }

@@ -39,6 +39,7 @@
 //! | [`gemm`] | layers 1–3 | `nc`/`kc`/`mc` blocking, β-scaling, driver |
 //! | [`parallel`] | layer 3 | serial walk + static band partitioning (Section IV-C) |
 //! | [`pool`] | layer 3 | persistent worker pool, dynamic `mc`-block scheduling, buffer arenas |
+//! | [`prepack`] | layer 4 | pre-packed B operands and the weight-reuse pack cache |
 //! | [`blas`] | — | BLAS-style checked entry points |
 //! | [`level3`] | — | DSYRK/DSYMM/DTRSM built on the same GEBP engine |
 //! | [`lu`] | — | blocked LU with partial pivoting (the LINPACK workload) |
@@ -70,6 +71,7 @@ pub mod microkernel;
 pub mod pack;
 pub mod parallel;
 pub mod pool;
+pub mod prepack;
 pub mod reference;
 pub mod scalar;
 pub mod sgemm;

@@ -205,6 +205,14 @@ impl<T: Scalar> PackedB<T> {
     /// packing across the team instead of serializing it before layer 3.
     /// Slivers are disjoint regions of the buffer, so the split is safe
     /// by construction.
+    ///
+    /// This is the single choke point through which *every* B element
+    /// enters packed form — `pack`, `try_pack`, and the pre-packed tiles
+    /// of [`crate::prepack::PrepackedB`] all funnel here — so the PackB
+    /// telemetry span and `packed_b_bytes` counter below account for all
+    /// packing work in the process. A pack-cache hit re-uses tiles built
+    /// here earlier and therefore records *zero* additional B bytes,
+    /// which is exactly how the telemetry exposes the cache's savings.
     #[allow(clippy::too_many_arguments)] // pack site mirrors the BLAS call
     pub fn pack_parallel(
         &mut self,

@@ -80,6 +80,7 @@ use crate::gebp::gebp;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::KernelSet;
 use crate::pack::{PackedA, PackedB};
+use crate::prepack::{PackCache, PrepackedB};
 use crate::scalar::Scalar;
 use crate::telemetry::{self, Phase, RT};
 use crate::tile::TileMut;
@@ -492,6 +493,12 @@ pub trait PoolScalar: Scalar {
     /// from inside another GEMM's packing) fall back to a throwaway
     /// arena instead of aliasing the borrowed one.
     fn with_arena<R>(f: impl FnOnce(&mut GemmArena<Self>) -> R) -> R;
+
+    /// The process-wide pre-packed-B cache for this element type
+    /// (statics cannot be generic, so each type declares its own).
+    /// [`crate::gemm::GemmConfig::with_pack_cache`] routes GEMMs
+    /// through it.
+    fn pack_cache() -> &'static PackCache<Self>;
 }
 
 macro_rules! impl_pool_scalar {
@@ -502,6 +509,11 @@ macro_rules! impl_pool_scalar {
                     Ok(mut arena) => f(&mut arena),
                     Err(_) => f(&mut GemmArena::new()),
                 })
+            }
+
+            fn pack_cache() -> &'static PackCache<Self> {
+                static CACHE: PackCache<$t> = PackCache::new();
+                &CACHE
             }
         }
     };
@@ -1257,6 +1269,9 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
 ///
 /// β must already be applied to every C; shapes must already be
 /// validated (all `A_i` are `m×k` under `transa`, all `C_i` are `m×n`).
+/// With `prepacked`, epochs ship the cached panel's `Arc` to the
+/// workers instead of packing B — the panels must have been built for
+/// exactly this `(transb, nr, kc, nc)` geometry.
 ///
 /// Faults are contained per block (see the module docs): `Ok(())` means
 /// C holds the bit-exact serial result, possibly via recovery;
@@ -1274,6 +1289,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
     blocks: BlockSizes,
     degree: usize,
     epoch_timeout: Option<Duration>,
+    prepacked: Option<&PrepackedB<T>>,
 ) -> Result<(), GemmError> {
     debug_assert_eq!(a_batch.len(), c_batch.len());
     let Some(first_a) = a_batch.first() else {
@@ -1369,10 +1385,26 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     timed_out: false,
                 };
 
-                let mut panel = arena.take_panel(kernel.nr());
-                let pooled = !degraded && panel.try_pack(b, transb, kk, jj, kc_eff, nc_eff).is_ok();
-                if pooled {
-                    let panel = Arc::new(panel);
+                // Panel for this epoch: a cached pre-packed tile when the
+                // caller supplied one (no packing at all), else an arena
+                // panel packed fresh. A degraded (post-timeout) call
+                // skips the pool but can still run inline against the
+                // cached tile.
+                let cached = prepacked.map(|pp| pp.panel_arc(jj, kk));
+                let shared: Option<Arc<PackedB<T>>> = if degraded {
+                    None
+                } else if let Some(arc) = cached {
+                    Some(Arc::clone(arc))
+                } else {
+                    let mut panel = arena.take_panel(kernel.nr());
+                    if panel.try_pack(b, transb, kk, jj, kc_eff, nc_eff).is_ok() {
+                        Some(Arc::new(panel))
+                    } else {
+                        arena.put_panel(panel);
+                        None
+                    }
+                };
+                if let Some(panel) = shared {
                     if static_bands {
                         RT.static_epochs.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -1456,13 +1488,39 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     outcome.stale.extend(drained.stale);
                     outcome.timed_out = drained.timed_out;
                     slots.extend(inline_done);
+                    // An epoch-packed panel is reclaimed into the arena
+                    // here. A cached panel never is: the PrepackedB holds
+                    // its own Arc for as long as the caller (and cache)
+                    // do, so try_unwrap fails and the tile stays intact.
                     if let Ok(panel) = Arc::try_unwrap(panel) {
                         arena.put_panel(panel);
+                    }
+                } else if let Some(arc) = cached {
+                    // Degraded mode with a cached tile: the panel is
+                    // already packed, so run each block inline against it
+                    // (never mutating or reclaiming it).
+                    for (idx, slot) in slots.iter_mut().enumerate() {
+                        telemetry::set_block(slot.row0);
+                        let ok = run_slot_inline_chunked(
+                            kernel,
+                            alpha,
+                            &a_batch[slot.entry],
+                            transa,
+                            kk,
+                            kc_eff,
+                            nc_eff,
+                            arc,
+                            slot,
+                        )?;
+                        if !ok {
+                            inline_failures.push(idx);
+                        }
                     }
                 } else {
                     // Panel memory unavailable (or post-timeout degraded
                     // mode): run the whole epoch on this thread, packing
                     // B in sliver chunks if need be.
+                    let mut panel = arena.take_panel(kernel.nr());
                     inline_failures = run_epoch_inline(
                         kernel, alpha, a_batch, transa, b, transb, &mut slots, &mut panel, kk,
                         kc_eff, jj, nc_eff,

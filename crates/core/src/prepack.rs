@@ -1,0 +1,601 @@
+//! Pre-packed B operands and the process-wide pack cache.
+//!
+//! The paper's γ = F/W argument treats packing as overhead amortized
+//! over *one* multiplication; inference-style workloads multiply many
+//! activations against the **same** weight matrix, so the packed-B W
+//! term can be amortized over the whole stream instead. This module
+//! provides the two pieces:
+//!
+//! - [`PrepackedB`]: an immutable, `Arc`-shared set of `kc×nc` panel
+//!   tiles laid out exactly as [`PackedB::pack_parallel`] would produce
+//!   them inside one GEMM call, built once per weight matrix.
+//! - [`PackCache`]: a bounded LRU cache of [`PrepackedB`] sets keyed by
+//!   the operand's identity (data pointer, dimensions, leading
+//!   dimension, transposition) and the packing geometry (`nr`, `kc`,
+//!   `nc`). [`crate::gemm::gemm`] / [`crate::gemm::try_gemm`] /
+//!   [`crate::batch::gemm_batch_shared_b`] consult it transparently
+//!   when [`crate::gemm::GemmConfig::with_pack_cache`] is enabled.
+//!
+//! ## Coherence contract
+//!
+//! The cache keys on the operand's *identity*, not its contents — a
+//! lookup never re-reads the matrix (that would cost the traffic the
+//! cache exists to save). Two rules follow:
+//!
+//! 1. After mutating a cached B in place, call [`PackCache::invalidate`]
+//!    (or [`PackCache::bump_generation`]) before the next cached GEMM,
+//!    or it will be served stale panels by design.
+//! 2. Invalidate before freeing a cached B. The allocator may hand the
+//!    same address to a new matrix of the same shape, which would then
+//!    falsely hit the dead entry.
+//!
+//! Eviction and invalidation are always safe *during* a GEMM: every
+//! call clones the `Arc` up front, so in-flight panels stay alive until
+//! the call returns.
+
+#![forbid(unsafe_code)]
+
+use crate::matrix::MatrixView;
+use crate::pack::PackedB;
+use crate::scalar::Scalar;
+use crate::{GemmError, Transpose};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default [`PackCache`] capacity: 256 MiB of packed panels per element
+/// type. Tune per cache with [`PackCache::set_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 256 * 1024 * 1024;
+
+/// An immutable pre-packed B operand: every `kc×nc` tile of `op(B)`,
+/// packed into `nr`-sliver layout, in the order the GEPP loops consume
+/// them (`jj`-major, then `kk`).
+///
+/// Each tile is its own [`Arc<PackedB>`] so the pool runtime can ship
+/// the exact panel an epoch needs to its workers without copying —
+/// the same ownership shape an epoch-packed panel has.
+#[derive(Clone, Debug)]
+pub struct PrepackedB<T: Scalar = f64> {
+    /// Tiles indexed `(jj / nc) * k_tiles + kk / kc`.
+    panels: Vec<Arc<PackedB<T>>>,
+    k: usize,
+    n: usize,
+    trans: Transpose,
+    kc: usize,
+    nc: usize,
+    nr: usize,
+    bytes: usize,
+}
+
+impl<T: Scalar> PrepackedB<T> {
+    /// Pack every `kc×nc` tile of `op(b)` (where `op` is `trans`) into
+    /// `nr`-sliver layout. Allocation failures surface as
+    /// [`GemmError::AllocFailure`]; callers on the transparent cache
+    /// path fall back to per-call packing.
+    pub fn try_build(
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        nr: usize,
+        kc: usize,
+        nc: usize,
+    ) -> Result<Self, GemmError> {
+        if nr == 0 || kc == 0 || nc == 0 {
+            return Err(GemmError::BadConfig("prepack blocking must be positive"));
+        }
+        let (k, n) = trans.apply_dims(b.rows(), b.cols());
+        let mut panels = Vec::new();
+        let mut bytes = 0usize;
+        let mut jj = 0usize;
+        while jj < n {
+            let nc_eff = nc.min(n - jj);
+            let mut kk = 0usize;
+            while kk < k {
+                let kc_eff = kc.min(k - kk);
+                // `PackedB::try_pack` is the same choke point the
+                // per-call paths use, so layout, telemetry bytes and
+                // the PackB phase span are recorded identically here.
+                let mut panel = PackedB::new(nr);
+                panel.try_pack(b, trans, kk, jj, kc_eff, nc_eff)?;
+                bytes += std::mem::size_of_val(panel.buf());
+                panels.push(Arc::new(panel));
+                kk += kc_eff;
+            }
+            jj += nc_eff;
+        }
+        Ok(PrepackedB {
+            panels,
+            k,
+            n,
+            trans,
+            kc,
+            nc,
+            nr,
+            bytes,
+        })
+    }
+
+    /// Pre-pack `b` (used as stored) for `cfg`'s kernel and blocking —
+    /// the panels every GEMM under that config would otherwise pack per
+    /// call.
+    pub fn from_matrix(
+        cfg: &crate::gemm::GemmConfig,
+        b: &MatrixView<'_, T>,
+    ) -> Result<Self, GemmError> {
+        Self::from_matrix_op(cfg, Transpose::No, b)
+    }
+
+    /// [`PrepackedB::from_matrix`] with an explicit `op(B)` selector.
+    pub fn from_matrix_op(
+        cfg: &crate::gemm::GemmConfig,
+        trans: Transpose,
+        b: &MatrixView<'_, T>,
+    ) -> Result<Self, GemmError> {
+        Self::try_build(b, trans, cfg.kernel.nr(), cfg.blocks.kc, cfg.blocks.nc)
+    }
+
+    /// The tile covering GEPP offsets `(jj, kk)` (element offsets into
+    /// `op(B)`, as the layer 1–2 loops carry them).
+    #[must_use]
+    pub fn panel(&self, jj: usize, kk: usize) -> &PackedB<T> {
+        self.panel_arc(jj, kk)
+    }
+
+    /// The `Arc` of the tile covering `(jj, kk)`, for the pool runtime
+    /// to clone to its workers.
+    #[must_use]
+    pub(crate) fn panel_arc(&self, jj: usize, kk: usize) -> &Arc<PackedB<T>> {
+        debug_assert!(jj < self.n && kk < self.k, "tile offset out of range");
+        let k_tiles = self.k.div_ceil(self.kc);
+        &self.panels[(jj / self.nc) * k_tiles + kk / self.kc]
+    }
+
+    /// Whether this set was packed for exactly this geometry.
+    #[must_use]
+    pub fn matches(
+        &self,
+        k: usize,
+        n: usize,
+        trans: Transpose,
+        nr: usize,
+        kc: usize,
+        nc: usize,
+    ) -> bool {
+        (self.k, self.n, self.trans, self.nr, self.kc, self.nc) == (k, n, trans, nr, kc, nc)
+    }
+
+    /// Rows of `op(B)` covered (the inner GEMM dimension).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of `op(B)` covered.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `op(B)` selector the tiles were packed under.
+    #[must_use]
+    pub fn trans(&self) -> Transpose {
+        self.trans
+    }
+
+    /// Depth blocking the tiles were packed with.
+    #[must_use]
+    pub fn kc(&self) -> usize {
+        self.kc
+    }
+
+    /// Column blocking the tiles were packed with.
+    #[must_use]
+    pub fn nc(&self) -> usize {
+        self.nc
+    }
+
+    /// Sliver width the tiles were packed with.
+    #[must_use]
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// Number of `kc×nc` tiles.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Total bytes of packed (padded) panel data — what one uncached
+    /// GEMM call would write through the packing path.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Identity of a cached pre-pack: operand identity plus packing
+/// geometry plus the cache generation at insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CacheKey {
+    ptr: usize,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    trans: Transpose,
+    nr: usize,
+    kc: usize,
+    nc: usize,
+    generation: u64,
+}
+
+/// Monotone per-cache counters, mirrored into the process-wide
+/// telemetry counters ([`crate::telemetry::Snapshot::cache`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a cached entry.
+    pub hits: u64,
+    /// Lookups that packed (or tried to pack) fresh panels.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries removed by [`PackCache::invalidate`] /
+    /// [`PackCache::bump_generation`].
+    pub invalidations: u64,
+    /// Packed-B bytes *not* re-packed thanks to hits (the amortized W).
+    pub bytes_saved: u64,
+}
+
+struct CacheEntry<T: Scalar> {
+    key: CacheKey,
+    panels: Arc<PrepackedB<T>>,
+    last_used: u64,
+}
+
+struct CacheState<T: Scalar> {
+    entries: Vec<CacheEntry<T>>,
+    capacity: usize,
+    tick: u64,
+    generation: u64,
+    stats: CacheStats,
+}
+
+impl<T: Scalar> CacheState<T> {
+    fn bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.panels.bytes()).sum()
+    }
+
+    fn evict_over_capacity(&mut self, keep: Option<CacheKey>) {
+        while self.bytes() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| keep != Some(e.key))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            let Some(victim) = victim else { break };
+            self.entries.remove(victim);
+            self.stats.evictions += 1;
+            crate::telemetry::cache_evict(1);
+        }
+    }
+}
+
+/// A bounded LRU cache of [`PrepackedB`] sets, one process-wide
+/// instance per element type ([`crate::pool::PoolScalar::pack_cache`]).
+///
+/// All methods take `&self`; the state sits behind one mutex. A miss
+/// packs under the lock — deliberate, so concurrent calls racing on the
+/// same weight matrix pack it once instead of N times.
+pub struct PackCache<T: Scalar = f64> {
+    state: Mutex<CacheState<T>>,
+}
+
+impl<T: Scalar> PackCache<T> {
+    /// An empty cache with [`DEFAULT_CACHE_CAPACITY`].
+    #[must_use]
+    pub const fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` bytes of packed panels.
+    #[must_use]
+    pub const fn with_capacity(capacity: usize) -> Self {
+        PackCache {
+            state: Mutex::new(CacheState {
+                entries: Vec::new(),
+                capacity,
+                tick: 0,
+                generation: 0,
+                stats: CacheStats {
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                    invalidations: 0,
+                    bytes_saved: 0,
+                },
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Return the cached pre-pack for `(b, trans, nr, kc, nc)`, packing
+    /// and inserting it on a miss. `None` means packing failed to
+    /// allocate — the caller should fall back to per-call packing. An
+    /// entry larger than the whole capacity is returned but not
+    /// retained.
+    pub fn get_or_pack(
+        &self,
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        nr: usize,
+        kc: usize,
+        nc: usize,
+    ) -> Option<Arc<PrepackedB<T>>> {
+        let mut st = self.lock();
+        let key = CacheKey {
+            ptr: b.data().as_ptr() as usize,
+            rows: b.rows(),
+            cols: b.cols(),
+            ld: b.ld(),
+            trans,
+            nr,
+            kc,
+            nc,
+            generation: st.generation,
+        };
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(i) = st.entries.iter().position(|e| e.key == key) {
+            st.entries[i].last_used = tick;
+            let panels = Arc::clone(&st.entries[i].panels);
+            st.stats.hits += 1;
+            st.stats.bytes_saved += panels.bytes() as u64;
+            crate::telemetry::cache_hit(panels.bytes() as u64);
+            return Some(panels);
+        }
+        st.stats.misses += 1;
+        crate::telemetry::cache_miss();
+        let panels = match PrepackedB::try_build(b, trans, nr, kc, nc) {
+            Ok(p) => Arc::new(p),
+            Err(_) => return None,
+        };
+        if panels.bytes() <= st.capacity {
+            st.entries.push(CacheEntry {
+                key,
+                panels: Arc::clone(&panels),
+                last_used: tick,
+            });
+            st.evict_over_capacity(Some(key));
+        }
+        Some(panels)
+    }
+
+    /// Drop every entry whose packed source overlaps `b`'s storage —
+    /// any geometry, including entries packed from interior sub-views
+    /// (the level-3 routines cache those). Call after mutating `b` in
+    /// place, and before freeing it. Returns how many entries were
+    /// removed.
+    pub fn invalidate(&self, b: &MatrixView<'_, T>) -> usize {
+        let lo = b.data().as_ptr() as usize;
+        let hi = lo + std::mem::size_of_val(b.data());
+        let elem = std::mem::size_of::<T>();
+        let mut st = self.lock();
+        let before = st.entries.len();
+        st.entries.retain(|e| {
+            let k = &e.key;
+            let span = if k.cols == 0 {
+                0
+            } else {
+                (k.ld * (k.cols - 1) + k.rows) * elem
+            };
+            // keep iff [k.ptr, k.ptr+span) misses [lo, hi)
+            k.ptr + span <= lo || hi <= k.ptr
+        });
+        let removed = before - st.entries.len();
+        if removed > 0 {
+            st.stats.invalidations += removed as u64;
+            crate::telemetry::cache_invalidate(removed as u64);
+        }
+        removed
+    }
+
+    /// Advance the cache generation: every current entry is dropped and
+    /// can never be matched again (new inserts carry the new
+    /// generation). The coarse hammer when *any* weight may have
+    /// changed.
+    pub fn bump_generation(&self) {
+        let mut st = self.lock();
+        st.generation += 1;
+        let removed = st.entries.len() as u64;
+        st.entries.clear();
+        if removed > 0 {
+            st.stats.invalidations += removed;
+            crate::telemetry::cache_invalidate(removed);
+        }
+    }
+
+    /// The current generation (starts at 0).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total packed bytes currently retained.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes()
+    }
+
+    /// The capacity bound in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Re-bound the cache, evicting LRU entries down to the new
+    /// capacity immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut st = self.lock();
+        st.capacity = capacity;
+        st.evict_over_capacity(None);
+    }
+
+    /// Drop every entry without touching the stats or generation (test
+    /// scaffolding and bulk memory release; invalidations are *not*
+    /// counted).
+    pub fn clear(&self) {
+        self.lock().entries.clear();
+    }
+
+    /// A copy of this cache's monotone counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+}
+
+impl<T: Scalar> Default for PackCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// The tiles must be byte-for-byte what the per-call packing path
+    /// produces for the same `(jj, kk)` walk.
+    #[test]
+    fn tiles_match_per_call_packing() {
+        let b: Matrix = Matrix::random(37, 29, 11);
+        for trans in [Transpose::No, Transpose::Yes] {
+            let (k, n) = trans.apply_dims(37, 29);
+            let (nr, kc, nc) = (6, 16, 12);
+            let pp = PrepackedB::try_build(&b.view(), trans, nr, kc, nc).unwrap();
+            let mut reference = PackedB::new(nr);
+            let mut jj = 0usize;
+            let mut tiles = 0usize;
+            while jj < n {
+                let nc_eff = nc.min(n - jj);
+                let mut kk = 0usize;
+                while kk < k {
+                    let kc_eff = kc.min(k - kk);
+                    reference.pack(&b.view(), trans, kk, jj, kc_eff, nc_eff);
+                    assert_eq!(pp.panel(jj, kk).buf(), reference.buf(), "tile ({jj},{kk})");
+                    tiles += 1;
+                    kk += kc_eff;
+                }
+                jj += nc_eff;
+            }
+            assert_eq!(pp.tiles(), tiles);
+            assert!(pp.matches(k, n, trans, nr, kc, nc));
+            assert!(!pp.matches(k, n, trans, nr, kc, nc + 1));
+        }
+    }
+
+    #[test]
+    fn interior_offsets_address_the_same_tile() {
+        let b: Matrix = Matrix::random(20, 20, 3);
+        let pp = PrepackedB::try_build(&b.view(), Transpose::No, 4, 8, 6).unwrap();
+        // any offset inside a tile resolves to that tile
+        assert!(std::ptr::eq(pp.panel(0, 0), pp.panel(5, 7)));
+        assert!(!std::ptr::eq(pp.panel(0, 0), pp.panel(6, 0)));
+        assert!(!std::ptr::eq(pp.panel(0, 0), pp.panel(0, 8)));
+    }
+
+    #[test]
+    fn zero_blocking_is_rejected() {
+        let b: Matrix = Matrix::zeros(4, 4);
+        assert!(PrepackedB::try_build(&b.view(), Transpose::No, 0, 8, 8).is_err());
+        assert!(PrepackedB::try_build(&b.view(), Transpose::No, 4, 0, 8).is_err());
+        assert!(PrepackedB::try_build(&b.view(), Transpose::No, 4, 8, 0).is_err());
+    }
+
+    #[test]
+    fn cache_hits_and_lru_eviction_are_local_to_the_instance() {
+        let cache: PackCache = PackCache::with_capacity(usize::MAX);
+        let b1: Matrix = Matrix::random(24, 24, 1);
+        let b2: Matrix = Matrix::random(24, 24, 2);
+        let first = cache
+            .get_or_pack(&b1.view(), Transpose::No, 6, 8, 8)
+            .unwrap();
+        let again = cache
+            .get_or_pack(&b1.view(), Transpose::No, 6, 8, 8)
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "second lookup must hit");
+        // a different geometry for the same matrix is a distinct entry
+        cache
+            .get_or_pack(&b1.view(), Transpose::No, 6, 12, 8)
+            .unwrap();
+        cache
+            .get_or_pack(&b2.view(), Transpose::No, 6, 8, 8)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+        assert_eq!(s.bytes_saved as usize, first.bytes());
+        assert_eq!(cache.len(), 3);
+
+        // shrink: LRU order evicts the b1 entries (b2 used last), then
+        // capacity 0 empties it
+        let keep = cache.bytes() - first.bytes();
+        cache.set_capacity(keep);
+        assert!(cache.bytes() <= keep);
+        cache.set_capacity(0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn invalidate_and_generation_drop_entries() {
+        let cache: PackCache = PackCache::new();
+        let b1: Matrix = Matrix::random(16, 16, 4);
+        let b2: Matrix = Matrix::random(16, 16, 5);
+        cache
+            .get_or_pack(&b1.view(), Transpose::No, 6, 8, 8)
+            .unwrap();
+        cache
+            .get_or_pack(&b2.view(), Transpose::No, 6, 8, 8)
+            .unwrap();
+        assert_eq!(cache.invalidate(&b1.view()), 1);
+        assert_eq!(cache.invalidate(&b1.view()), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.generation(), 0);
+        cache.bump_generation();
+        assert_eq!(cache.generation(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2);
+        // the cache still serves fresh packs after the bump
+        cache
+            .get_or_pack(&b2.view(), Transpose::No, 6, 8, 8)
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_served_but_not_retained() {
+        let cache: PackCache = PackCache::with_capacity(8);
+        let b: Matrix = Matrix::random(32, 32, 6);
+        let pp = cache
+            .get_or_pack(&b.view(), Transpose::No, 6, 16, 16)
+            .unwrap();
+        assert!(pp.bytes() > 8);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

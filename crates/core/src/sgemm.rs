@@ -38,6 +38,10 @@ pub struct SgemmConfig {
     /// Watchdog deadline per layer-3 epoch on the pool runtime (see
     /// [`crate::gemm::GemmConfig::epoch_timeout`]).
     pub epoch_timeout: Option<Duration>,
+    /// Consult the f32 [`crate::prepack::PackCache`] for a pre-packed
+    /// B (see [`crate::gemm::GemmConfig::pack_cache`]); each element
+    /// type has its own process-wide cache.
+    pub pack_cache: bool,
 }
 
 /// The paper's machine re-described for f32 elements.
@@ -72,6 +76,7 @@ impl SgemmConfig {
             blocks,
             parallelism: Parallelism::from_threads(threads),
             epoch_timeout: None,
+            pack_cache: false,
         }
     }
 
@@ -94,6 +99,14 @@ impl SgemmConfig {
     #[must_use]
     pub fn with_epoch_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.epoch_timeout = timeout;
+        self
+    }
+
+    /// Same configuration with the transparent pre-packed-B cache
+    /// enabled or disabled.
+    #[must_use]
+    pub fn with_pack_cache(mut self, enabled: bool) -> Self {
+        self.pack_cache = enabled;
         self
     }
 
@@ -159,6 +172,7 @@ pub fn sgemm(
         cfg.blocks,
         cfg.parallelism,
         cfg.epoch_timeout,
+        cfg.pack_cache,
     )
 }
 

@@ -161,6 +161,85 @@ pub(crate) static RT: RuntimeCounters = RuntimeCounters {
     timeouts: AtomicU64::new(0),
 };
 
+// ---------------------------------------------------------------------
+// Always-on pack-cache counters.
+//
+// Like `RT`, these stay outside the `telemetry` feature: the cache-
+// semantics tests pin hit/miss/evict accounting under
+// `--no-default-features` too. Unlike `RT` they are *interval*
+// counters: [`reset`] zeroes them, so a measured region's cache
+// behavior reads out directly.
+// ---------------------------------------------------------------------
+
+pub(crate) struct CacheCounters {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) invalidations: AtomicU64,
+    pub(crate) bytes_saved: AtomicU64,
+}
+
+pub(crate) static PACK_CACHE: CacheCounters = CacheCounters {
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+    evictions: AtomicU64::new(0),
+    invalidations: AtomicU64::new(0),
+    bytes_saved: AtomicU64::new(0),
+};
+
+pub(crate) fn cache_hit(bytes_saved: u64) {
+    PACK_CACHE.hits.fetch_add(1, Ordering::Relaxed);
+    PACK_CACHE
+        .bytes_saved
+        .fetch_add(bytes_saved, Ordering::Relaxed);
+}
+
+pub(crate) fn cache_miss() {
+    PACK_CACHE.misses.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn cache_evict(n: u64) {
+    PACK_CACHE.evictions.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn cache_invalidate(n: u64) {
+    PACK_CACHE.invalidations.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Pack-cache activity since the last [`reset`] (process start if
+/// never reset), across every per-type [`crate::prepack::PackCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups served from a cached pre-pack.
+    pub hits: u64,
+    /// Lookups that packed fresh panels (or failed to allocate them).
+    pub misses: u64,
+    /// Entries evicted to respect a capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by `invalidate` / `bump_generation`.
+    pub invalidations: u64,
+    /// Packed-B bytes whose re-packing the cache avoided.
+    pub bytes_saved: u64,
+}
+
+fn cache_snapshot() -> CacheSnapshot {
+    CacheSnapshot {
+        hits: PACK_CACHE.hits.load(Ordering::Relaxed),
+        misses: PACK_CACHE.misses.load(Ordering::Relaxed),
+        evictions: PACK_CACHE.evictions.load(Ordering::Relaxed),
+        invalidations: PACK_CACHE.invalidations.load(Ordering::Relaxed),
+        bytes_saved: PACK_CACHE.bytes_saved.load(Ordering::Relaxed),
+    }
+}
+
+fn cache_reset() {
+    PACK_CACHE.hits.store(0, Ordering::Relaxed);
+    PACK_CACHE.misses.store(0, Ordering::Relaxed);
+    PACK_CACHE.evictions.store(0, Ordering::Relaxed);
+    PACK_CACHE.invalidations.store(0, Ordering::Relaxed);
+    PACK_CACHE.bytes_saved.store(0, Ordering::Relaxed);
+}
+
 /// Pool-runtime lifecycle totals **since process start** ([`reset`]
 /// does not touch them; `pool::status()` is defined in these terms).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -288,6 +367,8 @@ pub struct Snapshot {
     pub threads: Vec<ThreadSnapshot>,
     /// Pool lifecycle totals since process start.
     pub runtime: RuntimeSnapshot,
+    /// Pack-cache activity since the last [`reset`].
+    pub cache: CacheSnapshot,
 }
 
 impl Snapshot {
@@ -356,16 +437,19 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         threads: record::thread_snapshots(),
         runtime: runtime_snapshot(),
+        cache: cache_snapshot(),
     }
 }
 
-/// Zero the per-thread counters, span totals and trace rings.
+/// Zero the per-thread counters, span totals, trace rings and the
+/// pack-cache interval counters ([`CacheSnapshot`]).
 ///
 /// The pool lifecycle counters ([`RuntimeSnapshot`]) are *not* reset:
 /// `pool::status()` reports totals since process start. Call before a
 /// measured region; pair with [`snapshot`] after it.
 pub fn reset() {
     record::reset_slots();
+    cache_reset();
 }
 
 // ---------------------------------------------------------------------
@@ -803,6 +887,14 @@ pub struct GemmReport {
     pub packed_a_bytes: u64,
     /// Counted packed-B bytes.
     pub packed_b_bytes: u64,
+    /// Pack-cache hits over the interval.
+    pub pack_cache_hits: u64,
+    /// Pack-cache misses over the interval.
+    pub pack_cache_misses: u64,
+    /// Packed-B bytes the cache kept off the packing path: hits serve
+    /// already-packed panels, so `packed_b_bytes` shrinks by exactly
+    /// this much relative to the uncached run.
+    pub pack_b_bytes_saved: u64,
     /// Achieved γ = F/W: counted FLOPs per packed word actually moved
     /// through the packing paths. `None` without byte counts.
     pub gamma_measured: Option<f64>,
@@ -865,6 +957,9 @@ impl GemmReport {
 
         let packed_a_bytes = snap.total_packed_a_bytes();
         let packed_b_bytes = snap.total_packed_b_bytes();
+        // γ is computed from the packed words *actually moved*: cache
+        // hits skip the PackB choke point entirely, so an amortized
+        // stream reports the higher effective γ the cache buys.
         let packed_words = (packed_a_bytes + packed_b_bytes) as f64 / 8.0;
         let gamma_measured =
             (flops_counted && packed_words > 0.0).then(|| flops as f64 / packed_words);
@@ -919,6 +1014,9 @@ impl GemmReport {
             gflops,
             packed_a_bytes,
             packed_b_bytes,
+            pack_cache_hits: snap.cache.hits,
+            pack_cache_misses: snap.cache.misses,
+            pack_b_bytes_saved: snap.cache.bytes_saved,
             gamma_measured,
             gamma_model,
             pack_frac,
@@ -955,8 +1053,16 @@ impl GemmReport {
                 self.model_efficiency_bound * 100.0
             ),
         };
+        let cache = if self.pack_cache_hits + self.pack_cache_misses > 0 {
+            format!(
+                " | cache {}h/{}m saved {} B",
+                self.pack_cache_hits, self.pack_cache_misses, self.pack_b_bytes_saved
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "telemetry: {}x{}x{} x{} t{} | {:.2} GFLOPS | gamma {} (model {:.2}) | pack {:.1}% compute {:.1}% wait {:.1}%{}",
+            "telemetry: {}x{}x{} x{} t{} | {:.2} GFLOPS | gamma {} (model {:.2}) | pack {:.1}% compute {:.1}% wait {:.1}%{}{}",
             self.m,
             self.n,
             self.k,
@@ -968,6 +1074,7 @@ impl GemmReport {
             self.pack_frac * 100.0,
             self.compute_frac * 100.0,
             self.wait_frac * 100.0,
+            cache,
             eff,
         )
     }
@@ -1019,14 +1126,18 @@ impl GemmReport {
             ));
         }
         let rt = &snap.runtime;
+        let cc = &snap.cache;
         format!(
             "{{\"schema\":\"dgemm-telem-v1\",\"m\":{},\"n\":{},\"k\":{},\"calls\":{},\
              \"threads\":{},\"elapsed_s\":{:.6},\"flops\":{},\"flops_counted\":{},\
              \"gflops\":{:.6},\"packed_a_bytes\":{},\"packed_b_bytes\":{},\
+             \"pack_b_bytes_saved\":{},\
              \"gamma_measured\":{},\"gamma_model\":{:.6},\"pack_frac\":{:.6},\
              \"compute_frac\":{:.6},\"wait_frac\":{:.6},\"model_time_cycles\":{:.3},\
              \"model_flops_per_cycle\":{:.6},\"model_efficiency_bound\":{:.6},\
              \"measured_efficiency\":{},\"below_model_bound\":{},\
+             \"pack_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"invalidations\":{},\"bytes_saved\":{}}},\
              \"runtime\":{{\"tasks\":{},\"dynamic_epochs\":{},\"static_epochs\":{},\
              \"deaths\":{},\"respawns\":{},\"spawn_failures\":{},\"faults_contained\":{},\
              \"timeouts\":{}}},\"threads_detail\":[{}]}}",
@@ -1041,6 +1152,7 @@ impl GemmReport {
             self.gflops,
             self.packed_a_bytes,
             self.packed_b_bytes,
+            self.pack_b_bytes_saved,
             opt(self.gamma_measured),
             self.gamma_model,
             self.pack_frac,
@@ -1051,6 +1163,11 @@ impl GemmReport {
             self.model_efficiency_bound,
             opt(self.measured_efficiency),
             opt_bool(self.below_model_bound),
+            cc.hits,
+            cc.misses,
+            cc.evictions,
+            cc.invalidations,
+            cc.bytes_saved,
             rt.tasks,
             rt.dynamic_epochs,
             rt.static_epochs,

@@ -1,0 +1,506 @@
+//! Cross-runtime conformance suite: one differential oracle, every
+//! execution configuration.
+//!
+//! Every case is run through the full matrix of
+//! `{Serial, Scoped, Pool} × {pack cache off, pack cache on}` (and, in
+//! the property test, every register kernel) and must satisfy two
+//! contracts simultaneously:
+//!
+//! 1. **Accuracy** — within `gemm_tolerance` of the naive triple-loop
+//!    oracle ([`naive_gemm`]).
+//! 2. **Bitwise determinism** — bit-identical to the serial, uncached
+//!    run. The layered algorithm fixes each C element's accumulation
+//!    order by the `(jj, kk)` epoch walk, and the pre-packed cache
+//!    builds its tiles with the same packing code, so neither threading
+//!    nor caching may change a single bit.
+//!
+//! The β = 0 rule gets special care throughout: BLAS semantics are
+//! *overwrite*, not *scale* — a NaN or Inf in the stale C must never
+//! leak into the result. The oracle itself is evaluated on a zeroed C
+//! when β = 0 so the comparison can't be poisoned either.
+//!
+//! The CI conformance matrix re-runs this binary under
+//! `DGEMM_NUM_THREADS ∈ {1, 2, 8}` and with default / no-default /
+//! fault-injection features; [`auto_config_conforms_in_this_environment`]
+//! is the case that picks those env knobs up.
+
+use dgemm_core::gemm::{try_gemm, GemmConfig};
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::PoolScalar;
+use dgemm_core::reference::naive_gemm;
+use dgemm_core::util::gemm_tolerance;
+use dgemm_core::{Parallelism, Transpose};
+use proptest::prelude::*;
+
+/// The runtime sweep: serial, scoped threads, and the persistent pool
+/// (4 workers so `blocks % workers != 0` shows up on most shapes).
+const RUNTIMES: [Parallelism; 3] = [
+    Parallelism::Serial,
+    Parallelism::Scoped(3),
+    Parallelism::Pool(4),
+];
+
+fn stored_dims(t: Transpose, rows: usize, cols: usize) -> (usize, usize) {
+    match t {
+        Transpose::No => (rows, cols),
+        Transpose::Yes => (cols, rows),
+    }
+}
+
+/// Run one problem through every `runtime × caching` combination and
+/// assert accuracy against the oracle plus bitwise equality with the
+/// serial uncached baseline. Cache entries created for `b` are
+/// invalidated before returning (coherence contract: the matrix is
+/// about to be freed).
+#[allow(clippy::too_many_arguments)]
+fn check_all_runtimes(
+    kind: MicroKernelKind,
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    beta: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c0: &Matrix,
+    blocks: Option<(usize, usize, usize)>,
+    k: usize,
+) {
+    let (m, n) = (c0.rows(), c0.cols());
+
+    // β = 0 is overwrite, not scale: evaluate the oracle on a zeroed C
+    // so stale NaN/Inf can't reach it through the β·C term.
+    let mut want = if beta == 0.0 {
+        Matrix::zeros(m, n)
+    } else {
+        c0.clone()
+    };
+    naive_gemm(
+        ta,
+        tb,
+        alpha,
+        &a.view(),
+        &b.view(),
+        beta,
+        &mut want.view_mut(),
+    );
+    let tol = gemm_tolerance(k, 4.0);
+
+    let mut baseline: Option<Matrix> = None;
+    for par in RUNTIMES {
+        for cached in [false, true] {
+            let mut cfg = GemmConfig::for_kernel(kind, 1)
+                .with_parallelism(par)
+                .with_pack_cache(cached);
+            if let Some((kc, mc, nc)) = blocks {
+                cfg = cfg.with_blocks(kc, mc, nc);
+            }
+            let mut c = c0.clone();
+            try_gemm(
+                ta,
+                tb,
+                alpha,
+                &a.view(),
+                &b.view(),
+                beta,
+                &mut c.view_mut(),
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("{par:?} cached={cached}: {e}"));
+
+            for j in 0..n {
+                for i in 0..m {
+                    let (got, oracle) = (c.get(i, j), want.get(i, j));
+                    assert!(
+                        got.is_finite(),
+                        "{kind:?} {par:?} cached={cached} ({m}x{n}x{k}): \
+                         non-finite C[{i},{j}] = {got}"
+                    );
+                    assert!(
+                        (got - oracle).abs() <= tol,
+                        "{kind:?} {par:?} cached={cached} ({m}x{n}x{k}): \
+                         C[{i},{j}] = {got} vs oracle {oracle} (tol {tol})"
+                    );
+                }
+            }
+            match &baseline {
+                None => baseline = Some(c),
+                Some(base) => assert_eq!(
+                    c.view().data(),
+                    base.view().data(),
+                    "{kind:?} {par:?} cached={cached} ({m}x{n}x{k}): \
+                     not bit-identical to serial uncached"
+                ),
+            }
+        }
+    }
+    f64::pack_cache().invalidate(&b.view());
+}
+
+/// Random-operand wrapper around [`check_all_runtimes`].
+#[allow(clippy::too_many_arguments)]
+fn check_random(
+    kind: MicroKernelKind,
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    beta: f64,
+    (m, n, k): (usize, usize, usize),
+    blocks: Option<(usize, usize, usize)>,
+    seed: u64,
+) {
+    let (ar, ac) = stored_dims(ta, m, k);
+    let (br, bc) = stored_dims(tb, k, n);
+    let a = Matrix::random(ar, ac, seed);
+    let b = Matrix::random(br, bc, seed + 1);
+    let c0 = Matrix::random(m, n, seed + 2);
+    check_all_runtimes(kind, ta, tb, alpha, beta, &a, &b, &c0, blocks, k);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central differential property: arbitrary shape, kernel,
+    /// transposes, scalars and (deliberately hostile) blocking — every
+    /// runtime, cached and uncached, matches the oracle and the serial
+    /// uncached bits.
+    #[test]
+    fn every_configuration_matches_the_oracle(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 0usize..40,
+        kind in prop::sample::select(MicroKernelKind::ALL.to_vec()),
+        ta in prop::bool::ANY.prop_map(|b| if b { Transpose::Yes } else { Transpose::No }),
+        tb in prop::bool::ANY.prop_map(|b| if b { Transpose::Yes } else { Transpose::No }),
+        alpha in prop_oneof![
+            Just(0.0f64),
+            Just(1.0f64),
+            Just(-1.0f64),
+            (-25i64..25).prop_map(|q| q as f64 / 10.0),
+        ],
+        beta in prop_oneof![
+            Just(0.0f64),
+            Just(1.0f64),
+            Just(-1.0f64),
+            (-17i64..17).prop_map(|q| q as f64 / 10.0),
+        ],
+        kc in 3usize..36,
+        mc_mult in 1usize..4,
+        nc_mult in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        check_random(
+            kind,
+            ta,
+            tb,
+            alpha,
+            beta,
+            (m, n, k),
+            Some((kc, kind.mr() * mc_mult, kind.nr() * nc_mult)),
+            seed,
+        );
+    }
+}
+
+/// m, n and k each one past / one short of the register and cache
+/// granularities: every remainder path (ragged sliver, partial kc, odd
+/// band) for every kernel.
+#[test]
+fn remainder_shapes_conform() {
+    for kind in MicroKernelKind::ALL {
+        let (mr, nr) = (kind.mr(), kind.nr());
+        let kc = 16;
+        for (m, n, k) in [
+            (2 * mr + 3, 3 * nr + 1, kc + 7),
+            (mr + 1, nr + 1, kc - 1),
+            (3 * mr - 1, 2 * nr - 1, 2 * kc + 1),
+        ] {
+            check_random(
+                kind,
+                Transpose::No,
+                Transpose::No,
+                1.5,
+                -0.5,
+                (m, n, k),
+                Some((kc, 2 * mr, 2 * nr)),
+                11 + m as u64,
+            );
+        }
+    }
+}
+
+/// m strictly below mr: the whole matrix is one ragged sliver.
+#[test]
+fn m_smaller_than_register_tile_conforms() {
+    for kind in MicroKernelKind::ALL {
+        for m in [1, kind.mr() - 1] {
+            check_random(
+                kind,
+                Transpose::No,
+                Transpose::Yes,
+                -1.0,
+                1.0,
+                (m, 3 * kind.nr() + 2, 19),
+                Some((8, kind.mr(), 2 * kind.nr())),
+                23 + m as u64,
+            );
+        }
+    }
+}
+
+/// k = 0 is a pure β-scale: no packing, no kernel call — and with β = 0
+/// it must *overwrite*, scrubbing stale NaN/Inf from C.
+#[test]
+fn k_zero_is_pure_beta_scale() {
+    // finite C, β ≠ 0: exact scale
+    check_random(
+        MicroKernelKind::Mk8x6,
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        2.0,
+        (17, 13, 0),
+        None,
+        31,
+    );
+
+    // poisoned C, β = 0: every runtime must produce exact zeros
+    let a = Matrix::zeros(9, 0);
+    let b = Matrix::zeros(0, 7);
+    let c0 = Matrix::from_fn(9, 7, |i, j| {
+        if (i + j) % 3 == 0 {
+            f64::NAN
+        } else {
+            f64::INFINITY
+        }
+    });
+    for par in RUNTIMES {
+        for cached in [false, true] {
+            let cfg = GemmConfig::default()
+                .with_parallelism(par)
+                .with_pack_cache(cached);
+            let mut c = c0.clone();
+            try_gemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+            for j in 0..7 {
+                for i in 0..9 {
+                    assert_eq!(
+                        c.get(i, j),
+                        0.0,
+                        "{par:?} cached={cached}: stale C leaked through k=0, beta=0"
+                    );
+                }
+            }
+        }
+    }
+    f64::pack_cache().invalidate(&b.view());
+}
+
+/// β = 0 with k > 0: the product must fully overwrite a NaN/Inf-filled
+/// C on every runtime, cached or not.
+#[test]
+fn beta_zero_overwrites_poisoned_c() {
+    let (m, n, k) = (21, 18, 15);
+    let a = Matrix::random(m, k, 41);
+    let b = Matrix::random(k, n, 42);
+    let c0 = Matrix::from_fn(m, n, |i, j| {
+        if (i ^ j) & 1 == 0 {
+            f64::NAN
+        } else {
+            -f64::INFINITY
+        }
+    });
+    check_all_runtimes(
+        MicroKernelKind::Mk8x6,
+        Transpose::No,
+        Transpose::No,
+        1.25,
+        0.0,
+        &a,
+        &b,
+        &c0,
+        Some((8, 16, 12)),
+        k,
+    );
+}
+
+/// n = 1: GEMV-shaped problems exercise the narrowest possible B panel
+/// (one ragged nr-sliver per tile).
+#[test]
+fn single_column_conforms() {
+    for kind in MicroKernelKind::ALL {
+        check_random(
+            kind,
+            Transpose::No,
+            Transpose::No,
+            2.0,
+            0.5,
+            (3 * kind.mr() + 1, 1, 27),
+            Some((10, 2 * kind.mr(), kind.nr())),
+            53,
+        );
+    }
+}
+
+/// mc > m and the whole problem inside a single kc×nc tile: the
+/// analytic (default) blocking on a matrix far smaller than its design
+/// point, where layer 3 has exactly one block.
+#[test]
+fn blocking_larger_than_problem_conforms() {
+    // default blocks are kc=512, mc=56, nc=1920 — all exceed the shape
+    check_random(
+        MicroKernelKind::Mk8x6,
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        1.0,
+        (40, 33, 25),
+        None,
+        61,
+    );
+    check_random(
+        MicroKernelKind::Mk8x4,
+        Transpose::Yes,
+        Transpose::Yes,
+        -0.75,
+        0.25,
+        (13, 29, 31),
+        None,
+        67,
+    );
+}
+
+/// Zero-sized problems: m = 0 and n = 0 are no-ops that must not touch
+/// the (empty) C or crash any runtime.
+#[test]
+fn empty_dimensions_conform() {
+    check_random(
+        MicroKernelKind::Mk8x6,
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        0.0,
+        (0, 11, 7),
+        None,
+        71,
+    );
+    check_random(
+        MicroKernelKind::Mk8x6,
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        0.0,
+        (11, 0, 7),
+        None,
+        73,
+    );
+}
+
+/// α = 0 never reads A or B (which here are NaN-poisoned): the result
+/// is exactly β·C on every runtime.
+#[test]
+fn alpha_zero_never_reads_operands() {
+    let (m, n, k) = (12, 10, 8);
+    let a = Matrix::from_fn(m, k, |_, _| f64::NAN);
+    let b = Matrix::from_fn(k, n, |_, _| f64::NAN);
+    let c0 = Matrix::random(m, n, 83);
+    for par in RUNTIMES {
+        for cached in [false, true] {
+            let cfg = GemmConfig::default()
+                .with_parallelism(par)
+                .with_pack_cache(cached);
+            let mut c = c0.clone();
+            try_gemm(
+                Transpose::No,
+                Transpose::No,
+                0.0,
+                &a.view(),
+                &b.view(),
+                -0.5,
+                &mut c.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+            for j in 0..n {
+                for i in 0..m {
+                    assert_eq!(c.get(i, j), -0.5 * c0.get(i, j), "{par:?} cached={cached}");
+                }
+            }
+        }
+    }
+    f64::pack_cache().invalidate(&b.view());
+}
+
+/// The environment-driven configuration (what the CI conformance
+/// matrix varies: `DGEMM_NUM_THREADS`, `DGEMM_PACK_CACHE`) conforms on
+/// a shape large enough to engage several layer-3 blocks.
+#[test]
+fn auto_config_conforms_in_this_environment() {
+    let cfg = GemmConfig::auto().expect("auto config must parse in CI environments");
+    let (m, n, k) = (97, 64, 51);
+    let a = Matrix::random(m, k, 91);
+    let b = Matrix::random(k, n, 92);
+    let c0 = Matrix::random(m, n, 93);
+
+    let mut want = c0.clone();
+    naive_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.5,
+        &a.view(),
+        &b.view(),
+        -0.25,
+        &mut want.view_mut(),
+    );
+
+    // the serial uncached reference for bitwise comparison
+    let serial = cfg
+        .with_parallelism(Parallelism::Serial)
+        .with_pack_cache(false);
+    let mut base = c0.clone();
+    try_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.5,
+        &a.view(),
+        &b.view(),
+        -0.25,
+        &mut base.view_mut(),
+        &serial,
+    )
+    .unwrap();
+
+    let mut got = c0.clone();
+    try_gemm(
+        Transpose::No,
+        Transpose::No,
+        1.5,
+        &a.view(),
+        &b.view(),
+        -0.25,
+        &mut got.view_mut(),
+        &cfg,
+    )
+    .unwrap();
+
+    assert!(got.max_abs_diff(&want) <= gemm_tolerance(k, 4.0));
+    assert_eq!(
+        got.view().data(),
+        base.view().data(),
+        "auto() configuration (threads={}, cache={}) diverges bitwise from serial",
+        cfg.threads(),
+        cfg.pack_cache
+    );
+    if cfg.pack_cache {
+        f64::pack_cache().invalidate(&b.view());
+    }
+}

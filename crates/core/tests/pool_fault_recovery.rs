@@ -19,7 +19,7 @@ use dgemm_core::faults::{self, FaultPlan, Trigger};
 use dgemm_core::gemm::{try_gemm, GemmConfig};
 use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
-use dgemm_core::pool::{status, Parallelism};
+use dgemm_core::pool::{status, Parallelism, PoolScalar};
 use dgemm_core::Transpose;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -198,6 +198,77 @@ fn allocation_failure_degrades_gracefully() {
     }
     faults::clear();
     assert_eq!(run(Parallelism::Pool(4)).unwrap().max_abs_diff(&want), 0.0);
+}
+
+/// A worker panic during an epoch served from a *cached* pre-packed
+/// panel: containment must replay the block bit-identically (the
+/// recovery path re-packs from the original B view, independent of the
+/// cache), and the fault must neither evict nor invalidate the cache
+/// entry — the panels are immutable and blameless.
+#[test]
+fn worker_panic_on_cached_panel_preserves_the_entry() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let want = oracle();
+    let cache = f64::pack_cache();
+
+    // Stable operands across calls: the cache keys on B's address.
+    let a = Matrix::random(M, K, 3);
+    let b = Matrix::random(K, N, 4);
+    cache.invalidate(&b.view());
+    let cached = cfg(Parallelism::Pool(4)).with_pack_cache(true);
+    let run_cached = || -> Result<Matrix, dgemm_core::GemmError> {
+        let mut c = Matrix::random(M, N, 5);
+        try_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.5,
+            &mut c.view_mut(),
+            &cached,
+        )?;
+        Ok(c)
+    };
+
+    // Warm both the pool and the cache (first call misses + inserts).
+    assert_eq!(run_cached().unwrap().max_abs_diff(&want), 0.0);
+    let len0 = cache.len();
+    let s0 = cache.stats();
+    assert!(len0 >= 1, "warm call must have inserted the entry");
+    let contained0 = status().faults_contained;
+
+    faults::install(FaultPlan {
+        worker_panic: Some(Trigger::once(1)),
+        ..FaultPlan::default()
+    });
+    let got = run_cached().expect("a panic on a cached-panel epoch must be contained");
+    faults::clear();
+
+    assert_eq!(
+        got.max_abs_diff(&want),
+        0.0,
+        "the recovered block must replay the exact serial accumulation order"
+    );
+    assert!(
+        status().faults_contained > contained0,
+        "the contained panic must be visible in the pool health counters"
+    );
+    let s1 = cache.stats();
+    assert_eq!(cache.len(), len0, "the fault must not evict the entry");
+    assert_eq!(s1.evictions, s0.evictions);
+    assert_eq!(s1.invalidations, s0.invalidations);
+    assert!(
+        s1.hits > s0.hits,
+        "the faulted call still served from cache"
+    );
+
+    // The cached stream continues, hitting and exact.
+    for _ in 0..3 {
+        assert_eq!(run_cached().unwrap().max_abs_diff(&want), 0.0);
+    }
+    assert!(cache.stats().hits >= s1.hits + 3);
+    cache.invalidate(&b.view());
 }
 
 #[test]
