@@ -9,12 +9,14 @@
 
 #![forbid(unsafe_code)]
 
+use crate::dispatch::DispatchMode;
 use crate::gemm::GemmConfig;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::parallel::{run_layer3, run_layer3_scoped, Layer3Params};
 use crate::pool::{gemm_pooled, Parallelism, PoolScalar};
 use crate::tile::TileMut;
 use crate::{GemmError, Transpose};
+use std::time::Instant;
 
 /// `C_i := α·A_i·op(B) + β·C_i` for every `(A_i, C_i)` pair, with the
 /// shared `op(B)` packed once per `(jj, kk)` macro-iteration and reused
@@ -80,7 +82,51 @@ pub fn gemm_batch_shared_b(
     };
     let prepacked = prepacked.as_deref();
 
-    match cfg.parallelism {
+    // Shape-adaptive dispatch (DESIGN.md §13): the whole batch shares
+    // one decision — every entry contributes `m_tasks`, so the grid
+    // accounts for the real per-epoch cell count. A non-Fixed mode
+    // resolves to Serial or Pool (the Scoped baseline is never chosen).
+    let plan = match cfg.dispatch {
+        DispatchMode::Fixed => None,
+        mode => Some(crate::dispatch::decide(
+            mode,
+            m,
+            n,
+            k,
+            a_batch.len(),
+            &cfg.blocks,
+            cfg.kernel.nr(),
+            cfg.parallelism.degree(),
+            prepacked.is_some(),
+        )),
+    };
+    let runtime = plan.map_or(cfg.parallelism, |p| p.runtime);
+    let n_split = plan.map_or(1, |p| p.n_split);
+    let start = Instant::now();
+    let result = run_batch(
+        alpha, a_batch, transb, b, c_batch, cfg, prepacked, runtime, n_split,
+    );
+    if let Some(plan) = plan {
+        crate::dispatch::record(plan, start.elapsed());
+    }
+    result
+}
+
+/// Execute the batch on a resolved runtime (the configured one, or the
+/// dispatcher's choice with its 2-D grid split).
+#[allow(clippy::too_many_arguments)] // internal driver mirroring the entry point
+fn run_batch(
+    alpha: f64,
+    a_batch: &[MatrixView<'_>],
+    transb: Transpose,
+    b: &MatrixView<'_>,
+    c_batch: &mut [MatrixViewMut<'_>],
+    cfg: &GemmConfig,
+    prepacked: Option<&crate::prepack::PrepackedB>,
+    runtime: Parallelism,
+    n_split: usize,
+) -> Result<(), GemmError> {
+    match runtime {
         Parallelism::Pool(threads) => {
             // every entry's mc-blocks are dispatched into the same epoch,
             // all sharing one Arc'd packed panel of B
@@ -94,6 +140,7 @@ pub fn gemm_batch_shared_b(
                 cfg.kernel,
                 cfg.blocks,
                 threads,
+                n_split,
                 cfg.epoch_timeout,
                 prepacked,
             )?;

@@ -1,0 +1,438 @@
+//! Shape-adaptive runtime dispatch (DESIGN.md §13).
+//!
+//! Layer 3's schedule used to be fixed by [`crate::gemm::GemmConfig`]
+//! alone: `Parallelism::Pool(p)` always ran the pool over M-bands, no
+//! matter the shape. That loses to serial exactly where the pre-packed
+//! cache shines — skinny-m/fat-n GEMMs have one or two M-bands and tiny
+//! epochs, so the barrier overhead swamps the parallel compute. This
+//! module decides, per `gemm()` call:
+//!
+//! 1. **runtime** — Serial or Pool — by comparing the analytic
+//!    predictions of `perfmodel::model` eq. (4) ([`model::time_bound`])
+//!    and its pooled extension ([`model::pooled_time_bound`]: epoch
+//!    barriers + per-cell task costs on top of divided compute);
+//! 2. **grid geometry** — the column split `n_split` handed to
+//!    [`crate::pool::gemm_pooled`], so shapes with too few mc-row
+//!    blocks parallelize over N instead (2-D `(mc × nc)` task grid);
+//! 3. **calibration** — the model is a bound, not a stopwatch, so each
+//!    runtime keeps an EWMA ratio of measured/predicted time from past
+//!    calls (live telemetry) and predictions are scaled by it before
+//!    the comparison.
+//!
+//! The decision is overridable per call via
+//! [`crate::gemm::GemmConfig::with_dispatch`] and process-wide via
+//! `DGEMM_DISPATCH=serial|pool|auto` (read by
+//! [`crate::gemm::GemmConfig::auto`]); the default [`DispatchMode::Fixed`]
+//! keeps the configured [`Parallelism`] untouched, bit-for-bit and
+//! overhead-free. Every decision is auditable:
+//! [`crate::pool::status`] surfaces the most recent one as
+//! `last_dispatch`.
+
+#![forbid(unsafe_code)]
+
+use crate::pool::Parallelism;
+use crate::telemetry::RT;
+use perfmodel::cacheblock::BlockSizes;
+use perfmodel::model::{pooled_time_bound, time_bound, MachineCosts, OverlapFactor, PoolOverheads};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// How the dispatcher treats one GEMM call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DispatchMode {
+    /// No dispatch: run exactly the configured [`Parallelism`] with the
+    /// historical 1-D M-band schedule. The default — zero overhead,
+    /// bit-for-bit the pre-dispatch behavior.
+    #[default]
+    Fixed,
+    /// Force the serial runtime regardless of the configured degree.
+    Serial,
+    /// Force the pool runtime (with the dispatcher's 2-D grid), even
+    /// where the model predicts serial would win.
+    Pool,
+    /// Pick the runtime per call from the cost model + calibration,
+    /// with the serial fallback whenever the grid is too coarse to
+    /// occupy the workers.
+    Auto,
+}
+
+impl DispatchMode {
+    /// Parse `DGEMM_DISPATCH`: absent/`fixed` keeps the configured
+    /// runtime, `serial`/`pool` force one, `auto` enables the cost
+    /// model; anything else is a typed error.
+    pub fn from_env() -> Result<Self, crate::GemmError> {
+        match std::env::var("DGEMM_DISPATCH") {
+            Ok(v) => match v.trim() {
+                "serial" => Ok(DispatchMode::Serial),
+                "pool" => Ok(DispatchMode::Pool),
+                "auto" => Ok(DispatchMode::Auto),
+                "" | "fixed" => Ok(DispatchMode::Fixed),
+                _ => Err(crate::GemmError::BadConfig(
+                    "DGEMM_DISPATCH must be serial|pool|auto|fixed",
+                )),
+            },
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err(crate::GemmError::BadConfig("DGEMM_DISPATCH is not unicode"))
+            }
+            Err(std::env::VarError::NotPresent) => Ok(DispatchMode::Fixed),
+        }
+    }
+}
+
+/// One dispatch decision: the shape it was made for, the runtime and
+/// grid it chose, and the calibrated predictions behind the choice.
+/// `measured_ms` is filled in after the call completes, so operators
+/// can audit predicted-vs-measured through `pool::status()`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DispatchDecision {
+    /// Rows of `op(A)` / C.
+    pub m: usize,
+    /// Columns of `op(B)` / C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Batch entries sharing B (1 for a plain GEMM).
+    pub batch: usize,
+    /// The runtime chosen: [`Parallelism::Serial`] or
+    /// [`Parallelism::Pool`] with the dispatched degree.
+    pub runtime: Parallelism,
+    /// mc-row tasks per epoch across the batch (the 1-D grid size).
+    pub m_tasks: usize,
+    /// Column-wise grid factor handed to the pool (1 = M-bands only).
+    pub n_split: usize,
+    /// Calibrated predicted serial time, milliseconds.
+    pub predicted_serial_ms: f64,
+    /// Calibrated predicted pooled time, milliseconds.
+    pub predicted_pool_ms: f64,
+    /// Wall-clock of the call that ran under this decision.
+    pub measured_ms: Option<f64>,
+    /// The runtime was forced ([`DispatchMode::Serial`] /
+    /// [`DispatchMode::Pool`]) rather than model-chosen.
+    pub forced: bool,
+}
+
+/// Nominal clock of the paper machine, used only to express the model's
+/// cycle counts in milliseconds; the EWMA calibration absorbs any real
+/// clock difference.
+const NOMINAL_GHZ: f64 = 2.4;
+
+/// EWMA smoothing factor for the measured/predicted ratio.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Calibration ratio clamp: one pathological measurement (a paused VM,
+/// a cold cache) must not pin the dispatcher to one runtime forever.
+const CAL_MIN: f64 = 0.05;
+const CAL_MAX: f64 = 20.0;
+
+/// Hysteresis in the Auto comparison: the pooled prediction must beat
+/// serial by this factor before the pool is chosen. Serial is the safe
+/// default — the model is a *bound* and the single EWMA ratio cannot
+/// capture per-shape error, so near-ties would otherwise oscillate
+/// (each runtime's calibration only updates while it is the one
+/// running) and small shapes would flap between a 3.3 ms serial walk
+/// and a 4.5 ms pooled one. A genuine pool win (compute divided over
+/// p workers) clears 15% with room to spare.
+const POOL_MARGIN: f64 = 1.15;
+
+/// Per-update bound on how far one measurement can move the EWMA: the
+/// incoming measured/raw ratio is clamped to within this factor of the
+/// current ratio. A single scheduler stall can measure 20× the model
+/// (observed on oversubscribed CI hosts) and would otherwise yank the
+/// calibration so far that the dispatcher flips runtimes off one
+/// outlier; with the clamp, only a *sustained* shift moves it far.
+const RATIO_STEP_MAX: f64 = 2.0;
+
+/// Each recorded call also relaxes the runtime that did *not* run
+/// toward the neutral prior of 1.0 by this factor. Without it a
+/// noise-inflated ratio is frozen the moment its runtime stops being
+/// chosen — the dispatcher gets captured by the other runtime forever,
+/// because only the running runtime's calibration ever updates.
+const IDLE_DECAY: f64 = 0.05;
+
+const F64_ONE_BITS: u64 = 0x3FF0_0000_0000_0000;
+
+/// Per-runtime measured/predicted EWMA ratios (f64 bits): [serial, pool].
+static CALIBRATION: [AtomicU64; 2] = [AtomicU64::new(F64_ONE_BITS), AtomicU64::new(F64_ONE_BITS)];
+
+/// Serializes every test that reads or writes the `DGEMM_*` environment
+/// variables: `GemmConfig::auto()` now reads `DGEMM_DISPATCH`, so the
+/// parser test here and the `auto()` test in [`crate::gemm`] would race
+/// without a shared lock.
+#[cfg(test)]
+pub(crate) fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn last_cell() -> &'static Mutex<Option<DispatchDecision>> {
+    static LAST: OnceLock<Mutex<Option<DispatchDecision>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+fn cycles_to_ms(cycles: f64) -> f64 {
+    cycles / (NOMINAL_GHZ * 1e6)
+}
+
+fn calibration(pool: bool) -> f64 {
+    f64::from_bits(CALIBRATION[usize::from(pool)].load(Ordering::Relaxed))
+}
+
+/// The most recent dispatch decision made in this process (`None` until
+/// a non-[`DispatchMode::Fixed`] GEMM runs). Surfaced by
+/// [`crate::pool::status`] as `last_dispatch`.
+#[must_use]
+pub fn last_decision() -> Option<DispatchDecision> {
+    *last_cell().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Decide runtime and grid geometry for one call.
+///
+/// `degree` is the configured parallel degree ([`Parallelism::degree`]),
+/// `cached` whether a [`crate::prepack::PrepackedB`] will serve B (its
+/// pack traffic then costs nothing per call). Must not be called with
+/// [`DispatchMode::Fixed`] — Fixed means "no decision".
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide(
+    mode: DispatchMode,
+    m: usize,
+    n: usize,
+    k: usize,
+    batch: usize,
+    blocks: &BlockSizes,
+    nr: usize,
+    degree: usize,
+    cached: bool,
+) -> DispatchDecision {
+    debug_assert!(mode != DispatchMode::Fixed, "Fixed means no dispatch");
+    let (kc, mc, nc) = (blocks.kc.max(1), blocks.mc.max(1), blocks.nc.max(1));
+    let degree = degree.max(1);
+    let batch = batch.max(1);
+
+    // Grid geometry: split over N only when M-bands alone cannot give
+    // every worker two cells to race for (dynamic-scheduling slack).
+    let m_tasks = m.div_ceil(mc) * batch;
+    let slivers = nc.min(n.max(1)).div_ceil(nr.max(1)).max(1);
+    let n_split = if m_tasks >= 2 * degree {
+        1
+    } else {
+        (2 * degree).div_ceil(m_tasks).min(slivers)
+    };
+    let cells = m_tasks * n_split;
+
+    // Model inputs, in the units of perfmodel::model (flops, words,
+    // cycles). A repacks once per jj panel (and once per column chunk
+    // on the grid — each cell owns its packed-A copy); B packs once
+    // per epoch unless cached; the pool additionally stages C in/out.
+    let jj_panels = n.div_ceil(nc);
+    let epochs = jj_panels * k.div_ceil(kc);
+    let f = 2.0 * (m * n * k * batch) as f64;
+    let w_a = (m * k * jj_panels * batch) as f64;
+    let w_b = if cached { 0.0 } else { (k * n) as f64 };
+    let costs = MachineCosts::xgene_cycles();
+    let psi = OverlapFactor::Rational { c: 0.4 };
+    let overheads = PoolOverheads::xgene_cycles();
+    let serial_cycles = time_bound(f, w_a + w_b, &costs, &psi);
+    let w_caller = w_a * n_split as f64 + w_b + 2.0 * (m * n * batch) as f64;
+    let pool_cycles = pooled_time_bound(
+        f,
+        w_caller,
+        degree,
+        epochs as f64,
+        (cells * epochs) as f64,
+        &costs,
+        &psi,
+        &overheads,
+    );
+    let predicted_serial_ms = cycles_to_ms(serial_cycles) * calibration(false);
+    let predicted_pool_ms = cycles_to_ms(pool_cycles) * calibration(true);
+
+    let (runtime, forced) = match mode {
+        DispatchMode::Serial => (Parallelism::Serial, true),
+        DispatchMode::Pool => (Parallelism::Pool(degree), true),
+        // Auto: serial when the pool cannot help (one participant), when
+        // the grid is too coarse to occupy the workers (the medium-shape
+        // fallback), or unless the calibrated model predicts a pooled
+        // win clearing the hysteresis margin.
+        DispatchMode::Auto | DispatchMode::Fixed => {
+            if degree <= 1
+                || cells < 2 * degree
+                || predicted_serial_ms <= predicted_pool_ms * POOL_MARGIN
+            {
+                (Parallelism::Serial, false)
+            } else {
+                (Parallelism::Pool(degree), false)
+            }
+        }
+    };
+    match runtime {
+        Parallelism::Serial => RT.dispatch_serial.fetch_add(1, Ordering::Relaxed),
+        _ => RT.dispatch_pool.fetch_add(1, Ordering::Relaxed),
+    };
+
+    DispatchDecision {
+        m,
+        n,
+        k,
+        batch,
+        runtime,
+        m_tasks,
+        n_split,
+        predicted_serial_ms,
+        predicted_pool_ms,
+        measured_ms: None,
+        forced,
+    }
+}
+
+/// Close the loop on a decision: record the measured wall-clock, update
+/// the chosen runtime's EWMA calibration ratio, and publish the
+/// decision for [`last_decision`] / `pool::status()`.
+pub(crate) fn record(mut decision: DispatchDecision, elapsed: Duration) {
+    let measured = elapsed.as_secs_f64() * 1e3;
+    decision.measured_ms = Some(measured);
+    let pool = matches!(decision.runtime, Parallelism::Pool(_));
+    let predicted = if pool {
+        decision.predicted_pool_ms
+    } else {
+        decision.predicted_serial_ms
+    };
+    let prev = calibration(pool);
+    // `predicted` already carries `prev`; divide it back out so the
+    // ratio tracks measured/raw-model, not a compounding feedback loop.
+    let raw = predicted / prev;
+    if raw.is_finite() && raw > 0.0 && measured.is_finite() && measured > 0.0 {
+        let ratio = (measured / raw).clamp(prev / RATIO_STEP_MAX, prev * RATIO_STEP_MAX);
+        let next = (prev + EWMA_ALPHA * (ratio - prev)).clamp(CAL_MIN, CAL_MAX);
+        CALIBRATION[usize::from(pool)].store(next.to_bits(), Ordering::Relaxed);
+        // The runtime that did not run cannot defend its ratio, so bleed
+        // it toward the prior; a stale estimate then decays within tens
+        // of calls instead of capturing the dispatcher permanently.
+        let other = usize::from(!pool);
+        let other_prev = f64::from_bits(CALIBRATION[other].load(Ordering::Relaxed));
+        let other_next = (other_prev + IDLE_DECAY * (1.0 - other_prev)).clamp(CAL_MIN, CAL_MAX);
+        CALIBRATION[other].store(other_next.to_bits(), Ordering::Relaxed);
+    }
+    *last_cell().lock().unwrap_or_else(PoisonError::into_inner) = Some(decision);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(kc: usize, mc: usize, nc: usize) -> BlockSizes {
+        BlockSizes::custom(8, 6, kc, mc, nc)
+    }
+
+    #[test]
+    fn skinny_cached_stream_dispatches_serial() {
+        // The PR-4 weight-reuse shape: 8×256×256 with B cached, blocks
+        // 64×24×48 — 24 epochs of ~8 µs compute each. The model must
+        // see the barrier overhead and keep it serial.
+        let b = blocks(64, 24, 48);
+        let d = decide(DispatchMode::Auto, 8, 256, 256, 1, &b, 6, 4, true);
+        assert_eq!(d.runtime, Parallelism::Serial);
+        assert!(!d.forced);
+        assert!(d.predicted_pool_ms > d.predicted_serial_ms);
+    }
+
+    #[test]
+    fn coarse_grid_falls_back_to_serial() {
+        // n too narrow to split (one sliver) and a single M-band: the
+        // grid cannot occupy 8 workers, so auto must go serial without
+        // consulting the model.
+        let b = blocks(256, 64, 1792);
+        let d = decide(DispatchMode::Auto, 48, 6, 4096, 1, &b, 6, 8, false);
+        assert_eq!(d.runtime, Parallelism::Serial);
+        assert_eq!(d.n_split, 1, "one sliver cannot split");
+        assert!(d.m_tasks * d.n_split < 2 * 8);
+    }
+
+    #[test]
+    fn skinny_m_gets_a_column_grid() {
+        // Few M-bands but a wide N: the dispatcher must manufacture
+        // enough cells by splitting columns, and big-k compute must
+        // make the pool worth it.
+        let b = blocks(512, 24, 1792);
+        let d = decide(DispatchMode::Auto, 48, 4096, 4096, 1, &b, 6, 8, false);
+        assert_eq!(d.m_tasks, 2);
+        assert!(d.n_split >= 8, "2 bands × split must reach 2×8 cells");
+        assert_eq!(d.runtime, Parallelism::Pool(8));
+    }
+
+    #[test]
+    fn square_pooled_shape_keeps_m_bands() {
+        // 1024³ on 8 threads: plenty of M-bands, no column split, pool
+        // wins in the model.
+        let b = blocks(512, 24, 1792);
+        let d = decide(DispatchMode::Auto, 1024, 1024, 1024, 1, &b, 6, 8, false);
+        assert_eq!(d.n_split, 1);
+        assert_eq!(d.runtime, Parallelism::Pool(8));
+    }
+
+    #[test]
+    fn forced_modes_override_the_model() {
+        let b = blocks(64, 24, 48);
+        // Forced pool on a shape auto would run serially.
+        let d = decide(DispatchMode::Pool, 8, 256, 256, 1, &b, 6, 4, true);
+        assert_eq!(d.runtime, Parallelism::Pool(4));
+        assert!(d.forced);
+        assert!(d.n_split > 1, "forced pool still gets the 2-D grid");
+        // Forced serial on a shape auto would pool.
+        let b = blocks(512, 24, 1792);
+        let d = decide(DispatchMode::Serial, 1024, 1024, 1024, 1, &b, 6, 8, false);
+        assert_eq!(d.runtime, Parallelism::Serial);
+        assert!(d.forced);
+    }
+
+    #[test]
+    fn single_thread_never_pools() {
+        let b = blocks(512, 24, 1792);
+        let d = decide(DispatchMode::Auto, 1024, 1024, 1024, 1, &b, 6, 1, false);
+        assert_eq!(d.runtime, Parallelism::Serial);
+    }
+
+    #[test]
+    fn record_publishes_and_calibrates() {
+        let b = blocks(512, 24, 1792);
+        let d = decide(DispatchMode::Serial, 64, 64, 64, 1, &b, 6, 1, false);
+        let before = calibration(false);
+        record(d, Duration::from_micros(500));
+        let last = last_decision().expect("decision published");
+        assert_eq!((last.m, last.n, last.k), (64, 64, 64));
+        let measured = last.measured_ms.expect("measurement recorded");
+        assert!((measured - 0.5).abs() < 1e-9);
+        let after = calibration(false);
+        assert!((CAL_MIN..=CAL_MAX).contains(&after));
+        // The ratio moved toward measured/raw (only guaranteed to move
+        // when it was not already clamped at the measured ratio).
+        assert!(after != before || before == CAL_MIN || before == CAL_MAX);
+    }
+
+    #[test]
+    fn env_parsing_matches_contract() {
+        // Uses the same single-body pattern as gemm.rs env tests: all
+        // DGEMM_DISPATCH cases in one test, since env reads race across
+        // parallel test threads. gemm.rs owns testing auto(); this
+        // covers only the parser.
+        let _env = env_lock();
+        std::env::remove_var("DGEMM_DISPATCH");
+        assert_eq!(DispatchMode::from_env().unwrap(), DispatchMode::Fixed);
+        for (v, want) in [
+            ("serial", DispatchMode::Serial),
+            ("pool", DispatchMode::Pool),
+            ("auto", DispatchMode::Auto),
+            ("fixed", DispatchMode::Fixed),
+            ("", DispatchMode::Fixed),
+            (" auto ", DispatchMode::Auto),
+        ] {
+            std::env::set_var("DGEMM_DISPATCH", v);
+            assert_eq!(DispatchMode::from_env().unwrap(), want, "value {v:?}");
+        }
+        for bad in ["parallel", "2", "on"] {
+            std::env::set_var("DGEMM_DISPATCH", bad);
+            assert!(DispatchMode::from_env().is_err(), "accepted {bad:?}");
+        }
+        std::env::remove_var("DGEMM_DISPATCH");
+    }
+}

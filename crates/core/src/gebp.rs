@@ -24,28 +24,56 @@ pub fn gebp<T: Scalar, K: KernelSet<T>>(
     packed_b: &PackedB<T>,
     c: &mut TileMut<'_, T>,
 ) {
+    assert_eq!(c.cols(), packed_b.nc(), "tile cols != nc");
+    gebp_slivers(kind, alpha, packed_a, packed_b, 0, packed_b.nc(), c);
+}
+
+/// GEBP over a *sliver range* of the packed panel: accumulates
+/// `α · packed_a · packed_b[:, s0·nr .. s0·nr + cols]` into the
+/// `packed_a.mc() × cols` tile `c`.
+///
+/// This is the compute half of a 2-D grid cell (DESIGN.md §13): several
+/// cells share one packed (or cached, [`crate::prepack::PrepackedB`])
+/// panel, each owning a disjoint whole-sliver column range of it. The
+/// range must start on a sliver boundary — `s0` is a sliver index, and
+/// per-element results are identical to a full-width [`gebp`] because
+/// each C element still receives exactly one kernel call with the same
+/// k-accumulation order.
+pub fn gebp_slivers<T: Scalar, K: KernelSet<T>>(
+    kind: K,
+    alpha: T,
+    packed_a: &PackedA<T>,
+    packed_b: &PackedB<T>,
+    s0: usize,
+    cols: usize,
+    c: &mut TileMut<'_, T>,
+) {
     assert_eq!(packed_a.kc(), packed_b.kc(), "packed depths differ");
     assert_eq!(packed_a.mr(), kind.mr(), "A packed for a different kernel");
     assert_eq!(packed_b.nr(), kind.nr(), "B packed for a different kernel");
     assert_eq!(c.rows(), packed_a.mc(), "tile rows != mc");
-    assert_eq!(c.cols(), packed_b.nc(), "tile cols != nc");
+    assert_eq!(c.cols(), cols, "tile cols != sliver-range width");
 
     let kc = packed_a.kc();
     let (mr, nr) = (kind.mr(), kind.nr());
-    let (mc, nc) = (packed_a.mc(), packed_b.nc());
+    let mc = packed_a.mc();
+    assert!(
+        s0 * nr.max(1) + cols <= packed_b.nc(),
+        "sliver range exceeds panel"
+    );
 
     // Telemetry choke point: every runtime (serial, scoped, pool,
     // recovery replay) funnels through this call, and the unpadded
-    // mc·nc·kc product counts only useful flops — totals come out
+    // mc·cols·kc product counts only useful flops — totals come out
     // exact to the last operation.
     let _span = crate::telemetry::span(crate::telemetry::Phase::Compute);
-    crate::telemetry::count_block(2 * (mc as u64) * (nc as u64) * (kc as u64));
+    crate::telemetry::count_block(2 * (mc as u64) * (cols as u64) * (kc as u64));
 
-    // layer 5 (GEBS): over kc×nr slivers of B
-    for jt in 0..packed_b.slivers() {
+    // layer 5 (GEBS): over the cell's kc×nr slivers of B
+    for jt in 0..cols.div_ceil(nr.max(1)) {
         let j0 = jt * nr;
-        let n_eff = nr.min(nc - j0);
-        let b_sliver = packed_b.sliver(jt);
+        let n_eff = nr.min(cols - j0);
+        let b_sliver = packed_b.sliver(s0 + jt);
         // layer 6 (GESS): over mr×kc slivers of A
         for it in 0..packed_a.slivers() {
             let i0 = it * mr;
@@ -130,6 +158,55 @@ mod tests {
         check_gebp(MicroKernelKind::Mk8x6, 24, 18, 16, -0.5);
         check_gebp(MicroKernelKind::Mk8x6, 24, 18, 16, 3.25);
         check_gebp(MicroKernelKind::Mk8x6, 24, 18, 16, 0.0);
+    }
+
+    #[test]
+    fn sliver_ranges_tile_the_panel_bitwise() {
+        // Computing a panel as disjoint whole-sliver column ranges (the
+        // 2-D grid-cell decomposition) must reproduce the full-width
+        // GEBP bit for bit, including a ragged last sliver.
+        for (kind, mc, nc, kc) in [
+            (MicroKernelKind::Mk8x6, 24, 47, 16), // 47 % 6 != 0
+            (MicroKernelKind::Mk8x4, 13, 24, 9),
+            (MicroKernelKind::Mk4x4, 7, 10, 5),
+        ] {
+            let nr = kind.nr();
+            let a = Matrix::random(mc, kc, 11);
+            let b = Matrix::random(kc, nc, 12);
+            let mut pa = PackedA::new(kind.mr());
+            pa.pack(&a.view(), Transpose::No, 0, 0, mc, kc);
+            let mut pb = PackedB::new(nr);
+            pb.pack(&b.view(), Transpose::No, 0, 0, kc, nc);
+
+            let c0 = Matrix::random(mc, nc, 13);
+            let mut full = c0.clone();
+            {
+                let mut tile = TileMut::from_slice(mc, nc, mc, full.as_mut_slice());
+                gebp(kind, 1.5, &pa, &pb, &mut tile);
+            }
+
+            let mut split = c0.clone();
+            let slivers = nc.div_ceil(nr);
+            // Uneven 2-way split on a sliver boundary.
+            for (s0, s1) in [(0, slivers.div_ceil(2)), (slivers.div_ceil(2), slivers)] {
+                let col0 = s0 * nr;
+                let cols = (s1 * nr).min(nc) - col0;
+                if cols == 0 {
+                    continue;
+                }
+                let mut view = split.view_mut();
+                let mut sub = view.sub_mut(0, col0, mc, cols);
+                let ld = sub.ld();
+                let mut tile = TileMut::from_slice(mc, cols, ld, sub.data_mut());
+                gebp_slivers(kind, 1.5, &pa, &pb, s0, cols, &mut tile);
+            }
+            assert_eq!(
+                split.max_abs_diff(&full),
+                0.0,
+                "{} mc={mc} nc={nc}: sliver ranges diverge from full GEBP",
+                kind.label()
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+use crate::dispatch::DispatchMode;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::{KernelSet, MicroKernelKind};
 use crate::parallel::{run_layer3, run_layer3_scoped, Layer3Params};
@@ -22,7 +23,7 @@ use crate::tile::TileMut;
 use crate::{GemmError, Transpose};
 use perfmodel::cacheblock::{solve_blocking, BlockSizes};
 use perfmodel::MachineDesc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper clamp for `DGEMM_EPOCH_TIMEOUT_MS`: one hour. A watchdog
 /// longer than this is indistinguishable from no watchdog, and the
@@ -53,6 +54,12 @@ pub struct GemmConfig {
     /// Off by default; see the [`crate::prepack`] coherence contract
     /// before enabling. [`GemmConfig::auto`] reads `DGEMM_PACK_CACHE`.
     pub pack_cache: bool,
+    /// Shape-adaptive dispatch (DESIGN.md §13): with the default
+    /// [`DispatchMode::Fixed`] the configured [`Parallelism`] runs
+    /// unchanged; `Auto` picks Serial vs Pool (and the 2-D grid split)
+    /// per call from the cost model, `Serial`/`Pool` force a runtime.
+    /// [`GemmConfig::auto`] reads `DGEMM_DISPATCH`.
+    pub dispatch: DispatchMode,
 }
 
 impl GemmConfig {
@@ -81,6 +88,7 @@ impl GemmConfig {
             parallelism: Parallelism::from_threads(threads),
             epoch_timeout: None,
             pack_cache: false,
+            dispatch: DispatchMode::Fixed,
         }
     }
 
@@ -114,7 +122,8 @@ impl GemmConfig {
         };
         Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads)
             .with_epoch_timeout(epoch_timeout_from_env()?)
-            .with_pack_cache(pack_cache_from_env()?))
+            .with_pack_cache(pack_cache_from_env()?)
+            .with_dispatch(DispatchMode::from_env()?))
     }
 
     /// Same kernel/threads but explicit `kc×mc×nc` (for sensitivity
@@ -146,6 +155,14 @@ impl GemmConfig {
     #[must_use]
     pub fn with_pack_cache(mut self, enabled: bool) -> Self {
         self.pack_cache = enabled;
+        self
+    }
+
+    /// Same configuration with an explicit [`DispatchMode`] (see
+    /// [`crate::dispatch`] and the README's "Choosing a runtime").
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -255,6 +272,7 @@ pub fn try_gemm(
         cfg.parallelism,
         cfg.epoch_timeout,
         cfg.pack_cache,
+        cfg.dispatch,
     )
 }
 
@@ -280,6 +298,7 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     parallelism: Parallelism,
     epoch_timeout: Option<Duration>,
     pack_cache: bool,
+    dispatch: DispatchMode,
 ) -> Result<(), GemmError> {
     let (m, ka) = transa.apply_dims(a.rows(), a.cols());
     let (kb, n) = transb.apply_dims(b.rows(), b.cols());
@@ -308,29 +327,70 @@ pub fn gemm_with<T: PoolScalar, K: KernelSet<T>>(
     };
     let prepacked = prepacked.as_deref();
 
-    match parallelism {
-        Parallelism::Pool(threads) => gemm_pooled(
-            transa,
-            transb,
-            alpha,
-            core::slice::from_ref(a),
-            b,
-            core::slice::from_mut(c),
-            kernel,
-            blocks,
-            threads,
-            epoch_timeout,
-            prepacked,
-        ),
-        Parallelism::Scoped(threads) if threads > 1 => {
-            gemm_scoped(
-                transa, transb, alpha, a, b, c, kernel, blocks, threads, prepacked,
+    match dispatch {
+        // Fixed: run exactly the configured runtime on the historical
+        // 1-D M-band schedule — no decision, no timing, no grid.
+        DispatchMode::Fixed => match parallelism {
+            Parallelism::Pool(threads) => gemm_pooled(
+                transa,
+                transb,
+                alpha,
+                core::slice::from_ref(a),
+                b,
+                core::slice::from_mut(c),
+                kernel,
+                blocks,
+                threads,
+                1,
+                epoch_timeout,
+                prepacked,
+            ),
+            Parallelism::Scoped(threads) if threads > 1 => {
+                gemm_scoped(
+                    transa, transb, alpha, a, b, c, kernel, blocks, threads, prepacked,
+                );
+                Ok(())
+            }
+            Parallelism::Serial | Parallelism::Scoped(_) => {
+                gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks, prepacked);
+                Ok(())
+            }
+        },
+        mode => {
+            let plan = crate::dispatch::decide(
+                mode,
+                m,
+                n,
+                k,
+                1,
+                &blocks,
+                kernel.nr(),
+                parallelism.degree(),
+                prepacked.is_some(),
             );
-            Ok(())
-        }
-        Parallelism::Serial | Parallelism::Scoped(_) => {
-            gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks, prepacked);
-            Ok(())
+            let start = Instant::now();
+            let result = match plan.runtime {
+                Parallelism::Pool(threads) => gemm_pooled(
+                    transa,
+                    transb,
+                    alpha,
+                    core::slice::from_ref(a),
+                    b,
+                    core::slice::from_mut(c),
+                    kernel,
+                    blocks,
+                    threads,
+                    plan.n_split,
+                    epoch_timeout,
+                    prepacked,
+                ),
+                _ => {
+                    gemm_serial(transa, transb, alpha, a, b, c, kernel, blocks, prepacked);
+                    Ok(())
+                }
+            };
+            crate::dispatch::record(plan, start.elapsed());
+            result
         }
     }
 }
@@ -650,6 +710,7 @@ mod tests {
         );
         assert_eq!(cfg.parallelism, Parallelism::Serial);
         assert_eq!(cfg.threads(), 1);
+        assert_eq!(cfg.dispatch, DispatchMode::Fixed);
     }
 
     #[test]
@@ -677,8 +738,10 @@ mod tests {
     /// race if split across parallel test threads.
     #[test]
     fn auto_config_reads_environment() {
+        let _env = crate::dispatch::env_lock();
         std::env::remove_var("DGEMM_NUM_THREADS");
         std::env::remove_var("DGEMM_EPOCH_TIMEOUT_MS");
+        std::env::remove_var("DGEMM_DISPATCH");
         let cfg = GemmConfig::auto().unwrap();
         assert!(cfg.threads() >= 1);
         assert!(cfg.parallelism.validate().is_ok());
@@ -741,6 +804,23 @@ mod tests {
             assert!(GemmConfig::auto().is_err(), "accepted {bad:?}");
         }
         std::env::remove_var("DGEMM_PACK_CACHE");
+
+        // Dispatch: absent -> Fixed (checked above via the default),
+        // each named mode parses, garbage -> error. The parser's full
+        // contract lives in dispatch.rs; this checks auto() wires it.
+        assert_eq!(GemmConfig::auto().unwrap().dispatch, DispatchMode::Fixed);
+        for (v, want) in [
+            ("serial", DispatchMode::Serial),
+            ("pool", DispatchMode::Pool),
+            ("auto", DispatchMode::Auto),
+            ("fixed", DispatchMode::Fixed),
+        ] {
+            std::env::set_var("DGEMM_DISPATCH", v);
+            assert_eq!(GemmConfig::auto().unwrap().dispatch, want, "value {v:?}");
+        }
+        std::env::set_var("DGEMM_DISPATCH", "sometimes");
+        assert!(GemmConfig::auto().is_err());
+        std::env::remove_var("DGEMM_DISPATCH");
     }
 
     #[test]
@@ -763,13 +843,21 @@ mod tests {
             let c0 = Matrix::random(m, n, 23);
             let base = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1).with_blocks(32, 16, 24);
             let mut out = Vec::new();
-            for par in [
-                Parallelism::Serial,
-                Parallelism::Scoped(3),
-                Parallelism::Pool(3),
-                Parallelism::Pool(5), // ragged: blocks % workers != 0
+            for cfg in [
+                base.with_parallelism(Parallelism::Serial),
+                base.with_parallelism(Parallelism::Scoped(3)),
+                base.with_parallelism(Parallelism::Pool(3)),
+                // ragged: blocks % workers != 0
+                base.with_parallelism(Parallelism::Pool(5)),
+                // the dispatcher (forced and model-driven, including the
+                // 2-D grid forced pool runs) must not change a bit either
+                base.with_parallelism(Parallelism::Pool(3))
+                    .with_dispatch(DispatchMode::Serial),
+                base.with_parallelism(Parallelism::Pool(3))
+                    .with_dispatch(DispatchMode::Pool),
+                base.with_parallelism(Parallelism::Pool(3))
+                    .with_dispatch(DispatchMode::Auto),
             ] {
-                let cfg = base.with_parallelism(par);
                 let mut c = c0.clone();
                 gemm(
                     Transpose::No,

@@ -21,6 +21,11 @@
 //! [`crate::prepack`]): the interior GEMM operands are sub-views of the
 //! caller's matrices (or of short-lived scratch like `dsymm`'s expanded
 //! operand), so in-place mutation between calls requires invalidation.
+//! They likewise inherit `cfg.dispatch` (DESIGN.md §13): under
+//! [`crate::dispatch::DispatchMode::Auto`] each interior GEMM is
+//! dispatched by its own sub-block shape, so e.g. the skinny panel
+//! updates of a blocked `dtrsm` can run serially while the large
+//! trailing updates use the pool's 2-D task grid.
 
 #![forbid(unsafe_code)]
 

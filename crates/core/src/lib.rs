@@ -61,6 +61,7 @@
 pub mod batch;
 pub mod blas;
 pub mod cholesky;
+pub mod dispatch;
 pub mod faults;
 pub mod gebp;
 pub mod gemm;

@@ -10,11 +10,19 @@
 //! workers and per-caller-thread buffer arenas:
 //!
 //! - **[`WorkerPool`]**: lazily started, detached worker threads parked
-//!   on an MPMC channel. A GEMM call enqueues one *job* per `mc`-block
+//!   on an MPMC channel. A GEMM call enqueues one *job* per grid cell
 //!   (or per static band) and workers race to pull them — dynamic
 //!   scheduling that load-balances ragged tails, falling back to the
 //!   static contiguous-band assignment of [`crate::parallel::partition_rows`]
 //!   when the blocks divide evenly. Steady state spawns **zero** threads.
+//! - **2-D task grid** (DESIGN.md §13): each `(jj, kk)` epoch splits
+//!   into cells `(mc-row-block) × (nr-aligned column chunk)`. The
+//!   column split (`n_split`, chosen by [`crate::dispatch`]) gives
+//!   skinny-m/fat-n shapes enough cells to occupy every worker: cells
+//!   share the one packed (or [`PrepackedB`]-cached) panel and each
+//!   computes its own whole-sliver range of it
+//!   ([`crate::gebp::gebp_slivers`]). `n_split == 1` is exactly the
+//!   historical M-band schedule.
 //! - **[`GemmArena`]**: a thread-local free list of [`BlockSlot`]s
 //!   (packed-A buffer + C staging buffer) and packed-B panels, recycled
 //!   across `mc`-blocks, macro-iterations, GEMM calls and batch entries.
@@ -76,7 +84,7 @@
 
 #![forbid(unsafe_code)]
 
-use crate::gebp::gebp;
+use crate::gebp::gebp_slivers;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::KernelSet;
 use crate::pack::{PackedA, PackedB};
@@ -181,7 +189,10 @@ pub struct PoolStats {
 
 /// Health snapshot of the pool runtime (see [`WorkerPool::status`]):
 /// the observability half of the fault-tolerance layer.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Not `Eq`: [`PoolStatus::last_dispatch`] carries the dispatcher's
+/// predicted timings as `f64`s.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PoolStatus {
     /// Worker threads currently alive.
     pub workers_alive: usize,
@@ -202,6 +213,10 @@ pub struct PoolStatus {
     pub faults_contained: u64,
     /// Epochs abandoned at the watchdog deadline.
     pub timeouts: u64,
+    /// The most recent shape-adaptive dispatch decision (shape, chosen
+    /// runtime, predicted vs measured time) — `None` until a call runs
+    /// with a non-`Fixed` [`crate::dispatch::DispatchMode`].
+    pub last_dispatch: Option<crate::dispatch::DispatchDecision>,
 }
 
 /// Counter snapshot of the global pool — observability for tests and
@@ -297,6 +312,7 @@ impl WorkerPool {
             epochs_served: rt.epochs_served(),
             faults_contained: rt.faults_contained,
             timeouts: rt.timeouts,
+            last_dispatch: crate::dispatch::last_decision(),
         }
     }
 
@@ -383,20 +399,26 @@ impl WorkerPool {
     }
 }
 
-/// One `mc`-block's worth of owned working memory: the packed-A buffer
-/// plus the staged rows of the current C panel. Slots are recycled
+/// One grid cell's worth of owned working memory: the packed-A buffer
+/// plus the staged sub-block of the current C panel. Slots are recycled
 /// through [`GemmArena`] and travel caller → worker → caller by value.
 #[derive(Debug)]
 pub struct BlockSlot<T: Scalar> {
     pa: PackedA<T>,
-    /// Staged `mc_eff × nc_eff` C block, column-major with `ld = mc_eff`.
+    /// Staged `mc_eff × ncols` C cell, column-major with `ld = mc_eff`.
     staging: Vec<T>,
-    /// Which batch entry this block belongs to.
+    /// Which batch entry this cell belongs to.
     entry: usize,
-    /// First row of `op(A)` / C covered by this block.
+    /// First row of `op(A)` / C covered by this cell.
     row0: usize,
     /// Rows covered (`<= mc`).
     mc_eff: usize,
+    /// First column of the cell *within its `jj` panel* (sliver-aligned:
+    /// a multiple of `nr`, so the cell addresses the shared panel as a
+    /// whole-sliver range). 0 in 1-D (M-band) mode.
+    col0: usize,
+    /// Columns covered (`<= nc_eff`; all of them in 1-D mode).
+    ncols: usize,
 }
 
 impl<T: Scalar> BlockSlot<T> {
@@ -452,6 +474,8 @@ impl<T: Scalar> GemmArena<T> {
                     entry: 0,
                     row0: 0,
                     mc_eff: 0,
+                    col0: 0,
+                    ncols: 0,
                 }
             }
         }
@@ -522,6 +546,39 @@ macro_rules! impl_pool_scalar {
 impl_pool_scalar!(f64, ARENA_F64);
 impl_pool_scalar!(f32, ARENA_F32);
 
+/// The `(col0, ncols)` column chunks of one `jj` panel for an `n_split`-way
+/// grid: whole-sliver chunks (every `col0` is a multiple of `nr`) of as
+/// equal a sliver count as possible, the last one ragged. `n_split == 1`
+/// yields the single full-width chunk of the historical M-band schedule;
+/// a split wider than the panel's sliver count is clamped (fewer chunks
+/// than asked is fine — the dispatcher treats the grid as best-effort).
+pub(crate) fn grid_cols(nc_eff: usize, nr: usize, n_split: usize) -> Vec<(usize, usize)> {
+    let nr = nr.max(1);
+    let slivers = nc_eff.div_ceil(nr).max(1);
+    let chunks = n_split.clamp(1, slivers);
+    let per = slivers.div_ceil(chunks);
+    let mut out = Vec::with_capacity(chunks);
+    let mut s = 0usize;
+    while s * nr < nc_eff {
+        let col0 = s * nr;
+        let ncols = (per * nr).min(nc_eff - col0);
+        out.push((col0, ncols));
+        s += per;
+    }
+    out
+}
+
+/// Identity of one grid cell within a `jj` panel, kept by the caller so
+/// cells lost to a watchdog timeout can be identified and recomputed.
+#[derive(Clone, Copy)]
+struct CellId {
+    entry: usize,
+    row0: usize,
+    col0: usize,
+    mc_eff: usize,
+    ncols: usize,
+}
+
 /// Epoch-barrier message: a slot coming back from a worker.
 struct Done<T: Scalar> {
     slot: BlockSlot<T>,
@@ -564,19 +621,22 @@ impl<T: Scalar> Drop for RunGuard<T> {
     }
 }
 
-/// GEBP one staged block against the shared panel (the pool-job body).
+/// GEBP one staged cell against the shared panel (the pool-job body).
+/// The cell computes only its own whole-sliver column range of the
+/// panel; in 1-D mode that range is the full panel.
 fn run_block<T: Scalar, K: KernelSet<T>>(
     kernel: K,
     alpha: T,
     slot: &mut BlockSlot<T>,
     panel: &PackedB<T>,
-    nc_eff: usize,
 ) {
     crate::faults::slow_job_delay();
     crate::faults::panic_in_job();
     let mc_eff = slot.mc_eff;
-    let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), &mut slot.staging);
-    gebp(kernel, alpha, &slot.pa, panel, &mut tile);
+    let ncols = slot.ncols;
+    let s0 = slot.col0 / panel.nr().max(1);
+    let mut tile = TileMut::from_slice(mc_eff, ncols, mc_eff.max(1), &mut slot.staging);
+    gebp_slivers(kernel, alpha, &slot.pa, panel, s0, ncols, &mut tile);
 }
 
 /// Enqueue one job covering `slots` (one slot in dynamic mode, a whole
@@ -592,7 +652,6 @@ fn submit_run<T: PoolScalar, K: KernelSet<T>>(
     alpha: T,
     slots: Vec<BlockSlot<T>>,
     panel: Arc<PackedB<T>>,
-    nc_eff: usize,
     tx: Sender<Done<T>>,
     seq: u64,
 ) {
@@ -606,9 +665,9 @@ fn submit_run<T: PoolScalar, K: KernelSet<T>>(
         };
         telemetry::set_gepp(seq);
         while let Some(mut slot) = guard.todo.pop() {
-            telemetry::set_block(slot.row0);
+            telemetry::set_cell(slot.row0, slot.col0);
             let ok = catch_unwind(AssertUnwindSafe(|| {
-                run_block(kernel, alpha, &mut slot, &panel, nc_eff);
+                run_block(kernel, alpha, &mut slot, &panel);
             }))
             .is_ok();
             guard.finished.push((slot, !ok));
@@ -737,46 +796,44 @@ fn drain_epoch<T: Scalar>(
     out
 }
 
-/// Copy the block's rows of the C panel into the slot's staging buffer.
-/// Fallible: staging grows with `try_reserve`.
+/// Copy the cell's rows/columns of the C panel into the slot's staging
+/// buffer (the slot's `row0/mc_eff/col0/ncols` must be set). Fallible:
+/// staging grows with `try_reserve`.
 fn stage_in<T: Scalar>(
     slot: &mut BlockSlot<T>,
     c: &mut MatrixViewMut<'_, T>,
     jj: usize,
-    nc_eff: usize,
 ) -> Result<(), GemmError> {
     let mc_eff = slot.mc_eff;
+    let ncols = slot.ncols;
     slot.staging.clear();
-    if crate::faults::fail_alloc() || slot.staging.try_reserve(mc_eff * nc_eff).is_err() {
+    if crate::faults::fail_alloc() || slot.staging.try_reserve(mc_eff * ncols).is_err() {
         return Err(GemmError::AllocFailure { what: "C staging" });
     }
-    let mut band = c.sub_mut(slot.row0, jj, mc_eff, nc_eff);
-    for j in 0..nc_eff {
+    let mut band = c.sub_mut(slot.row0, jj + slot.col0, mc_eff, ncols);
+    for j in 0..ncols {
         slot.staging.extend_from_slice(band.col_mut(j));
     }
     Ok(())
 }
 
-fn stage_out<T: Scalar>(
-    slot: &BlockSlot<T>,
-    c: &mut MatrixViewMut<'_, T>,
-    jj: usize,
-    nc_eff: usize,
-) {
+fn stage_out<T: Scalar>(slot: &BlockSlot<T>, c: &mut MatrixViewMut<'_, T>, jj: usize) {
     let mc_eff = slot.mc_eff;
-    let mut band = c.sub_mut(slot.row0, jj, mc_eff, nc_eff);
-    for j in 0..nc_eff {
+    let mut band = c.sub_mut(slot.row0, jj + slot.col0, mc_eff, slot.ncols);
+    for j in 0..slot.ncols {
         band.col_mut(j)
             .copy_from_slice(&slot.staging[j * mc_eff..(j + 1) * mc_eff]);
     }
 }
 
 /// Pack one `mc_eff × kc_eff` block of `op(A)` fallibly and GEBP it
-/// against `panel`, degrading to halved row chunks when the packing
-/// buffer cannot grow. Bit-identical to the one-shot pack: every
-/// (A-sliver, B-sliver) pair still gets exactly one kernel call with
-/// the same operand values, and each C element's k-accumulation order
-/// is unchanged. `tile` is the `mc_eff × panel.nc()` destination.
+/// against the `(s0, cols)` whole-sliver column range of `panel`
+/// (full width: `(0, panel.nc())`), degrading to halved row chunks
+/// when the packing buffer cannot grow. Bit-identical to the one-shot
+/// pack: every (A-sliver, B-sliver) pair still gets exactly one kernel
+/// call with the same operand values, and each C element's
+/// k-accumulation order is unchanged. `tile` is the `mc_eff × cols`
+/// destination.
 #[allow(clippy::too_many_arguments)]
 fn gebp_block_resilient<T: Scalar, K: KernelSet<T>>(
     kernel: K,
@@ -789,19 +846,20 @@ fn gebp_block_resilient<T: Scalar, K: KernelSet<T>>(
     kc_eff: usize,
     pa: &mut PackedA<T>,
     panel: &PackedB<T>,
+    s0: usize,
+    cols: usize,
     tile: &mut TileMut<'_, T>,
 ) -> Result<(), GemmError> {
     crate::faults::panic_in_job();
     let mr = kernel.mr().max(1);
-    let nc = panel.nc();
     let mut chunk = mc_eff;
     let mut r = 0usize;
     while r < mc_eff {
         let rows = chunk.min(mc_eff - r);
         match pa.try_pack(a, transa, row0 + r, kk, rows, kc_eff) {
             Ok(()) => {
-                let mut sub = tile.sub_tile(r, 0, rows, nc);
-                gebp(kernel, alpha, pa, panel, &mut sub);
+                let mut sub = tile.sub_tile(r, 0, rows, cols);
+                gebp_slivers(kernel, alpha, pa, panel, s0, cols, &mut sub);
                 r += rows;
             }
             Err(e) => {
@@ -872,53 +930,67 @@ fn run_epoch_inline<T: PoolScalar, K: KernelSet<T>>(
     kk: usize,
     kc_eff: usize,
     jj: usize,
-    nc_eff: usize,
 ) -> Result<Vec<usize>, GemmError> {
     let mut panicked = vec![false; slots.len()];
-    pack_panel_resilient(
-        panel,
-        b,
-        transb,
-        kk,
-        jj,
-        kc_eff,
-        nc_eff,
-        kernel.nr(),
-        |c0, pchunk| {
-            for (idx, slot) in slots.iter_mut().enumerate() {
-                if panicked[idx] {
-                    continue;
+    // B is packed once per distinct cell column range (several mc-row
+    // cells share one), sized to the range. Cells consume each packed
+    // chunk full-width rather than sliver-addressing a shared panel:
+    // resilient pack chunks may start mid-sliver, where a sliver range
+    // cannot point.
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for slot in slots.iter() {
+        if !ranges.contains(&(slot.col0, slot.ncols)) {
+            ranges.push((slot.col0, slot.ncols));
+        }
+    }
+    for (col0, ncols) in ranges {
+        pack_panel_resilient(
+            panel,
+            b,
+            transb,
+            kk,
+            jj + col0,
+            kc_eff,
+            ncols,
+            kernel.nr(),
+            |c0, pchunk| {
+                for (idx, slot) in slots.iter_mut().enumerate() {
+                    if panicked[idx] || slot.col0 != col0 || slot.ncols != ncols {
+                        continue;
+                    }
+                    let entry = slot.entry;
+                    let row0 = slot.row0;
+                    let mc_eff = slot.mc_eff;
+                    let BlockSlot { pa, staging, .. } = slot;
+                    let mut tile = TileMut::from_slice(mc_eff, ncols, mc_eff.max(1), staging);
+                    let mut sub = tile.sub_tile(0, c0, mc_eff, pchunk.nc());
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        gebp_block_resilient(
+                            kernel,
+                            alpha,
+                            &a_batch[entry],
+                            transa,
+                            row0,
+                            kk,
+                            mc_eff,
+                            kc_eff,
+                            pa,
+                            pchunk,
+                            0,
+                            pchunk.nc(),
+                            &mut sub,
+                        )
+                    }));
+                    match result {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => return Err(e),
+                        Err(_) => panicked[idx] = true,
+                    }
                 }
-                let entry = slot.entry;
-                let row0 = slot.row0;
-                let mc_eff = slot.mc_eff;
-                let BlockSlot { pa, staging, .. } = slot;
-                let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), staging);
-                let mut sub = tile.sub_tile(0, c0, mc_eff, pchunk.nc());
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    gebp_block_resilient(
-                        kernel,
-                        alpha,
-                        &a_batch[entry],
-                        transa,
-                        row0,
-                        kk,
-                        mc_eff,
-                        kc_eff,
-                        pa,
-                        pchunk,
-                        &mut sub,
-                    )
-                }));
-                match result {
-                    Ok(Ok(())) => {}
-                    Ok(Err(e)) => return Err(e),
-                    Err(_) => panicked[idx] = true,
-                }
-            }
-            Ok(())
-        },
-    )?;
+                Ok(())
+            },
+        )?;
+    }
     Ok(panicked
         .iter()
         .enumerate()
@@ -926,10 +998,11 @@ fn run_epoch_inline<T: PoolScalar, K: KernelSet<T>>(
         .collect())
 }
 
-/// Recompute one block from scratch after a fault: re-stage its rows
-/// from C (untouched since the panel's `stage_in`) and replay epochs
-/// `0..kk_end` serially — the same kernel calls in the same order as
-/// the undamaged path, so the recovered block is bit-identical. A panic
+/// Recompute one grid cell from scratch after a fault: re-stage its
+/// rows/columns from C (untouched since the panel's `stage_in`) and
+/// replay epochs `0..kk_end` serially, packing B only for the cell's
+/// own column range — the same kernel calls in the same order as the
+/// undamaged path, so the recovered cell is bit-identical. A panic
 /// during the replay is the double fault reported as
 /// [`GemmError::WorkerFault`].
 #[cold]
@@ -945,7 +1018,6 @@ fn recover_block<T: PoolScalar, K: KernelSet<T>>(
     kernel: K,
     kc: usize,
     jj: usize,
-    nc_eff: usize,
     kk_end: usize,
     k: usize,
     slot: &mut BlockSlot<T>,
@@ -955,8 +1027,10 @@ fn recover_block<T: PoolScalar, K: KernelSet<T>>(
     let entry = slot.entry;
     let row0 = slot.row0;
     let mc_eff = slot.mc_eff;
-    telemetry::set_block(row0);
-    stage_in(slot, c, jj, nc_eff)?;
+    let col0 = slot.col0;
+    let ncols = slot.ncols;
+    telemetry::set_cell(row0, col0);
+    stage_in(slot, c, jj)?;
     let BlockSlot { pa, staging, .. } = slot;
     let mut kk = 0usize;
     while kk < kk_end {
@@ -966,16 +1040,28 @@ fn recover_block<T: PoolScalar, K: KernelSet<T>>(
             b,
             transb,
             kk,
-            jj,
+            jj + col0,
             kc_eff,
-            nc_eff,
+            ncols,
             kernel.nr(),
             |c0, pchunk| {
-                let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), staging);
+                let mut tile = TileMut::from_slice(mc_eff, ncols, mc_eff.max(1), staging);
                 let mut sub = tile.sub_tile(0, c0, mc_eff, pchunk.nc());
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     gebp_block_resilient(
-                        kernel, alpha, a, transa, row0, kk, mc_eff, kc_eff, pa, pchunk, &mut sub,
+                        kernel,
+                        alpha,
+                        a,
+                        transa,
+                        row0,
+                        kk,
+                        mc_eff,
+                        kc_eff,
+                        pa,
+                        pchunk,
+                        0,
+                        pchunk.nc(),
+                        &mut sub,
                     )
                 }));
                 match result {
@@ -1044,7 +1130,18 @@ fn serial_tail<T: PoolScalar, K: KernelSet<T>>(
                             let mut sub = tile.sub_tile(ii, 0, mc_eff, pchunk.nc());
                             let result = catch_unwind(AssertUnwindSafe(|| {
                                 gebp_block_resilient(
-                                    kernel, alpha, a, transa, ii, kk, mc_eff, kc_eff, pa, pchunk,
+                                    kernel,
+                                    alpha,
+                                    a,
+                                    transa,
+                                    ii,
+                                    kk,
+                                    mc_eff,
+                                    kc_eff,
+                                    pa,
+                                    pchunk,
+                                    0,
+                                    pchunk.nc(),
                                     &mut sub,
                                 )
                             }));
@@ -1073,9 +1170,10 @@ fn serial_tail<T: PoolScalar, K: KernelSet<T>>(
 }
 
 /// Cold path of [`gemm_pooled`]: packed-A memory was unavailable at
-/// full size, so the block runs inline in smaller chunks against the
-/// shared panel (still under `catch_unwind`). `Ok(true)` means the
-/// block completed; `Ok(false)` means it panicked and must be recovered
+/// full size, so the cell runs inline in smaller chunks against the
+/// shared (or cached) panel, addressing its own whole-sliver column
+/// range (still under `catch_unwind`). `Ok(true)` means the cell
+/// completed; `Ok(false)` means it panicked and must be recovered
 /// from C.
 #[cold]
 #[inline(never)]
@@ -1087,17 +1185,18 @@ fn run_slot_inline_chunked<T: PoolScalar, K: KernelSet<T>>(
     transa: Transpose,
     kk: usize,
     kc_eff: usize,
-    nc_eff: usize,
     panel: &PackedB<T>,
     slot: &mut BlockSlot<T>,
 ) -> Result<bool, GemmError> {
     let row0 = slot.row0;
     let mc_eff = slot.mc_eff;
+    let ncols = slot.ncols;
+    let s0 = slot.col0 / panel.nr().max(1);
     let BlockSlot { pa, staging, .. } = slot;
-    let mut tile = TileMut::from_slice(mc_eff, nc_eff, mc_eff.max(1), staging);
+    let mut tile = TileMut::from_slice(mc_eff, ncols, mc_eff.max(1), staging);
     let result = catch_unwind(AssertUnwindSafe(|| {
         gebp_block_resilient(
-            kernel, alpha, a, transa, row0, kk, mc_eff, kc_eff, pa, panel, &mut tile,
+            kernel, alpha, a, transa, row0, kk, mc_eff, kc_eff, pa, panel, s0, ncols, &mut tile,
         )
     }));
     match result {
@@ -1116,17 +1215,16 @@ struct SettleCtx<T: Scalar> {
     alpha: T,
     kc: usize,
     jj: usize,
-    nc_eff: usize,
     kk_end: usize,
     k: usize,
     epoch_timeout: Option<Duration>,
 }
 
 /// Cold path of [`gemm_pooled`]: the epoch ended with panicked, stale,
-/// inline-failed, or missing blocks (or the watchdog fired). Recycles
-/// stale slots, recomputes every lost block from C bit-identically
-/// ([`recover_block`]), and records the soft error; timeouts flip the
-/// call into degraded (inline) mode.
+/// inline-failed, or missing grid cells (or the watchdog fired).
+/// Recycles stale slots, recomputes every lost cell from C
+/// bit-identically ([`recover_block`]), and records the soft error;
+/// timeouts flip the call into degraded (inline) mode.
 #[cold]
 #[inline(never)]
 #[allow(clippy::too_many_arguments)]
@@ -1136,7 +1234,7 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
     mut outcome: EpochOutcome<T>,
     mut inline_failures: Vec<usize>,
     slots: &mut Vec<BlockSlot<T>>,
-    meta: &[(usize, usize, usize)],
+    meta: &[CellId],
     total: usize,
     ctx: SettleCtx<T>,
     a_batch: &[MatrixView<'_, T>],
@@ -1152,7 +1250,6 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
         alpha,
         kc,
         jj,
-        nc_eff,
         kk_end,
         k,
         epoch_timeout,
@@ -1185,7 +1282,6 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
             kernel,
             kc,
             jj,
-            nc_eff,
             kk_end,
             k,
             &mut slot,
@@ -1206,13 +1302,17 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
         slots.push(slot);
     }
 
-    // Timeout (or a lost done): identify blocks that never came back,
-    // recompute them from C in fresh slots, and go degraded for the
-    // rest of the call.
+    // Timeout (or a lost done): identify grid cells that never came
+    // back, recompute them from C in fresh slots, and go degraded for
+    // the rest of the call.
     if slots.len() < total {
-        let missing: Vec<(usize, usize, usize)> = meta
+        let missing: Vec<CellId> = meta
             .iter()
-            .filter(|(e, r, _)| !slots.iter().any(|s| s.entry == *e && s.row0 == *r))
+            .filter(|cell| {
+                !slots
+                    .iter()
+                    .any(|s| s.entry == cell.entry && s.row0 == cell.row0 && s.col0 == cell.col0)
+            })
             .copied()
             .collect();
         if outcome.timed_out {
@@ -1227,11 +1327,14 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
                 });
             }
         }
-        for (entry, row0, mc_eff) in missing {
+        for cell in missing {
+            let entry = cell.entry;
             let mut slot = arena.take_slot(kernel.mr());
             slot.entry = entry;
-            slot.row0 = row0;
-            slot.mc_eff = mc_eff;
+            slot.row0 = cell.row0;
+            slot.mc_eff = cell.mc_eff;
+            slot.col0 = cell.col0;
+            slot.ncols = cell.ncols;
             let mut scratch = arena.take_panel(kernel.nr());
             let recovered = recover_block(
                 transa,
@@ -1243,7 +1346,6 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
                 kernel,
                 kc,
                 jj,
-                nc_eff,
                 kk_end,
                 k,
                 &mut slot,
@@ -1273,8 +1375,14 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
 /// workers instead of packing B — the panels must have been built for
 /// exactly this `(transb, nr, kc, nc)` geometry.
 ///
-/// Faults are contained per block (see the module docs): `Ok(())` means
-/// C holds the bit-exact serial result, possibly via recovery;
+/// `n_split` is the column-wise grid factor chosen by
+/// [`crate::dispatch`]: each `jj` panel splits into up to `n_split`
+/// whole-sliver column chunks ([`grid_cols`]) and every
+/// `(entry, mc-block, chunk)` cell becomes its own schedulable job.
+/// `n_split == 1` reproduces the historical M-band schedule exactly.
+///
+/// Faults are contained per grid cell (see the module docs): `Ok(())`
+/// means C holds the bit-exact serial result, possibly via recovery;
 /// [`GemmError::EpochTimeout`] means the same but an epoch stalled past
 /// `epoch_timeout`; any other error means C is unspecified.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature plus the batch
@@ -1288,6 +1396,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
     kernel: K,
     blocks: BlockSizes,
     degree: usize,
+    n_split: usize,
     epoch_timeout: Option<Duration>,
     prepacked: Option<&PrepackedB<T>>,
 ) -> Result<(), GemmError> {
@@ -1320,25 +1429,33 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
         let mut jj = 0usize;
         while jj < n {
             let nc_eff = nc.min(n - jj);
+            // The panel's column chunks: one full-width chunk in 1-D
+            // mode, up to n_split whole-sliver chunks in grid mode.
+            let col_chunks = grid_cols(nc_eff, kernel.nr(), n_split);
 
-            // Stage in: one slot per (entry, mc-block) holds its rows of
-            // the C panel across every kk epoch, so the accumulation
-            // order matches the serial path bit for bit.
+            // Stage in: one slot per (entry, mc-block, column chunk)
+            // holds its cell of the C panel across every kk epoch, so
+            // the accumulation order matches the serial path bit for
+            // bit (cells cover disjoint C elements).
             let mut staged = true;
             'stage: for (entry, c) in c_batch.iter_mut().enumerate() {
                 let mut ii = 0usize;
                 while ii < m {
                     let mc_eff = mc.min(m - ii);
-                    let mut slot = arena.take_slot(kernel.mr());
-                    slot.entry = entry;
-                    slot.row0 = ii;
-                    slot.mc_eff = mc_eff;
-                    if stage_in(&mut slot, c, jj, nc_eff).is_err() {
-                        arena.put_slot(slot);
-                        staged = false;
-                        break 'stage;
+                    for &(col0, ncols) in &col_chunks {
+                        let mut slot = arena.take_slot(kernel.mr());
+                        slot.entry = entry;
+                        slot.row0 = ii;
+                        slot.mc_eff = mc_eff;
+                        slot.col0 = col0;
+                        slot.ncols = ncols;
+                        if stage_in(&mut slot, c, jj).is_err() {
+                            arena.put_slot(slot);
+                            staged = false;
+                            break 'stage;
+                        }
+                        slots.push(slot);
                     }
-                    slots.push(slot);
                     ii += mc_eff;
                 }
             }
@@ -1357,14 +1474,22 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
 
             let total = slots.len();
             let workers = degree.min(total);
-            // Static contiguous bands when the blocks divide evenly
+            // Static contiguous bands when the cells divide evenly
             // (the partition_rows assignment); otherwise dynamic: one
-            // job per block, workers race to pull them.
+            // job per cell, workers race to pull them.
             let static_bands = workers > 1 && total.is_multiple_of(workers);
-            // Block identities for this panel, so blocks lost to a
+            // Cell identities for this panel, so cells lost to a
             // timeout can be identified and recomputed.
-            let meta: Vec<(usize, usize, usize)> =
-                slots.iter().map(|s| (s.entry, s.row0, s.mc_eff)).collect();
+            let meta: Vec<CellId> = slots
+                .iter()
+                .map(|s| CellId {
+                    entry: s.entry,
+                    row0: s.row0,
+                    col0: s.col0,
+                    mc_eff: s.mc_eff,
+                    ncols: s.ncols,
+                })
+                .collect();
 
             let mut kk = 0usize;
             while kk < k {
@@ -1372,6 +1497,9 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                 let kk_end = kk + kc_eff;
                 seq += 1;
                 telemetry::set_gepp(seq);
+                if col_chunks.len() > 1 {
+                    RT.grid_epochs.fetch_add(1, Ordering::Relaxed);
+                }
                 // Health check: respawn workers that died since the last
                 // epoch (no-op fast path when everyone is alive).
                 if !degraded {
@@ -1390,7 +1518,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                 // panel packed fresh. A degraded (post-timeout) call
                 // skips the pool but can still run inline against the
                 // cached tile.
-                let cached = prepacked.map(|pp| pp.panel_arc(jj, kk));
+                let cached = prepacked.map(|pp| pp.tile_range(jj, kk, &col_chunks));
                 let shared: Option<Arc<PackedB<T>>> = if degraded {
                     None
                 } else if let Some(arc) = cached {
@@ -1417,9 +1545,9 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     for mut slot in slots.drain(..) {
                         // The caller packs A (workers cannot read the
                         // borrowed operand); each job ships as soon as its
-                        // blocks are packed, pipelining pack against
+                        // cells are packed, pipelining pack against
                         // compute.
-                        telemetry::set_block(slot.row0);
+                        telemetry::set_cell(slot.row0, slot.col0);
                         let packed = slot.pa.try_pack(
                             &a_batch[slot.entry],
                             transa,
@@ -1439,7 +1567,6 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                                         alpha,
                                         std::mem::replace(&mut run, Vec::with_capacity(run_len)),
                                         Arc::clone(&panel),
-                                        nc_eff,
                                         done_tx.clone(),
                                         seq,
                                     );
@@ -1447,7 +1574,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                             }
                             Err(_) => {
                                 // Packed-A memory unavailable at full
-                                // size: compute this block inline in
+                                // size: compute this cell inline in
                                 // smaller chunks against the shared
                                 // panel.
                                 if run_slot_inline_chunked(
@@ -1457,7 +1584,6 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                                     transa,
                                     kk,
                                     kc_eff,
-                                    nc_eff,
                                     &panel,
                                     &mut slot,
                                 )? {
@@ -1476,7 +1602,6 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                             alpha,
                             run,
                             Arc::clone(&panel),
-                            nc_eff,
                             done_tx.clone(),
                             seq,
                         );
@@ -1500,7 +1625,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     // already packed, so run each block inline against it
                     // (never mutating or reclaiming it).
                     for (idx, slot) in slots.iter_mut().enumerate() {
-                        telemetry::set_block(slot.row0);
+                        telemetry::set_cell(slot.row0, slot.col0);
                         let ok = run_slot_inline_chunked(
                             kernel,
                             alpha,
@@ -1508,7 +1633,6 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                             transa,
                             kk,
                             kc_eff,
-                            nc_eff,
                             arc,
                             slot,
                         )?;
@@ -1523,7 +1647,7 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     let mut panel = arena.take_panel(kernel.nr());
                     inline_failures = run_epoch_inline(
                         kernel, alpha, a_batch, transa, b, transb, &mut slots, &mut panel, kk,
-                        kc_eff, jj, nc_eff,
+                        kc_eff, jj,
                     )?;
                     arena.put_panel(panel);
                 }
@@ -1550,7 +1674,6 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                             alpha,
                             kc,
                             jj,
-                            nc_eff,
                             kk_end,
                             k,
                             epoch_timeout,
@@ -1564,14 +1687,14 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
                     )?;
                 }
 
-                // Deterministic block order for the next epoch's static
+                // Deterministic cell order for the next epoch's static
                 // bands (dones arrive in completion order).
-                slots.sort_unstable_by_key(|s| (s.entry, s.row0));
+                slots.sort_unstable_by_key(|s| (s.entry, s.row0, s.col0));
                 kk += kc_eff;
             }
 
             for slot in std::mem::take(&mut slots) {
-                stage_out(&slot, &mut c_batch[slot.entry], jj, nc_eff);
+                stage_out(&slot, &mut c_batch[slot.entry], jj);
                 arena.put_slot(slot);
             }
             jj += nc_eff;
@@ -1678,7 +1801,34 @@ mod tests {
             status.workers_started,
             status.workers_alive as u64 + status.deaths
         );
-        assert_eq!(status, super::status());
+        // Another test may publish a dispatch decision between the two
+        // reads; compare everything except that racy field.
+        let mut again = super::status();
+        again.last_dispatch = status.last_dispatch;
+        again.epochs_served = status.epochs_served;
+        again.faults_contained = status.faults_contained;
+        again.timeouts = status.timeouts;
+        assert_eq!(status.workers_alive, again.workers_alive);
+        assert_eq!(status.deaths, again.deaths);
+    }
+
+    #[test]
+    fn grid_cols_tiles_the_panel_in_whole_slivers() {
+        // Exact split: 96 columns, nr=6, 4 chunks of 4 slivers each.
+        let cells = grid_cols(96, 6, 4);
+        assert_eq!(cells, vec![(0, 24), (24, 24), (48, 24), (72, 24)]);
+        // Ragged: 100 columns -> last cell keeps the 4-column remainder.
+        let cells = grid_cols(100, 6, 4);
+        assert_eq!(cells.iter().map(|&(_, w)| w).sum::<usize>(), 100);
+        assert!(cells.iter().all(|&(c0, _)| c0 % 6 == 0));
+        assert_eq!(cells.last(), Some(&(90, 10)));
+        // n_split=1 is the historical 1-D schedule: one full-width cell.
+        assert_eq!(grid_cols(100, 6, 1), vec![(0, 100)]);
+        // More chunks than slivers clamps to one sliver per cell.
+        let cells = grid_cols(12, 6, 8);
+        assert_eq!(cells, vec![(0, 6), (6, 6)]);
+        // Degenerate panel narrower than one sliver.
+        assert_eq!(grid_cols(5, 6, 3), vec![(0, 5)]);
     }
 
     #[test]

@@ -147,6 +147,29 @@ impl<T: Scalar> PrepackedB<T> {
         &self.panels[(jj / self.nc) * k_tiles + kk / self.kc]
     }
 
+    /// Hand the tile covering `(jj, kk)` out to a set of 2-D grid cells:
+    /// each `(col0, ncols)` pair is a cell's column range *within the
+    /// tile*, which must be a whole-sliver (`nr`-aligned) sub-range so
+    /// the cells can address the shared packed data as sliver ranges
+    /// ([`crate::gebp::gebp_slivers`]). Debug-checked here, at the one
+    /// seam where cache-owned panels meet the grid schedule.
+    #[must_use]
+    pub(crate) fn tile_range(
+        &self,
+        jj: usize,
+        kk: usize,
+        cells: &[(usize, usize)],
+    ) -> &Arc<PackedB<T>> {
+        let arc = self.panel_arc(jj, kk);
+        debug_assert!(
+            cells
+                .iter()
+                .all(|&(col0, w)| col0 % self.nr == 0 && col0 + w <= arc.nc()),
+            "grid cell column range not sliver-aligned within the cached tile"
+        );
+        arc
+    }
+
     /// Whether this set was packed for exactly this geometry.
     #[must_use]
     pub fn matches(

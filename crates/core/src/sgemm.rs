@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+use crate::dispatch::DispatchMode;
 use crate::gemm::gemm_with;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::SgemmKernelKind;
@@ -42,6 +43,10 @@ pub struct SgemmConfig {
     /// B (see [`crate::gemm::GemmConfig::pack_cache`]); each element
     /// type has its own process-wide cache.
     pub pack_cache: bool,
+    /// Shape-adaptive dispatch (see
+    /// [`crate::gemm::GemmConfig::dispatch`]); the calibration and
+    /// decision machinery is shared with DGEMM.
+    pub dispatch: DispatchMode,
 }
 
 /// The paper's machine re-described for f32 elements.
@@ -77,6 +82,7 @@ impl SgemmConfig {
             parallelism: Parallelism::from_threads(threads),
             epoch_timeout: None,
             pack_cache: false,
+            dispatch: DispatchMode::Fixed,
         }
     }
 
@@ -107,6 +113,13 @@ impl SgemmConfig {
     #[must_use]
     pub fn with_pack_cache(mut self, enabled: bool) -> Self {
         self.pack_cache = enabled;
+        self
+    }
+
+    /// Same configuration with an explicit [`DispatchMode`].
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -173,6 +186,7 @@ pub fn sgemm(
         cfg.parallelism,
         cfg.epoch_timeout,
         cfg.pack_cache,
+        cfg.dispatch,
     )
 }
 

@@ -148,6 +148,12 @@ pub(crate) struct RuntimeCounters {
     pub(crate) faults_contained: AtomicU64,
     /// Epochs abandoned at the watchdog deadline.
     pub(crate) timeouts: AtomicU64,
+    /// Dispatch decisions that chose the serial runtime.
+    pub(crate) dispatch_serial: AtomicU64,
+    /// Dispatch decisions that chose the pool runtime.
+    pub(crate) dispatch_pool: AtomicU64,
+    /// Epochs scheduled as a 2-D grid (`n_split > 1` column chunks).
+    pub(crate) grid_epochs: AtomicU64,
 }
 
 pub(crate) static RT: RuntimeCounters = RuntimeCounters {
@@ -159,6 +165,9 @@ pub(crate) static RT: RuntimeCounters = RuntimeCounters {
     spawn_failures: AtomicU64::new(0),
     faults_contained: AtomicU64::new(0),
     timeouts: AtomicU64::new(0),
+    dispatch_serial: AtomicU64::new(0),
+    dispatch_pool: AtomicU64::new(0),
+    grid_epochs: AtomicU64::new(0),
 };
 
 // ---------------------------------------------------------------------
@@ -260,6 +269,13 @@ pub struct RuntimeSnapshot {
     pub faults_contained: u64,
     /// Epochs abandoned at the watchdog deadline (watchdog fires).
     pub timeouts: u64,
+    /// Dispatch decisions that chose the serial runtime
+    /// (see [`crate::dispatch`]).
+    pub dispatch_serial: u64,
+    /// Dispatch decisions that chose the pool runtime.
+    pub dispatch_pool: u64,
+    /// Epochs scheduled as a 2-D grid (`n_split > 1` column chunks).
+    pub grid_epochs: u64,
 }
 
 impl RuntimeSnapshot {
@@ -280,6 +296,9 @@ fn runtime_snapshot() -> RuntimeSnapshot {
         spawn_failures: RT.spawn_failures.load(Ordering::Relaxed),
         faults_contained: RT.faults_contained.load(Ordering::Relaxed),
         timeouts: RT.timeouts.load(Ordering::Relaxed),
+        dispatch_serial: RT.dispatch_serial.load(Ordering::Relaxed),
+        dispatch_pool: RT.dispatch_pool.load(Ordering::Relaxed),
+        grid_epochs: RT.grid_epochs.load(Ordering::Relaxed),
     }
 }
 
@@ -297,6 +316,9 @@ pub struct TraceEvent {
     pub gepp: u64,
     /// First row of the `mc`-block current when the span closed.
     pub block_row0: u64,
+    /// First column (within the `jj` panel) of the grid cell current
+    /// when the span closed; 0 in 1-D (M-band) mode.
+    pub block_col0: u64,
     /// Span start, nanoseconds on the process-wide monotonic clock.
     pub start_ns: u64,
     /// Span duration in nanoseconds.
@@ -458,7 +480,7 @@ pub fn reset() {
 
 pub(crate) use record::{
     add_flops, add_packed_a_bytes, add_packed_b_bytes, count_arena_fresh, count_arena_hit,
-    count_block, count_steal, set_block, set_gepp, span,
+    count_block, count_steal, set_block, set_cell, set_gepp, span,
 };
 
 #[cfg(feature = "telemetry")]
@@ -480,6 +502,7 @@ mod record {
         phase1: AtomicU64,
         gepp: AtomicU64,
         block_row0: AtomicU64,
+        block_col0: AtomicU64,
         start_ns: AtomicU64,
         dur_ns: AtomicU64,
     }
@@ -495,9 +518,10 @@ mod record {
         arena_fresh: AtomicU64,
         phase_ns: [AtomicU64; PHASES],
         phase_hits: [AtomicU64; PHASES],
-        /// Current GEPP iteration / `mc`-block context (owner-written).
+        /// Current GEPP iteration / grid-cell context (owner-written).
         gepp: AtomicU64,
         block_row0: AtomicU64,
+        block_col0: AtomicU64,
         /// Next ring index (monotone; wraps modulo `RING_LEN`).
         head: AtomicU64,
         ring: Vec<RingEntry>,
@@ -518,6 +542,7 @@ mod record {
                 phase_hits: Default::default(),
                 gepp: AtomicU64::new(0),
                 block_row0: AtomicU64::new(0),
+                block_col0: AtomicU64::new(0),
                 head: AtomicU64::new(0),
                 ring: (0..RING_LEN).map(|_| RingEntry::default()).collect(),
             }
@@ -539,6 +564,7 @@ mod record {
             }
             self.gepp.store(0, Ordering::Relaxed);
             self.block_row0.store(0, Ordering::Relaxed);
+            self.block_col0.store(0, Ordering::Relaxed);
             self.head.store(0, Ordering::Relaxed);
             for e in &self.ring {
                 e.phase1.store(0, Ordering::Relaxed);
@@ -672,10 +698,21 @@ mod record {
         with_slot(|s| s.gepp.store(seq, Ordering::Relaxed));
     }
 
-    /// Tag subsequent spans with the current `mc`-block's first row.
+    /// Tag subsequent spans with the current `mc`-block's first row
+    /// (1-D schedules: the cell is the whole panel width).
     #[inline]
     pub(crate) fn set_block(row0: usize) {
-        with_slot(|s| s.block_row0.store(row0 as u64, Ordering::Relaxed));
+        set_cell(row0, 0);
+    }
+
+    /// Tag subsequent spans with the current grid cell: the `mc`-block's
+    /// first row and the cell's first column within its `jj` panel.
+    #[inline]
+    pub(crate) fn set_cell(row0: usize, col0: usize) {
+        with_slot(|s| {
+            s.block_row0.store(row0 as u64, Ordering::Relaxed);
+            s.block_col0.store(col0 as u64, Ordering::Relaxed);
+        });
     }
 
     /// RAII phase timer: created at phase entry, records on drop.
@@ -699,6 +736,8 @@ mod record {
                     .store(s.gepp.load(Ordering::Relaxed), Ordering::Relaxed);
                 e.block_row0
                     .store(s.block_row0.load(Ordering::Relaxed), Ordering::Relaxed);
+                e.block_col0
+                    .store(s.block_col0.load(Ordering::Relaxed), Ordering::Relaxed);
                 e.start_ns.store(self.start, Ordering::Relaxed);
                 e.dur_ns.store(dur, Ordering::Relaxed);
                 e.phase1.store(idx as u64 + 1, Ordering::Relaxed);
@@ -733,6 +772,7 @@ mod record {
                             phase,
                             gepp: e.gepp.load(Ordering::Relaxed),
                             block_row0: e.block_row0.load(Ordering::Relaxed),
+                            block_col0: e.block_col0.load(Ordering::Relaxed),
                             start_ns: e.start_ns.load(Ordering::Relaxed),
                             dur_ns: e.dur_ns.load(Ordering::Relaxed),
                         })
@@ -794,13 +834,23 @@ mod record {
         #[test]
         fn spans_carry_context() {
             set_gepp(7);
-            set_block(112);
+            set_cell(112, 48);
+            drop(span(Phase::PackA));
+            let snaps = thread_snapshots();
+            assert!(snaps
+                .iter()
+                .any(|t| t.trace.iter().any(|e| e.phase == Phase::PackA
+                    && e.gepp == 7
+                    && e.block_row0 == 112
+                    && e.block_col0 == 48)));
+            // set_block is the 1-D shorthand: it must clear the column.
+            set_block(24);
             drop(span(Phase::PackA));
             let snaps = thread_snapshots();
             assert!(snaps.iter().any(|t| t
                 .trace
                 .iter()
-                .any(|e| e.phase == Phase::PackA && e.gepp == 7 && e.block_row0 == 112)));
+                .any(|e| e.block_row0 == 24 && e.block_col0 == 0)));
         }
     }
 }
@@ -828,6 +878,8 @@ mod record {
     pub(crate) fn set_gepp(_seq: u64) {}
     #[inline(always)]
     pub(crate) fn set_block(_row0: usize) {}
+    #[inline(always)]
+    pub(crate) fn set_cell(_row0: usize, _col0: usize) {}
 
     /// Zero-sized stand-in for the enabled build's RAII timer.
     pub(crate) struct SpanGuard;
@@ -1140,7 +1192,8 @@ impl GemmReport {
              \"invalidations\":{},\"bytes_saved\":{}}},\
              \"runtime\":{{\"tasks\":{},\"dynamic_epochs\":{},\"static_epochs\":{},\
              \"deaths\":{},\"respawns\":{},\"spawn_failures\":{},\"faults_contained\":{},\
-             \"timeouts\":{}}},\"threads_detail\":[{}]}}",
+             \"timeouts\":{},\"dispatch_serial\":{},\"dispatch_pool\":{},\
+             \"grid_epochs\":{}}},\"threads_detail\":[{}]}}",
             self.m,
             self.n,
             self.k,
@@ -1176,6 +1229,9 @@ impl GemmReport {
             rt.spawn_failures,
             rt.faults_contained,
             rt.timeouts,
+            rt.dispatch_serial,
+            rt.dispatch_pool,
+            rt.grid_epochs,
             threads_json,
         )
     }

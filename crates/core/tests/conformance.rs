@@ -24,6 +24,7 @@
 //! fault-injection features; [`auto_config_conforms_in_this_environment`]
 //! is the case that picks those env knobs up.
 
+use dgemm_core::dispatch::DispatchMode;
 use dgemm_core::gemm::{try_gemm, GemmConfig};
 use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
@@ -440,9 +441,92 @@ fn alpha_zero_never_reads_operands() {
     f64::pack_cache().invalidate(&b.view());
 }
 
-/// The environment-driven configuration (what the CI conformance
-/// matrix varies: `DGEMM_NUM_THREADS`, `DGEMM_PACK_CACHE`) conforms on
-/// a shape large enough to engage several layer-3 blocks.
+/// Shape-adaptive dispatch must never change results. Every mode —
+/// `Fixed` (historical 1-D M-bands), forced `Serial`, forced `Pool`
+/// (which runs the 2-D `(mc × nc)` task grid), and the cost-model
+/// `Auto` pick — must be bit-identical to the serial uncached run, for
+/// every kernel, cached and uncached, on shapes where `m % mc != 0`
+/// AND `n % nc != 0` AND `n % nr != 0`: ragged trailing M-band, ragged
+/// trailing `jj` panel, and a ragged trailing sliver *inside* the grid
+/// cells all at once.
+#[test]
+fn dispatch_modes_conform_on_ragged_grid_cells() {
+    for kind in MicroKernelKind::ALL {
+        let (mr, nr) = (kind.mr(), kind.nr());
+        let (kc, mc, nc) = (16, 2 * mr, 4 * nr);
+        let (m, n, k) = (2 * mc + 3, nc + 2 * nr + 1, kc + 7);
+        assert!(m % mc != 0 && n % nc != 0 && n % nr != 0);
+        let a = Matrix::random(m, k, 131);
+        let b = Matrix::random(k, n, 132);
+        let c0 = Matrix::random(m, n, 133);
+
+        // serial uncached bitwise reference
+        let mut base = c0.clone();
+        let serial = GemmConfig::for_kernel(kind, 1).with_blocks(kc, mc, nc);
+        try_gemm(
+            Transpose::No,
+            Transpose::No,
+            1.25,
+            &a.view(),
+            &b.view(),
+            -0.5,
+            &mut base.view_mut(),
+            &serial,
+        )
+        .unwrap();
+
+        for cached in [false, true] {
+            for mode in [
+                DispatchMode::Fixed,
+                DispatchMode::Serial,
+                DispatchMode::Pool,
+                DispatchMode::Auto,
+            ] {
+                let cfg = GemmConfig::for_kernel(kind, 1)
+                    .with_blocks(kc, mc, nc)
+                    .with_parallelism(Parallelism::Pool(4))
+                    .with_pack_cache(cached)
+                    .with_dispatch(mode);
+                let mut c = c0.clone();
+                try_gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    1.25,
+                    &a.view(),
+                    &b.view(),
+                    -0.5,
+                    &mut c.view_mut(),
+                    &cfg,
+                )
+                .unwrap_or_else(|e| panic!("{kind:?} {mode:?} cached={cached}: {e}"));
+                assert_eq!(
+                    c.view().data(),
+                    base.view().data(),
+                    "{kind:?} {mode:?} cached={cached} ({m}x{n}x{k}): \
+                     dispatch diverges bitwise from serial uncached"
+                );
+
+                // forced pool on this shape must actually run the 2-D
+                // grid (3 M-bands < 2×4 workers forces a column split);
+                // tolerate a concurrent test overwriting last_dispatch.
+                if mode == DispatchMode::Pool {
+                    let status = dgemm_core::pool::status();
+                    let d = status.last_dispatch.expect("decision published");
+                    if (d.m, d.n, d.k) == (m, n, k) {
+                        assert!(d.forced);
+                        assert!(d.n_split >= 2, "forced pool skipped the grid: {d:?}");
+                    }
+                }
+            }
+        }
+        f64::pack_cache().invalidate(&b.view());
+    }
+}
+
+/// The environment-driven configuration (what the CI conformance and
+/// dispatch matrices vary: `DGEMM_NUM_THREADS`, `DGEMM_PACK_CACHE`,
+/// `DGEMM_DISPATCH`) conforms on a shape large enough to engage
+/// several layer-3 blocks.
 #[test]
 fn auto_config_conforms_in_this_environment() {
     let cfg = GemmConfig::auto().expect("auto config must parse in CI environments");

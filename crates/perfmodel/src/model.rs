@@ -116,6 +116,68 @@ pub fn efficiency_lower_bound(gamma: f64, costs: &MachineCosts, psi: &OverlapFac
     perf_lower_bound(gamma, costs, psi) * costs.mu
 }
 
+/// Fixed scheduling costs of a pooled (ownership-transfer) layer-3
+/// runtime, in the same unit as [`MachineCosts`] (cycles for
+/// [`MachineCosts::xgene_cycles`]). These extend equation (4) with the
+/// terms the paper's spawn-per-GEPP schedule does not have: an epoch
+/// barrier (channel round trip + `Arc` reclaim) and a per-task
+/// enqueue/dequeue cost.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolOverheads {
+    /// Cost of one epoch barrier: panel `Arc` distribution, done-channel
+    /// round trip and the caller's drain loop wakeup.
+    pub epoch: f64,
+    /// Cost of enqueuing, stealing and returning one grid-cell task.
+    pub task: f64,
+}
+
+impl PoolOverheads {
+    /// Default overheads in cycles (≈25 µs per epoch, ≈1.5 µs per task
+    /// at the paper machine's 2.4 GHz). Deliberately conservative: the
+    /// dispatcher calibrates the *total* prediction against measured
+    /// time at runtime, so only the ratio between the terms matters.
+    #[must_use]
+    pub fn xgene_cycles() -> Self {
+        PoolOverheads {
+            epoch: 60_000.0,
+            task: 3_600.0,
+        }
+    }
+}
+
+/// Predicted execution time of the pooled runtime: equation (4) split
+/// into the part that parallelizes and the part that does not.
+///
+/// In the ownership-transfer schedule the *caller* packs A and B and
+/// stages C (`w_caller` words, serialized), while GEBP compute (`f`
+/// flops) divides over `workers`; each of the `epochs` barriers and
+/// each of the `tasks` grid cells pays a fixed cost from `overheads`.
+/// With `workers == 1` and zero overheads this reduces to
+/// [`time_bound`].
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn pooled_time_bound(
+    f: f64,
+    w_caller: f64,
+    workers: usize,
+    epochs: f64,
+    tasks: f64,
+    costs: &MachineCosts,
+    psi: &OverlapFactor,
+    overheads: &PoolOverheads,
+) -> f64 {
+    let p = workers.max(1) as f64;
+    let gamma = if w_caller > 0.0 {
+        f / w_caller
+    } else {
+        f64::INFINITY
+    };
+    f * costs.mu / p
+        + (1.0 + costs.kappa) * w_caller * costs.pi * psi.eval(gamma.min(1e18))
+        + epochs * overheads.epoch
+        + tasks * overheads.task
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +252,58 @@ mod tests {
     fn zero_words_is_pure_compute() {
         let t = time_bound(100.0, 0.0, &COSTS, &OverlapFactor::Rational { c: 1.0 });
         assert!((t - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_bound_reduces_to_serial_bound() {
+        // One worker, no scheduling overheads: the pooled predictor is
+        // exactly equation (4).
+        let psi = OverlapFactor::Rational { c: 0.4 };
+        let no_ov = PoolOverheads {
+            epoch: 0.0,
+            task: 0.0,
+        };
+        let f = 2e6;
+        let w = 3e5;
+        assert_eq!(
+            pooled_time_bound(f, w, 1, 4.0, 12.0, &COSTS, &psi, &no_ov),
+            time_bound(f, w, &COSTS, &psi)
+        );
+    }
+
+    #[test]
+    fn pooled_bound_monotone_in_workers_and_overheads() {
+        let psi = OverlapFactor::Rational { c: 0.4 };
+        let ov = PoolOverheads::xgene_cycles();
+        let f = 6.7e7; // 2·(256^3)
+        let w = 1.3e5;
+        let mut last = f64::INFINITY;
+        for p in [1, 2, 4, 8] {
+            let t = pooled_time_bound(f, w, p, 1.0, 22.0, &COSTS, &psi, &ov);
+            assert!(t < last, "more workers must predict less time");
+            last = t;
+        }
+        // More epochs/tasks predict strictly more time.
+        let base = pooled_time_bound(f, w, 4, 1.0, 8.0, &COSTS, &psi, &ov);
+        assert!(pooled_time_bound(f, w, 4, 5.0, 8.0, &COSTS, &psi, &ov) > base);
+        assert!(pooled_time_bound(f, w, 4, 1.0, 80.0, &COSTS, &psi, &ov) > base);
+    }
+
+    #[test]
+    fn pooled_bound_penalizes_tiny_epochs() {
+        // A skinny cached stream (few flops per epoch) must predict
+        // slower on the pool than serially — the shape behind the
+        // dispatcher's serial fallback.
+        let psi = OverlapFactor::Rational { c: 0.4 };
+        let ov = PoolOverheads::xgene_cycles();
+        // 8×256×256 GEMM, B cached: 24 epochs, ~8 cells each.
+        let f = 2.0 * 8.0 * 256.0 * 256.0;
+        let w_serial = 8.0 * 256.0 * 6.0; // A repacked per jj panel
+        let serial = time_bound(f, w_serial, &COSTS, &psi);
+        let pooled = pooled_time_bound(f, w_serial, 4, 24.0, 192.0, &COSTS, &psi, &ov);
+        assert!(
+            pooled > serial,
+            "pool must predict slower on overhead-dominated shapes"
+        );
     }
 }
