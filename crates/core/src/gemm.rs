@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+use crate::autotune::AutotuneMode;
 use crate::dispatch::DispatchMode;
 use crate::matrix::{MatrixView, MatrixViewMut};
 use crate::microkernel::{KernelSet, MicroKernelKind};
@@ -60,6 +61,12 @@ pub struct GemmConfig {
     /// per call from the cost model, `Serial`/`Pool` force a runtime.
     /// [`GemmConfig::auto`] reads `DGEMM_DISPATCH`.
     pub dispatch: DispatchMode,
+    /// Closed-loop autotuning (DESIGN.md §14): with the default
+    /// [`AutotuneMode::Off`] the analytic blocking runs unchanged;
+    /// `Read` applies winners stored in the per-host tuning DB, `Full`
+    /// additionally tunes on the first miss of each shape class.
+    /// [`GemmConfig::auto`] reads `DGEMM_AUTOTUNE`.
+    pub autotune: AutotuneMode,
 }
 
 impl GemmConfig {
@@ -89,6 +96,7 @@ impl GemmConfig {
             epoch_timeout: None,
             pack_cache: false,
             dispatch: DispatchMode::Fixed,
+            autotune: AutotuneMode::Off,
         }
     }
 
@@ -102,28 +110,21 @@ impl GemmConfig {
     /// value is a [`GemmError::BadConfig`]; a huge one is clamped to an
     /// hour.
     pub fn auto() -> Result<Self, GemmError> {
-        let threads = match std::env::var("DGEMM_NUM_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                // Over-subscribing beyond the pool's own cap only queues
-                // jobs behind fewer workers; clamp instead of erroring.
-                Ok(n) if n > 0 => n.min(WorkerPool::max_workers()),
-                _ => {
-                    return Err(GemmError::BadConfig(
-                        "DGEMM_NUM_THREADS must be a positive integer",
-                    ))
-                }
-            },
-            Err(std::env::VarError::NotUnicode(_)) => {
-                return Err(GemmError::BadConfig("DGEMM_NUM_THREADS is not unicode"))
-            }
-            Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        };
+        let threads = threads_from_env()?;
+        let autotune = AutotuneMode::from_env()?;
+        if autotune != AutotuneMode::Off {
+            // Validate the tuning-DB env vars eagerly (typed errors at
+            // config time, not silent fallbacks mid-GEMM) and seed the
+            // dispatcher calibration from the DB once per process.
+            crate::autotune::db_path()?;
+            crate::autotune::TuneOptions::from_env()?;
+            crate::autotune::seed_dispatch_calibration();
+        }
         Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads)
             .with_epoch_timeout(epoch_timeout_from_env()?)
             .with_pack_cache(pack_cache_from_env()?)
-            .with_dispatch(DispatchMode::from_env()?))
+            .with_dispatch(DispatchMode::from_env()?)
+            .with_autotune(autotune))
     }
 
     /// Same kernel/threads but explicit `kc×mc×nc` (for sensitivity
@@ -166,6 +167,14 @@ impl GemmConfig {
         self
     }
 
+    /// Same configuration with an explicit [`AutotuneMode`] (see
+    /// [`crate::autotune`] and the README's "Autotuning").
+    #[must_use]
+    pub fn with_autotune(mut self, autotune: AutotuneMode) -> Self {
+        self.autotune = autotune;
+        self
+    }
+
     /// The configured parallel degree (1 for serial).
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -173,9 +182,32 @@ impl GemmConfig {
     }
 }
 
+/// Parse `DGEMM_NUM_THREADS`: absent falls back to the host's available
+/// parallelism, zero/garbage is a typed error, a huge value clamps to
+/// [`WorkerPool::max_workers`]. Shared by [`GemmConfig::auto`] and
+/// [`crate::sgemm::SgemmConfig::auto`].
+pub(crate) fn threads_from_env() -> Result<usize, GemmError> {
+    match std::env::var("DGEMM_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            // Over-subscribing beyond the pool's own cap only queues
+            // jobs behind fewer workers; clamp instead of erroring.
+            Ok(n) if n > 0 => Ok(n.min(WorkerPool::max_workers())),
+            _ => Err(GemmError::BadConfig(
+                "DGEMM_NUM_THREADS must be a positive integer",
+            )),
+        },
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(GemmError::BadConfig("DGEMM_NUM_THREADS is not unicode"))
+        }
+        Err(std::env::VarError::NotPresent) => Ok(std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)),
+    }
+}
+
 /// Parse `DGEMM_EPOCH_TIMEOUT_MS`: absent or `0` disables the watchdog,
 /// a huge value clamps to one hour, garbage is a typed error.
-fn epoch_timeout_from_env() -> Result<Option<Duration>, GemmError> {
+pub(crate) fn epoch_timeout_from_env() -> Result<Option<Duration>, GemmError> {
     match std::env::var("DGEMM_EPOCH_TIMEOUT_MS") {
         Ok(v) => match v.trim().parse::<u64>() {
             Ok(0) => Ok(None),
@@ -193,7 +225,7 @@ fn epoch_timeout_from_env() -> Result<Option<Duration>, GemmError> {
 
 /// Parse `DGEMM_PACK_CACHE`: absent/`0`/`false` disables the pack
 /// cache, `1`/`true` enables it, anything else is a typed error.
-fn pack_cache_from_env() -> Result<bool, GemmError> {
+pub(crate) fn pack_cache_from_env() -> Result<bool, GemmError> {
     match std::env::var("DGEMM_PACK_CACHE") {
         Ok(v) => match v.trim() {
             "1" | "true" => Ok(true),
@@ -259,6 +291,16 @@ pub fn try_gemm(
     c: &mut MatrixViewMut<'_>,
     cfg: &GemmConfig,
 ) -> Result<(), GemmError> {
+    // Consult the tuning DB (DESIGN.md §14) before committing to a
+    // blocking; AutotuneMode::Off returns the config untouched and any
+    // tuning failure degrades silently to the analytic defaults.
+    let cfg = if cfg.autotune == crate::autotune::AutotuneMode::Off {
+        *cfg
+    } else {
+        let (m, k) = transa.apply_dims(a.rows(), a.cols());
+        let (_, n) = transb.apply_dims(b.rows(), b.cols());
+        crate::autotune::tuned_f64(cfg, m, n, k)
+    };
     gemm_with(
         transa,
         transb,

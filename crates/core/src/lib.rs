@@ -47,6 +47,7 @@
 //! | [`batch`] | — | batched GEMM with shared-operand packing reuse |
 //! | [`sgemm`] | — | single-precision GEMM from the same analytic design (12×8, γ=9.6) |
 //! | [`telemetry`] | — | per-thread counters, phase spans, model-vs-measured attribution |
+//! | [`autotune`] | — | closed-loop, model-seeded autotuner with a persistent per-host tuning DB |
 //! | [`mod@reference`] | — | naive triple-loop oracle for validation |
 
 #![warn(missing_docs)]
@@ -58,6 +59,7 @@
 // shortcuts are reserved for tests.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod autotune;
 pub mod batch;
 pub mod blas;
 pub mod cholesky;

@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+use crate::autotune::AutotuneMode;
 use crate::dispatch::DispatchMode;
 use crate::gemm::gemm_with;
 use crate::matrix::{MatrixView, MatrixViewMut};
@@ -47,6 +48,10 @@ pub struct SgemmConfig {
     /// [`crate::gemm::GemmConfig::dispatch`]); the calibration and
     /// decision machinery is shared with DGEMM.
     pub dispatch: DispatchMode,
+    /// Closed-loop autotuning (see
+    /// [`crate::gemm::GemmConfig::autotune`]); the tuning DB is shared
+    /// with DGEMM, with f32 winners stored under `dtype = "f32"`.
+    pub autotune: AutotuneMode,
 }
 
 /// The paper's machine re-described for f32 elements.
@@ -83,7 +88,28 @@ impl SgemmConfig {
             epoch_timeout: None,
             pack_cache: false,
             dispatch: DispatchMode::Fixed,
+            autotune: AutotuneMode::Off,
         }
+    }
+
+    /// Configuration for the host at hand — the f32 sibling of
+    /// [`crate::gemm::GemmConfig::auto`], reading the same environment
+    /// variables (`DGEMM_NUM_THREADS`, `DGEMM_EPOCH_TIMEOUT_MS`,
+    /// `DGEMM_PACK_CACHE`, `DGEMM_DISPATCH`, `DGEMM_AUTOTUNE`,
+    /// `DGEMM_TUNE_DB`) with the same typed errors.
+    pub fn auto() -> Result<Self, GemmError> {
+        let threads = crate::gemm::threads_from_env()?;
+        let autotune = AutotuneMode::from_env()?;
+        if autotune != AutotuneMode::Off {
+            crate::autotune::db_path()?;
+            crate::autotune::TuneOptions::from_env()?;
+            crate::autotune::seed_dispatch_calibration();
+        }
+        Ok(SgemmConfig::for_kernel(SgemmKernelKind::Sk12x8, threads)
+            .with_epoch_timeout(crate::gemm::epoch_timeout_from_env()?)
+            .with_pack_cache(crate::gemm::pack_cache_from_env()?)
+            .with_dispatch(DispatchMode::from_env()?)
+            .with_autotune(autotune))
     }
 
     /// Explicit `kc×mc×nc` (sensitivity studies).
@@ -120,6 +146,13 @@ impl SgemmConfig {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Same configuration with an explicit [`AutotuneMode`].
+    #[must_use]
+    pub fn with_autotune(mut self, autotune: AutotuneMode) -> Self {
+        self.autotune = autotune;
         self
     }
 
@@ -173,6 +206,14 @@ pub fn sgemm(
         ));
     }
     cfg.parallelism.validate()?;
+    // Consult the tuning DB after validation: the tuned config swaps
+    // kernel and blocking together, so the shape invariants above keep
+    // holding for it; Off (the default) is a no-op.
+    let cfg = if cfg.autotune == AutotuneMode::Off {
+        *cfg
+    } else {
+        crate::autotune::tuned_f32(cfg, m, n, ka)
+    };
     gemm_with(
         transa,
         transb,

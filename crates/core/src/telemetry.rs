@@ -1082,6 +1082,24 @@ impl GemmReport {
         }
     }
 
+    /// Achieved fraction of the model's eq. (6) performance lower bound
+    /// at a nominal clock: `gflops / (model_flops_per_cycle ×
+    /// nominal_ghz)`. The autotuner's score (DESIGN.md §14): unlike raw
+    /// GFLOPS it is comparable *across blockings*, because each
+    /// candidate is measured against the bound its own γ promises — a
+    /// candidate that is fast only because its bound is loose scores
+    /// lower than one extracting everything its blocking allows.
+    /// Returns 0 when the bound or clock is degenerate.
+    #[must_use]
+    pub fn achieved_vs_bound(&self, nominal_ghz: f64) -> f64 {
+        let bound_gflops = self.model_flops_per_cycle * nominal_ghz;
+        if bound_gflops > 0.0 && bound_gflops.is_finite() {
+            self.gflops / bound_gflops
+        } else {
+            0.0
+        }
+    }
+
     /// One-line human summary: GFLOPS, γ (measured vs model) and the
     /// pack/compute/wait split.
     #[must_use]

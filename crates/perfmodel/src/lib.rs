@@ -31,6 +31,10 @@
 //!   set associativity and LRU replacement (equations (15), (17)–(20)),
 //!   for serial and multi-threaded configurations. Reproduces Table III.
 //! - [`prefetch`] — the PREFA/PREFB prefetch-distance computation.
+//! - [`tuning`] — beyond the paper: shape-class quantization and
+//!   model-seeded candidate enumeration for the closed-loop autotuner
+//!   (`dgemm-core::autotune`), following the "model prunes the search"
+//!   approach of Veras et al. and Martínez et al. (see PAPERS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,5 +47,6 @@ pub mod ratio;
 pub mod regblock;
 pub mod rotation;
 pub mod schedule;
+pub mod tuning;
 
 pub use arch::MachineDesc;
