@@ -47,10 +47,17 @@ use perfmodel::MachineDesc;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, Once, OnceLock, PoisonError};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// DB schema tag; a file carrying any other tag is treated as absent.
 pub const SCHEMA: &str = "dgemm-tune-v1";
+
+/// The library version stamped into every [`TuneEntry`] this build
+/// writes. Entries carrying a *different* version are stale — blocking
+/// winners do not transfer across kernel/runtime changes — and the
+/// parser drops them exactly like corrupt ones: silent fallback to the
+/// analytic model, re-tuned on the next `DGEMM_AUTOTUNE=full` miss.
+pub const LIB_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Hard cap on measured `(kernel, blocking, runtime)` configurations
 /// per sweep — the "model-pruned, not brute force" contract.
@@ -278,6 +285,12 @@ pub struct TuneEntry {
     pub achieved_vs_bound: f64,
     /// Configurations the sweep considered (≤ [`MAX_CANDIDATES`]).
     pub candidates: usize,
+    /// Seconds since the Unix epoch when the sweep ran (0 = unknown;
+    /// diagnostic only — staleness is decided by `version`).
+    pub tuned_at: u64,
+    /// [`LIB_VERSION`] of the build that produced the entry; a
+    /// mismatch marks the entry stale and the parser drops it.
+    pub version: String,
 }
 
 impl TuneEntry {
@@ -380,7 +393,7 @@ impl TuneDb {
                  \"mr\":{},\"nr\":{},\"kc\":{},\"mc\":{},\"nc\":{},\
                  \"runtime\":\"{}\",\"threads\":{},\"gflops\":{},\
                  \"untuned_gflops\":{},\"achieved_vs_bound\":{},\
-                 \"candidates\":{}}}",
+                 \"candidates\":{},\"tuned_at\":{},\"version\":\"{}\"}}",
                 json_escape(&e.cpu),
                 json_escape(&e.dtype),
                 json_escape(&e.class),
@@ -394,7 +407,9 @@ impl TuneDb {
                 json_num(e.gflops),
                 json_num(e.untuned_gflops),
                 json_num(e.achieved_vs_bound),
-                e.candidates
+                e.candidates,
+                e.tuned_at,
+                json_escape(&e.version)
             ));
         }
         format!("{{\"schema\":\"{SCHEMA}\",\"hosts\":[{hosts}],\"entries\":[{entries}]}}")
@@ -419,25 +434,44 @@ impl TuneDb {
             });
         }
         for e in v.get("entries")?.as_arr()? {
-            db.entries.push(TuneEntry {
-                cpu: e.get("cpu")?.as_str()?.to_owned(),
-                dtype: e.get("dtype")?.as_str()?.to_owned(),
-                class: e.get("class")?.as_str()?.to_owned(),
-                mr: e.get("mr")?.as_usize()?,
-                nr: e.get("nr")?.as_usize()?,
-                kc: e.get("kc")?.as_usize()?,
-                mc: e.get("mc")?.as_usize()?,
-                nc: e.get("nc")?.as_usize()?,
-                runtime: e.get("runtime")?.as_str()?.to_owned(),
-                threads: e.get("threads")?.as_usize()?,
-                gflops: e.get("gflops")?.as_f64()?,
-                untuned_gflops: e.get("untuned_gflops")?.as_f64()?,
-                achieved_vs_bound: e.get("achieved_vs_bound")?.as_f64()?,
-                candidates: e.get("candidates")?.as_usize()?,
-            });
+            // Per-entry triage: a malformed entry or one stamped by a
+            // different library build is dropped *silently* — exactly
+            // the corrupt-file contract, but scoped to the entry so one
+            // stale winner doesn't discard the rest of the DB. Full
+            // mode re-tunes the dropped class on its next first miss.
+            let Some(entry) = parse_entry(e) else {
+                continue;
+            };
+            if entry.version != LIB_VERSION {
+                continue;
+            }
+            db.entries.push(entry);
         }
         Some(db)
     }
+}
+
+/// Type-check one `entries[]` element. `None` on any missing or
+/// mistyped field (the caller skips it).
+fn parse_entry(e: &Json) -> Option<TuneEntry> {
+    Some(TuneEntry {
+        cpu: e.get("cpu")?.as_str()?.to_owned(),
+        dtype: e.get("dtype")?.as_str()?.to_owned(),
+        class: e.get("class")?.as_str()?.to_owned(),
+        mr: e.get("mr")?.as_usize()?,
+        nr: e.get("nr")?.as_usize()?,
+        kc: e.get("kc")?.as_usize()?,
+        mc: e.get("mc")?.as_usize()?,
+        nc: e.get("nc")?.as_usize()?,
+        runtime: e.get("runtime")?.as_str()?.to_owned(),
+        threads: e.get("threads")?.as_usize()?,
+        gflops: e.get("gflops")?.as_f64()?,
+        untuned_gflops: e.get("untuned_gflops")?.as_f64()?,
+        achieved_vs_bound: e.get("achieved_vs_bound")?.as_f64()?,
+        candidates: e.get("candidates")?.as_usize()?,
+        tuned_at: e.get("tuned_at")?.as_usize()? as u64,
+        version: e.get("version")?.as_str()?.to_owned(),
+    })
 }
 
 /// A finite f64 as a JSON number (Rust's shortest round-trip `Display`
@@ -976,6 +1010,10 @@ fn entry_from_best<K: Copy>(
         untuned_gflops: best.untuned_gflops,
         achieved_vs_bound: best.achieved_vs_bound,
         candidates: best.candidates,
+        tuned_at: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        version: LIB_VERSION.to_owned(),
     }
 }
 
@@ -1109,6 +1147,58 @@ fn first_attempt(dtype: &'static str, class: &ShapeClass) -> bool {
         .insert((dtype, class.label()))
 }
 
+/// Join handles of warm-up tuning sweeps spawned by Full-mode first
+/// misses (one per `(dtype, class)` per process, gated by
+/// [`first_attempt`]).
+fn background_tunes() -> &'static Mutex<Vec<std::thread::JoinHandle<()>>> {
+    static TUNES: OnceLock<Mutex<Vec<std::thread::JoinHandle<()>>>> = OnceLock::new();
+    TUNES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Block until every background tuning sweep spawned so far has
+/// persisted its winner (or given up). Test and shutdown scaffolding;
+/// production callers never need it — they keep serving the analytic
+/// config until the DB entry lands.
+pub fn wait_for_background_tuning() {
+    let handles: Vec<_> = std::mem::take(
+        &mut *background_tunes()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Launch one tuning sweep on a warm-up thread so the triggering
+/// `gemm()` call is never blocked behind a multi-second sweep. The
+/// sweep persists through the same `tune_and_store_*` path the
+/// synchronous `dgemm-autotune` tool uses, so the per-path DB cache is
+/// refreshed and the *next* call of the class picks the winner up.
+/// Options are captured in the caller (environment reads stay on the
+/// submitting thread); if the thread cannot be spawned the sweep runs
+/// synchronously — slower, never lost.
+fn spawn_background_tune(
+    path: PathBuf,
+    opts: TuneOptions,
+    tune: impl Fn(&Path, &TuneOptions) + Clone + Send + 'static,
+) {
+    let spawned = std::thread::Builder::new()
+        .name("dgemm-tune-warmup".into())
+        .spawn({
+            let path = path.clone();
+            let tune = tune.clone();
+            move || tune(&path, &opts)
+        });
+    match spawned {
+        Ok(h) => background_tunes()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h),
+        Err(_) => tune(&path, &opts),
+    }
+}
+
 fn runtime_from_entry(entry: &TuneEntry) -> Parallelism {
     if entry.runtime == "pool" && entry.threads > 1 {
         Parallelism::Pool(entry.threads.min(WorkerPool::max_workers()))
@@ -1140,15 +1230,20 @@ pub fn tuned_f64(
     let class = ShapeClass::of(m, n, k);
     let entry = load_db(&path)
         .find(cpu_id(), "f64", &class.label())
-        .cloned()
-        .or_else(|| {
-            (cfg.autotune == AutotuneMode::Full && first_attempt("f64", &class))
-                .then(|| {
-                    let opts = TuneOptions::from_env().unwrap_or_default();
-                    tune_and_store_f64(&path, cfg.kernel, cfg.threads(), class, &opts)
-                })
-                .flatten()
+        .cloned();
+    if entry.is_none() && cfg.autotune == AutotuneMode::Full && first_attempt("f64", &class) {
+        // First miss of this class under Full mode: tune on a warm-up
+        // thread and serve the analytic config *now* — the triggering
+        // call must not stall behind a multi-second sweep. Subsequent
+        // calls pick the winner up once `tune_and_store_f64` lands it
+        // in the DB (and its in-memory cache).
+        let opts = TuneOptions::from_env().unwrap_or_default();
+        let (kernel, threads) = (cfg.kernel, cfg.threads());
+        spawn_background_tune(path, opts, move |p, o| {
+            let _ = tune_and_store_f64(p, kernel, threads, class, o);
         });
+        return *cfg;
+    }
     let Some(entry) = entry else {
         return *cfg;
     };
@@ -1185,15 +1280,16 @@ pub fn tuned_f32(
     let class = ShapeClass::of(m, n, k);
     let entry = load_db(&path)
         .find(cpu_id(), "f32", &class.label())
-        .cloned()
-        .or_else(|| {
-            (cfg.autotune == AutotuneMode::Full && first_attempt("f32", &class))
-                .then(|| {
-                    let opts = TuneOptions::from_env().unwrap_or_default();
-                    tune_and_store_f32(&path, cfg.kernel, cfg.threads(), class, &opts)
-                })
-                .flatten()
+        .cloned();
+    if entry.is_none() && cfg.autotune == AutotuneMode::Full && first_attempt("f32", &class) {
+        // Same warm-up-thread contract as the f64 path above.
+        let opts = TuneOptions::from_env().unwrap_or_default();
+        let (kernel, threads) = (cfg.kernel, cfg.threads());
+        spawn_background_tune(path, opts, move |p, o| {
+            let _ = tune_and_store_f32(p, kernel, threads, class, o);
         });
+        return *cfg;
+    }
     let Some(entry) = entry else {
         return *cfg;
     };
@@ -1233,6 +1329,8 @@ mod tests {
             untuned_gflops: 11.0,
             achieved_vs_bound: 0.61,
             candidates: 14,
+            tuned_at: 1_700_000_000,
+            version: LIB_VERSION.to_owned(),
         }
     }
 
@@ -1252,6 +1350,44 @@ mod tests {
         let e = back.find("test-cpu-4c", "f64", "m512-n512-k512").unwrap();
         assert_eq!(e.blocks().label(), "8x6x256x48x960");
         assert!((e.speedup() - 12.5 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn version_mismatched_entries_are_dropped_like_corrupt_ones() {
+        let mut db = TuneDb::default();
+        db.upsert(sample_entry());
+        let mut stale = sample_entry();
+        stale.class = "m64-n64-k64".to_owned();
+        stale.version = "0.0.0-previous-build".to_owned();
+        db.upsert(stale);
+        db.upsert_host(HostCalibration {
+            cpu: "test-cpu-4c".to_owned(),
+            serial_cal: 1.0,
+            pool_cal: 1.0,
+        });
+        let back = TuneDb::from_json(&db.to_json()).expect("schema still parses");
+        // The current-version entry and the host calibration survive;
+        // the stale entry vanishes silently (Full mode re-tunes it).
+        assert!(back.find("test-cpu-4c", "f64", "m512-n512-k512").is_some());
+        assert!(back.find("test-cpu-4c", "f64", "m64-n64-k64").is_none());
+        assert_eq!(back.hosts.len(), 1);
+    }
+
+    #[test]
+    fn malformed_entry_is_skipped_without_discarding_the_rest() {
+        let good = {
+            let mut db = TuneDb::default();
+            db.upsert(sample_entry());
+            db.to_json()
+        };
+        // Splice in an entry missing most fields.
+        let text = good.replace(
+            "\"entries\":[",
+            "\"entries\":[{\"cpu\":\"test-cpu-4c\",\"dtype\":\"f64\"},",
+        );
+        let back = TuneDb::from_json(&text).expect("file still parses");
+        assert_eq!(back.entries.len(), 1);
+        assert!(back.find("test-cpu-4c", "f64", "m512-n512-k512").is_some());
     }
 
     #[test]
@@ -1279,11 +1415,13 @@ mod tests {
             TuneDb::from_json("{\"schema\":\"dgemm-tune-v0\",\"hosts\":[],\"entries\":[]}")
                 .is_none()
         );
-        // missing required field in an entry
-        assert!(TuneDb::from_json(
-            "{\"schema\":\"dgemm-tune-v1\",\"hosts\":[],\"entries\":[{\"cpu\":\"x\"}]}"
+        // missing required field in an entry: the entry is dropped,
+        // the (otherwise valid) file is not
+        let partial = TuneDb::from_json(
+            "{\"schema\":\"dgemm-tune-v1\",\"hosts\":[],\"entries\":[{\"cpu\":\"x\"}]}",
         )
-        .is_none());
+        .expect("valid file with one bad entry");
+        assert!(partial.entries.is_empty());
         // trailing garbage after the document
         assert!(
             TuneDb::from_json("{\"schema\":\"dgemm-tune-v1\",\"hosts\":[],\"entries\":[]} x")

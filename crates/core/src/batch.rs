@@ -33,6 +33,29 @@ pub fn gemm_batch_shared_b(
     c_batch: &mut [MatrixViewMut<'_>],
     cfg: &GemmConfig,
 ) -> Result<(), GemmError> {
+    let cache = if cfg.pack_cache {
+        Some(f64::pack_cache())
+    } else {
+        None
+    };
+    gemm_batch_with_cache(alpha, a_batch, transb, b, beta, c_batch, cfg, cache)
+}
+
+/// [`gemm_batch_shared_b`] against an explicit [`PackCache`] instead of
+/// the process-wide one — the service layer points this at a tenant's
+/// quota-bounded cache so one tenant's weights cannot evict another's
+/// (DESIGN.md §15). `None` packs fresh panels per macro-iteration.
+#[allow(clippy::too_many_arguments)] // internal driver mirroring the entry point
+pub(crate) fn gemm_batch_with_cache(
+    alpha: f64,
+    a_batch: &[MatrixView<'_>],
+    transb: Transpose,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c_batch: &mut [MatrixViewMut<'_>],
+    cfg: &GemmConfig,
+    cache: Option<&crate::prepack::PackCache>,
+) -> Result<(), GemmError> {
     if a_batch.len() != c_batch.len() {
         return Err(GemmError::BadConfig("batch lengths differ"));
     }
@@ -72,14 +95,12 @@ pub fn gemm_batch_shared_b(
     }
 
     // A weight-reuse batch is the pack cache's home turf: the shared
-    // operand is packed once per *process* instead of once per call.
-    // The Arc clone keeps the panels alive even if the entry is evicted
-    // mid-batch.
-    let prepacked = if cfg.pack_cache {
-        f64::pack_cache().get_or_pack(b, transb, cfg.kernel.nr(), cfg.blocks.kc, cfg.blocks.nc)
-    } else {
-        None
-    };
+    // operand is packed once per *cache lifetime* instead of once per
+    // call. The Arc clone keeps the panels alive even if the entry is
+    // evicted mid-batch.
+    let prepacked = cache.and_then(|cache| {
+        cache.get_or_pack(b, transb, cfg.kernel.nr(), cfg.blocks.kc, cfg.blocks.nc)
+    });
     let prepacked = prepacked.as_deref();
 
     // Shape-adaptive dispatch (DESIGN.md §13): the whole batch shares

@@ -11,10 +11,21 @@
 //! | job execution | `slow_job_delay` | the job sleeps past the watchdog deadline (pool threads only) |
 //! | worker spawn  | `fail_spawn` | `thread::Builder::spawn` is treated as failed |
 //! | buffer growth | `fail_alloc` | `try_reserve` is treated as failed |
+//! | service queue | `service_stall_delay` | the service scheduler stalls before executing a group |
+//! | service batch | `panic_in_service` | a coalesced-batch execution panics at the service layer |
 //!
-//! A fifth pseudo-site, `take_worker_kill`, makes a worker exit its
+//! A further pseudo-site, `take_worker_kill`, makes a worker exit its
 //! loop *after* completing a task — simulating a cleanly dead thread
 //! (the respawn path) without losing in-flight work.
+//!
+//! The two `service_*` sites target the admission-controlled service
+//! layer (DESIGN.md §15): a stalled scheduler exercises queued-request
+//! deadlines firing while work is pending, and a service-level panic
+//! exercises the retry/degrade ladder above the pool's own
+//! containment. [`FaultPlan::from_seed`] keeps its historical 5-fault
+//! pool mapping (the property suite's seeds stay meaningful);
+//! [`FaultPlan::from_seed_service`] sweeps all seven sites and is what
+//! the chaos-soak suite drives through `DGEMM_FAULT_SEED`.
 //!
 //! Occurrence counters are global atomics, so plans are deterministic
 //! for a fixed interleaving of calls: "fail the 3rd allocation" always
@@ -78,6 +89,12 @@ mod enabled {
         pub alloc_fail: Option<Trigger>,
         /// Make a worker exit its loop after finishing a task.
         pub worker_kill: Option<Trigger>,
+        /// Stall the service scheduler for the given duration before it
+        /// executes a request group (queued deadlines keep ticking).
+        pub service_stall: Option<(Trigger, Duration)>,
+        /// Panic inside the service layer's batch execution (above the
+        /// pool's own containment).
+        pub service_panic: Option<Trigger>,
     }
 
     impl FaultPlan {
@@ -109,6 +126,38 @@ mod enabled {
             }
             plan
         }
+
+        /// [`FaultPlan::from_seed`] extended over the service-layer
+        /// sites: seeds map onto all seven faults. Used by the
+        /// chaos-soak suite so one `DGEMM_FAULT_SEED` sweep covers pool
+        /// faults *and* scheduler stalls / service-level panics.
+        #[must_use]
+        pub fn from_seed_service(seed: u64) -> Self {
+            let mut rng = SplitMix64::new(seed);
+            let nth = rng.next_u64() % 4;
+            let mut plan = FaultPlan::default();
+            match rng.next_u64() % 7 {
+                0 => plan.worker_panic = Some(Trigger::once(nth)),
+                1 => {
+                    let delay = Duration::from_millis(40 + rng.next_u64() % 40);
+                    plan.slow_worker = Some((Trigger::once(nth), delay));
+                }
+                2 => {
+                    plan.spawn_fail = Some(Trigger {
+                        nth: 0,
+                        count: nth + 1,
+                    })
+                }
+                3 => plan.alloc_fail = Some(Trigger::once(nth)),
+                4 => plan.worker_kill = Some(Trigger::once(nth)),
+                5 => {
+                    let delay = Duration::from_millis(20 + rng.next_u64() % 60);
+                    plan.service_stall = Some((Trigger::once(nth % 2), delay));
+                }
+                _ => plan.service_panic = Some(Trigger::once(nth)),
+            }
+            plan
+        }
     }
 
     static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
@@ -117,6 +166,8 @@ mod enabled {
     static SPAWN_HITS: AtomicU64 = AtomicU64::new(0);
     static ALLOC_HITS: AtomicU64 = AtomicU64::new(0);
     static KILL_HITS: AtomicU64 = AtomicU64::new(0);
+    static SERVICE_STALL_HITS: AtomicU64 = AtomicU64::new(0);
+    static SERVICE_PANIC_HITS: AtomicU64 = AtomicU64::new(0);
 
     fn reset_counters() {
         PANIC_HITS.store(0, Ordering::SeqCst);
@@ -124,6 +175,8 @@ mod enabled {
         SPAWN_HITS.store(0, Ordering::SeqCst);
         ALLOC_HITS.store(0, Ordering::SeqCst);
         KILL_HITS.store(0, Ordering::SeqCst);
+        SERVICE_STALL_HITS.store(0, Ordering::SeqCst);
+        SERVICE_PANIC_HITS.store(0, Ordering::SeqCst);
     }
 
     /// Install a plan, resetting all occurrence counters.
@@ -205,6 +258,26 @@ mod enabled {
     pub(crate) fn take_worker_kill() -> bool {
         fired(&KILL_HITS, plan().and_then(|p| p.worker_kill))
     }
+
+    /// Injection site: service scheduler about to execute a request
+    /// group. Sleeps when the plan says so (queue stall).
+    pub(crate) fn service_stall_delay() {
+        let Some((trigger, delay)) = plan().and_then(|p| p.service_stall) else {
+            return;
+        };
+        if fired(&SERVICE_STALL_HITS, Some(trigger)) {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Injection site: inside the service layer's batch execution.
+    /// Panics when the plan says so (contained by the service's own
+    /// `catch_unwind`, exercising its retry/degrade ladder).
+    pub(crate) fn panic_in_service() {
+        if fired(&SERVICE_PANIC_HITS, plan().and_then(|p| p.service_panic)) {
+            panic!("injected service-layer panic (dgemm fault-injection)");
+        }
+    }
 }
 
 #[cfg(not(feature = "fault-injection"))]
@@ -226,6 +299,10 @@ mod disabled {
     pub(crate) fn take_worker_kill() -> bool {
         false
     }
+    #[inline(always)]
+    pub(crate) fn service_stall_delay() {}
+    #[inline(always)]
+    pub(crate) fn panic_in_service() {}
 }
 
 #[cfg(not(feature = "fault-injection"))]
@@ -254,16 +331,35 @@ mod tests {
         }
     }
 
+    fn armed_sites(p: &FaultPlan) -> usize {
+        usize::from(p.worker_panic.is_some())
+            + usize::from(p.slow_worker.is_some())
+            + usize::from(p.spawn_fail.is_some())
+            + usize::from(p.alloc_fail.is_some())
+            + usize::from(p.worker_kill.is_some())
+            + usize::from(p.service_stall.is_some())
+            + usize::from(p.service_panic.is_some())
+    }
+
     #[test]
     fn every_seed_selects_exactly_one_fault() {
         for seed in 0..256 {
             let p = FaultPlan::from_seed(seed);
-            let armed = usize::from(p.worker_panic.is_some())
-                + usize::from(p.slow_worker.is_some())
-                + usize::from(p.spawn_fail.is_some())
-                + usize::from(p.alloc_fail.is_some())
-                + usize::from(p.worker_kill.is_some());
-            assert_eq!(armed, 1, "seed {seed}: {p:?}");
+            assert_eq!(armed_sites(&p), 1, "seed {seed}: {p:?}");
+            // The pool-only generator never arms a service site.
+            assert!(p.service_stall.is_none() && p.service_panic.is_none());
         }
+    }
+
+    #[test]
+    fn service_seeds_cover_all_sites_exactly_once_each() {
+        let mut service_armed = 0usize;
+        for seed in 0..256 {
+            let p = FaultPlan::from_seed_service(seed);
+            assert_eq!(armed_sites(&p), 1, "seed {seed}: {p:?}");
+            service_armed +=
+                usize::from(p.service_stall.is_some()) + usize::from(p.service_panic.is_some());
+        }
+        assert!(service_armed > 0, "service sites never drawn in 256 seeds");
     }
 }

@@ -241,6 +241,23 @@ pub(crate) fn pack_cache_from_env() -> Result<bool, GemmError> {
     }
 }
 
+/// Parse an optional non-negative integer environment knob: absent
+/// `None`, garbage or non-unicode is the typed error `err`. The shared
+/// primitive behind the `DGEMM_SERVICE_*` knobs
+/// ([`crate::service::ServiceConfig::from_env`]), matching the
+/// absent-is-default / garbage-is-typed-error contract of the parsers
+/// above.
+pub(crate) fn env_u64(name: &str, err: &'static str) -> Result<Option<u64>, GemmError> {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(GemmError::BadConfig(err)),
+        },
+        Err(std::env::VarError::NotUnicode(_)) => Err(GemmError::BadConfig(err)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+    }
+}
+
 impl Default for GemmConfig {
     /// The paper's best serial configuration: 8×6 kernel,
     /// `kc×mc×nc = 512×56×1920`.

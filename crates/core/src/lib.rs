@@ -77,6 +77,7 @@ pub mod pool;
 pub mod prepack;
 pub mod reference;
 pub mod scalar;
+pub mod service;
 pub mod sgemm;
 pub mod telemetry;
 pub mod tile;

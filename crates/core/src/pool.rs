@@ -97,7 +97,7 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use perfmodel::cacheblock::BlockSizes;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -152,7 +152,38 @@ impl Parallelism {
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// The process-wide pool of persistent layer-3 workers.
+/// Lifecycle counters shared between a [`WorkerPool`] and its worker
+/// threads (the workers outlive the pool value only during the brief
+/// drain after a shard is retired, so the counters live behind an
+/// `Arc`). Per-instance, so shards report their own health instead of
+/// aliasing every failure domain onto one set of process totals.
+struct PoolShared {
+    /// Live worker threads (decremented by a worker's drop guard).
+    alive: AtomicUsize,
+    /// Workers of *this* pool that exited their loop.
+    deaths: AtomicU64,
+    /// Replacement workers spawned for this pool's dead ones.
+    respawns: AtomicU64,
+    /// Worker spawn attempts for this pool that failed.
+    spawn_failures: AtomicU64,
+    /// Set when the owning pool is dropped: worker exits stop counting
+    /// as deaths (a retired shard winding down is not a fault).
+    retired: AtomicBool,
+}
+
+impl PoolShared {
+    fn new() -> Arc<PoolShared> {
+        Arc::new(PoolShared {
+            alive: AtomicUsize::new(0),
+            deaths: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            spawn_failures: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+        })
+    }
+}
+
+/// A pool of persistent layer-3 workers.
 ///
 /// Workers are detached threads parked on the job channel; they are
 /// spawned lazily by [`WorkerPool::ensure_workers`], which also
@@ -160,14 +191,34 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 /// owned buffers, executed under `catch_unwind`, which keeps the
 /// caller's help-while-waiting drain loop deadlock-free and a panicking
 /// job from taking a worker (or the process) down with it.
+///
+/// Pools are **multi-instance**: [`WorkerPool::global`] is the default
+/// process-wide pool every `gemm()` call uses, and
+/// [`WorkerPool::new_shard`] creates an independent pool with its own
+/// workers, job channel and health counters — an isolated failure
+/// domain (a panic-storm or stall in one shard never delays another).
+/// [`with_pool`] routes the pooled runtime of everything in a closure
+/// to a specific shard; the service layer (`crate::service`) uses this
+/// to give tenants separate shards.
 pub struct WorkerPool {
     injector: Sender<Task>,
     stealer: Receiver<Task>,
-    /// Live worker threads (decremented by a worker's drop guard).
-    alive: AtomicUsize,
+    shared: Arc<PoolShared>,
     /// Monotonic id source for worker thread names.
     spawn_seq: AtomicUsize,
     grow: Mutex<()>,
+    /// Shard label baked into worker thread names (empty = global pool).
+    label: String,
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Runs for shards only (the global pool lives in a static).
+        // Marking the pool retired first means the worker exits that
+        // follow — their `iter()` ends when `injector` drops right
+        // after this — are a clean wind-down, not deaths.
+        self.shared.retired.store(true, Ordering::Release);
+    }
 }
 
 /// A snapshot of the pool's scheduling counters (see [`stats`]).
@@ -249,18 +300,22 @@ pub fn status() -> PoolStatus {
 }
 
 /// Worker-loop drop guard: records the death no matter how the loop
-/// ends, so [`WorkerPool::ensure_workers`] knows to respawn.
-struct WorkerGuard(&'static WorkerPool);
+/// ends, so [`WorkerPool::ensure_workers`] knows to respawn. Exits of a
+/// retired shard's workers are a clean wind-down, not deaths.
+struct WorkerGuard(Arc<PoolShared>);
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
         self.0.alive.fetch_sub(1, Ordering::AcqRel);
-        RT.deaths.fetch_add(1, Ordering::Relaxed);
+        if !self.0.retired.load(Ordering::Acquire) {
+            self.0.deaths.fetch_add(1, Ordering::Relaxed);
+            RT.deaths.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
-fn worker_main(stealer: Receiver<Task>) {
-    let _guard = WorkerGuard(WorkerPool::global());
+fn worker_main(stealer: Receiver<Task>, shared: Arc<PoolShared>) {
+    let _guard = WorkerGuard(shared);
     for task in stealer.iter() {
         // Containment: a panicking job must not kill the worker (nor
         // reach the detached thread boundary and abort the process).
@@ -269,6 +324,33 @@ fn worker_main(stealer: Receiver<Task>) {
             break; // injected death: exercised by the respawn tests
         }
     }
+}
+
+thread_local! {
+    /// Shard override installed by [`with_pool`]: when set, the pooled
+    /// runtime on this thread submits to the shard instead of the
+    /// global pool.
+    static CURRENT_POOL: RefCell<Option<Arc<WorkerPool>>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with every pooled GEMM on this thread routed to `pool`
+/// instead of the global pool. Nests (the previous override is
+/// restored on exit) and is panic-safe via a restore guard.
+pub fn with_pool<R>(pool: &Arc<WorkerPool>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<WorkerPool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT_POOL.with(|c| c.borrow_mut().replace(Arc::clone(pool)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The shard override installed by [`with_pool`] on this thread, if any.
+fn current_pool_override() -> Option<Arc<WorkerPool>> {
+    CURRENT_POOL.with(|c| c.borrow().clone())
 }
 
 impl WorkerPool {
@@ -281,34 +363,59 @@ impl WorkerPool {
             WorkerPool {
                 injector,
                 stealer,
-                alive: AtomicUsize::new(0),
+                shared: PoolShared::new(),
                 spawn_seq: AtomicUsize::new(0),
                 grow: Mutex::new(()),
+                label: String::new(),
             }
+        })
+    }
+
+    /// Create an independent pool shard: its own workers, job channel
+    /// and health counters — an isolated failure domain. Workers are
+    /// named `dgemm-pool-<label>-<id>` (the `dgemm-pool-` prefix keeps
+    /// the fault-injection sites and telemetry attribution working).
+    ///
+    /// Dropping the last `Arc` retires the shard: the job channel
+    /// disconnects and its workers exit cleanly (not counted as
+    /// deaths).
+    #[must_use]
+    pub fn new_shard(label: &str) -> Arc<WorkerPool> {
+        let (injector, stealer) = channel::unbounded();
+        Arc::new(WorkerPool {
+            injector,
+            stealer,
+            shared: PoolShared::new(),
+            spawn_seq: AtomicUsize::new(0),
+            grow: Mutex::new(()),
+            label: label.to_owned(),
         })
     }
 
     /// Worker threads currently alive.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.alive.load(Ordering::Acquire)
+        self.shared.alive.load(Ordering::Acquire)
     }
 
-    /// Health snapshot: live workers now, plus lifetime totals **since
-    /// process start** — spawns/deaths/respawns, epochs served, faults
-    /// contained and watchdog fires (timeouts) — sourced from the
-    /// telemetry runtime counters, which [`crate::telemetry::reset`]
-    /// never zeroes.
+    /// Health snapshot: live workers now plus lifetime totals. The
+    /// worker lifecycle counters (started/deaths/respawns/spawn
+    /// failures) are **per pool instance** — a shard reports its own
+    /// failure domain. The epoch counters (epochs served, faults
+    /// contained, timeouts) are process-wide totals from the telemetry
+    /// runtime counters, which [`crate::telemetry::reset`] never
+    /// zeroes.
     #[must_use]
     pub fn status(&self) -> PoolStatus {
         let rt = crate::telemetry::snapshot().runtime;
         let alive = self.workers();
+        let deaths = self.shared.deaths.load(Ordering::Relaxed);
         PoolStatus {
             workers_alive: alive,
-            workers_started: alive as u64 + rt.deaths,
-            deaths: rt.deaths,
-            respawns: rt.respawns,
-            spawn_failures: rt.spawn_failures,
+            workers_started: alive as u64 + deaths,
+            deaths,
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+            spawn_failures: self.shared.spawn_failures.load(Ordering::Relaxed),
             epochs_served: rt.epochs_served(),
             faults_contained: rt.faults_contained,
             timeouts: rt.timeouts,
@@ -351,22 +458,32 @@ impl WorkerPool {
         let have = self.workers();
         for _ in have..want {
             if crate::faults::fail_spawn() {
+                self.shared.spawn_failures.fetch_add(1, Ordering::Relaxed);
                 RT.spawn_failures.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let id = self.spawn_seq.fetch_add(1, Ordering::Relaxed);
+            let name = if self.label.is_empty() {
+                format!("dgemm-pool-{id}")
+            } else {
+                format!("dgemm-pool-{}-{id}", self.label)
+            };
             let stealer = self.stealer.clone();
+            let shared = Arc::clone(&self.shared);
             match std::thread::Builder::new()
-                .name(format!("dgemm-pool-{id}"))
-                .spawn(move || worker_main(stealer))
+                .name(name)
+                .spawn(move || worker_main(stealer, shared))
             {
                 Ok(_) => {
-                    self.alive.fetch_add(1, Ordering::AcqRel);
-                    if RT.deaths.load(Ordering::Relaxed) > RT.respawns.load(Ordering::Relaxed) {
+                    self.shared.alive.fetch_add(1, Ordering::AcqRel);
+                    let deaths = self.shared.deaths.load(Ordering::Relaxed);
+                    if deaths > self.shared.respawns.load(Ordering::Relaxed) {
+                        self.shared.respawns.fetch_add(1, Ordering::Relaxed);
                         RT.respawns.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 Err(_) => {
+                    self.shared.spawn_failures.fetch_add(1, Ordering::Relaxed);
                     RT.spawn_failures.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -1412,7 +1529,14 @@ pub(crate) fn gemm_pooled<T: PoolScalar, K: KernelSet<T>>(
     let BlockSizes { kc, mc, nc, .. } = blocks;
     let degree = degree.max(1);
 
-    let pool = WorkerPool::global();
+    // Route to the shard installed by `with_pool`, if any; the global
+    // pool otherwise. The override is an owned Arc so a retiring shard
+    // stays alive for the duration of the call.
+    let shard = current_pool_override();
+    let pool: &WorkerPool = match shard.as_deref() {
+        Some(p) => p,
+        None => WorkerPool::global(),
+    };
     pool.ensure_workers(degree.saturating_sub(1));
     let (done_tx, done_rx) = channel::unbounded::<Done<T>>();
 
@@ -1921,5 +2045,109 @@ mod tests {
             f64::with_arena(|inner| inner.fresh_buffers())
         });
         assert_eq!(depth2, 0);
+    }
+
+    #[test]
+    fn shard_pools_are_isolated_failure_domains() {
+        let shard = WorkerPool::new_shard("iso");
+        shard.ensure_workers(2);
+        assert!(shard.workers() >= 2);
+        // Shard lifecycle counters start at zero regardless of what the
+        // global pool has been through in this process.
+        let status = shard.status();
+        assert_eq!(status.deaths, 0);
+        assert_eq!(status.respawns, 0);
+        assert_eq!(status.spawn_failures, 0);
+        assert_eq!(status.workers_started, status.workers_alive as u64);
+        // Work submitted to the shard runs on the shard.
+        let (tx, rx) = channel::unbounded();
+        for i in 0..16 {
+            let tx = tx.clone();
+            shard.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        let mut got: Vec<i32> = (0..16).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_pool_routes_pooled_gemm_to_the_shard_bit_identically() {
+        use crate::matrix::Matrix;
+        use crate::microkernel::MicroKernelKind;
+
+        let (m, n, k) = (70, 45, 33);
+        let a = Matrix::random(m, k, 301);
+        let b = Matrix::random(k, n, 302);
+        let blocks = BlockSizes::custom(8, 6, 16, 24, 18);
+        let kernel = MicroKernelKind::Mk8x6;
+        let run = |shard: Option<&Arc<WorkerPool>>| -> Matrix {
+            let mut c = Matrix::zeros(m, n);
+            let mut go = || {
+                let a_views = [a.view()];
+                let mut c_views = [c.view_mut()];
+                gemm_pooled(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    &a_views,
+                    &b.view(),
+                    &mut c_views,
+                    kernel,
+                    blocks,
+                    3,
+                    1,
+                    None,
+                    None,
+                )
+                .expect("pooled gemm");
+            };
+            match shard {
+                Some(p) => with_pool(p, go),
+                None => go(),
+            }
+            c
+        };
+        let on_global = run(None);
+        let shard = WorkerPool::new_shard("route");
+        let on_shard = run(Some(&shard));
+        assert_eq!(
+            on_global.max_abs_diff(&on_shard),
+            0.0,
+            "shard-routed pooled GEMM diverged bitwise"
+        );
+        assert!(shard.workers() >= 1, "the shard spawned its own workers");
+        // Nesting restores the previous override.
+        let outer = WorkerPool::new_shard("outer");
+        with_pool(&outer, || {
+            with_pool(&shard, || {
+                assert!(Arc::ptr_eq(&current_pool_override().unwrap(), &shard));
+            });
+            assert!(Arc::ptr_eq(&current_pool_override().unwrap(), &outer));
+        });
+        assert!(current_pool_override().is_none());
+    }
+
+    #[test]
+    fn retired_shard_winds_down_cleanly() {
+        let shared = {
+            let shard = WorkerPool::new_shard("retire");
+            shard.ensure_workers(2);
+            assert!(shard.workers() >= 2);
+            Arc::clone(&shard.shared)
+            // shard (the only Arc) drops here: retired is set, the
+            // channel disconnects, workers exit.
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while shared.alive.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(shared.alive.load(Ordering::Acquire), 0, "workers lingered");
+        assert_eq!(
+            shared.deaths.load(Ordering::Relaxed),
+            0,
+            "clean retirement must not count as deaths"
+        );
     }
 }

@@ -1,0 +1,993 @@
+//! Admission-controlled GEMM serving layer (DESIGN.md §15).
+//!
+//! The library layers below this module answer "how fast can one call
+//! be"; a serving process asks a different question — "what happens to
+//! call N+1 when N callers are already inside". This module puts a
+//! bounded, tenant-fair queue in front of [`crate::gemm`]/
+//! [`crate::batch`] and makes the overload behaviour explicit:
+//!
+//! * **Admission control** — every submission is either admitted or
+//!   answered immediately with a typed [`ServiceError`]; the bound
+//!   shrinks when the worker pool looks unhealthy (watchdog timeouts,
+//!   dead workers) so a struggling pool sheds load instead of
+//!   accumulating it.
+//! * **Deadlines and cancellation** — each admitted request carries an
+//!   optional deadline and a cooperative cancel flag; both resolve the
+//!   request with a typed error instead of silently dropping it.
+//! * **Coalescing** — same-tenant requests against the *same* weight
+//!   matrix are folded into one [`crate::batch::gemm_batch_shared_b`]
+//!   execution sharing one packed `op(B)` image from a per-tenant,
+//!   quota-bounded [`PackCache`] (one tenant's weights cannot evict
+//!   another's).
+//! * **Graceful degradation** — recoverable pool faults are retried
+//!   with backoff; an unhealthy shard degrades to the bit-identical
+//!   serial path rather than failing the caller. Watchdog-expired
+//!   epochs are *served* (the recovery contract keeps `C` bit-exact)
+//!   while the shard is quarantined.
+//!
+//! The invariant the whole module is built around, and that the chaos
+//! suite audits: **every admitted request resolves exactly once**, with
+//! either a bit-correct result or a typed error. There is no async
+//! runtime underneath — a [`Ticket`] is a one-shot channel receiver and
+//! the scheduler is one named thread, so the layer works (and is
+//! testable) in a plain threaded process.
+
+use crate::batch::gemm_batch_with_cache;
+use crate::faults;
+use crate::gemm::{env_u64, GemmConfig};
+use crate::matrix::{Matrix, MatrixView, MatrixViewMut};
+use crate::pool::{self, Parallelism, WorkerPool};
+use crate::prepack::PackCache;
+use crate::telemetry::{ServiceCounters, SVC};
+use crate::{GemmError, Transpose};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Typed answer for a request the service will not (or could not)
+/// compute. Callers always get *an* answer; this enum is the complete
+/// set of non-result answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Shed at admission: the service queue (or the submitting tenant's
+    /// quota slice of it) is full. Retry later, ideally with backoff.
+    Overloaded {
+        /// Requests queued against the limit that was hit.
+        queue_depth: usize,
+        /// The limit that was hit (global bound or tenant quota; the
+        /// global bound shrinks while the pool is unhealthy).
+        limit: usize,
+    },
+    /// The request's deadline expired before a result was produced.
+    DeadlineExceeded {
+        /// The deadline budget the request was admitted with.
+        budget_ms: u64,
+    },
+    /// The request was refused for a reason other than load: shutdown,
+    /// cooperative cancellation, invalid shapes, or a pool fault that
+    /// survived every retry and the serial fallback.
+    Rejected(&'static str),
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_depth, limit } => {
+                write!(
+                    f,
+                    "service overloaded: {queue_depth} queued against limit {limit}"
+                )
+            }
+            ServiceError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline of {budget_ms} ms exceeded before completion")
+            }
+            ServiceError::Rejected(why) => write!(f, "request rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Serving-layer knobs. [`ServiceConfig::from_env`] reads the
+/// `DGEMM_SERVICE_*` environment variables documented in the README;
+/// absent variables keep the defaults below and garbage values are
+/// typed [`GemmError::BadConfig`] errors, never silent fallbacks.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Global admission bound on queued requests (`DGEMM_SERVICE_QUEUE`,
+    /// default 256, must be ≥ 1). While the pool is unhealthy the
+    /// effective bound is a quarter of this (at least 1).
+    pub queue_limit: usize,
+    /// Per-tenant bound on queued requests (`DGEMM_SERVICE_TENANT_QUOTA`,
+    /// default = `queue_limit`, must be ≥ 1).
+    pub tenant_quota: usize,
+    /// Default deadline applied to every submission
+    /// (`DGEMM_SERVICE_DEADLINE_MS`, 0 or absent = none).
+    pub deadline: Option<Duration>,
+    /// Dedicated pool shards owned by this service
+    /// (`DGEMM_SERVICE_SHARDS`, default 1). `0` routes execution to the
+    /// process-global pool instead of dedicated shards.
+    pub shards: usize,
+    /// Bounded retries after a recoverable pool fault
+    /// (`DGEMM_SERVICE_RETRIES`, default 2).
+    pub max_retries: u32,
+    /// Maximum requests folded into one coalesced batch
+    /// (`DGEMM_SERVICE_COALESCE`, default 8; 1 disables coalescing).
+    pub coalesce: usize,
+    /// Per-tenant [`PackCache`] capacity in packed weight images
+    /// (`DGEMM_SERVICE_CACHE_ENTRIES`, default 8; 0 disables the
+    /// per-tenant caches entirely).
+    pub cache_entries: usize,
+    /// How long a shard stays quarantined (serial execution) after a
+    /// watchdog timeout or contained fault before it is retried.
+    pub unhealthy_cooldown: Duration,
+    /// The GEMM configuration executions run under. Dedicated shards
+    /// are honoured by routing [`Parallelism::Pool`] epochs to the
+    /// shard via [`pool::with_pool`].
+    pub gemm: GemmConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_limit: 256,
+            tenant_quota: 256,
+            deadline: None,
+            shards: 1,
+            max_retries: 2,
+            coalesce: 8,
+            cache_entries: 8,
+            unhealthy_cooldown: Duration::from_millis(250),
+            gemm: GemmConfig::default()
+                .with_parallelism(Parallelism::Pool(WorkerPool::max_workers())),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Build a config from the `DGEMM_SERVICE_*` environment (and
+    /// [`GemmConfig::auto`] for the execution side). Unset variables
+    /// keep defaults; unparsable ones are typed errors.
+    pub fn from_env() -> Result<Self, GemmError> {
+        let mut cfg = ServiceConfig {
+            gemm: GemmConfig::auto()?,
+            ..ServiceConfig::default()
+        };
+        if let Some(q) = env_u64(
+            "DGEMM_SERVICE_QUEUE",
+            "DGEMM_SERVICE_QUEUE must be an integer ≥ 1",
+        )? {
+            if q == 0 {
+                return Err(GemmError::BadConfig(
+                    "DGEMM_SERVICE_QUEUE must be an integer ≥ 1",
+                ));
+            }
+            cfg.queue_limit = q as usize;
+            cfg.tenant_quota = cfg.tenant_quota.min(cfg.queue_limit);
+        }
+        if let Some(q) = env_u64(
+            "DGEMM_SERVICE_TENANT_QUOTA",
+            "DGEMM_SERVICE_TENANT_QUOTA must be an integer ≥ 1",
+        )? {
+            if q == 0 {
+                return Err(GemmError::BadConfig(
+                    "DGEMM_SERVICE_TENANT_QUOTA must be an integer ≥ 1",
+                ));
+            }
+            cfg.tenant_quota = q as usize;
+        } else {
+            cfg.tenant_quota = cfg.queue_limit;
+        }
+        if let Some(ms) = env_u64(
+            "DGEMM_SERVICE_DEADLINE_MS",
+            "DGEMM_SERVICE_DEADLINE_MS must be an integer (ms, 0 = none)",
+        )? {
+            cfg.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(s) = env_u64(
+            "DGEMM_SERVICE_SHARDS",
+            "DGEMM_SERVICE_SHARDS must be an integer",
+        )? {
+            cfg.shards = s as usize;
+        }
+        if let Some(r) = env_u64(
+            "DGEMM_SERVICE_RETRIES",
+            "DGEMM_SERVICE_RETRIES must be an integer",
+        )? {
+            cfg.max_retries = r as u32;
+        }
+        if let Some(c) = env_u64(
+            "DGEMM_SERVICE_COALESCE",
+            "DGEMM_SERVICE_COALESCE must be an integer ≥ 1",
+        )? {
+            if c == 0 {
+                return Err(GemmError::BadConfig(
+                    "DGEMM_SERVICE_COALESCE must be an integer ≥ 1",
+                ));
+            }
+            cfg.coalesce = c as usize;
+        }
+        if let Some(e) = env_u64(
+            "DGEMM_SERVICE_CACHE_ENTRIES",
+            "DGEMM_SERVICE_CACHE_ENTRIES must be an integer",
+        )? {
+            cfg.cache_entries = e as usize;
+        }
+        Ok(cfg)
+    }
+}
+
+/// One admitted request, owned by the scheduler until it resolves.
+struct Request {
+    tenant: String,
+    alpha: f64,
+    a: Arc<Matrix>,
+    transb: Transpose,
+    b: Arc<Matrix>,
+    deadline: Option<Instant>,
+    budget_ms: u64,
+    cancelled: Arc<AtomicBool>,
+    tx: Sender<Result<Matrix, ServiceError>>,
+}
+
+impl Request {
+    /// Coalescing key: same weight matrix (by `Arc` identity, which is
+    /// ABA-proof while both sides hold the `Arc`), same `op`, same
+    /// scaling, same input shape. Tenancy is implied — groups are only
+    /// formed inside one tenant's queue.
+    fn coalesces_with(&self, other: &Request) -> bool {
+        Arc::ptr_eq(&self.b, &other.b)
+            && self.transb == other.transb
+            && self.alpha.to_bits() == other.alpha.to_bits()
+            && self.a.rows() == other.a.rows()
+            && self.a.cols() == other.a.cols()
+    }
+}
+
+/// Handle for one admitted request: a one-shot receiver plus a
+/// cooperative cancel flag. Exactly one [`Result`] will arrive on it,
+/// even across injected faults, pool deaths and service shutdown.
+pub struct Ticket {
+    rx: Receiver<Result<Matrix, ServiceError>>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl core::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Block until the request resolves. Consumes the ticket — the
+    /// resolution is delivered exactly once.
+    pub fn wait(self) -> Result<Matrix, ServiceError> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            // Unreachable by construction (the scheduler drains before
+            // exiting), kept as a typed answer rather than a panic.
+            Err(_) => Err(ServiceError::Rejected("service dropped the request")),
+        }
+    }
+
+    /// Ask the service to abandon this request. Cooperative: a request
+    /// already executing finishes; one still queued resolves with
+    /// [`ServiceError::Rejected`]. Waiting after a cancel is still
+    /// guaranteed to return.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// Per-tenant packed-weight state: a quota-bounded cache plus the
+/// pinned `Arc`s of the weights it has packed. Pinning makes the
+/// pointer-identity cache key sound — a weight's allocation cannot be
+/// recycled (and aliased by a new matrix) while its packed image is
+/// live; eviction invalidates the cache entry *before* dropping the
+/// pin.
+struct TenantCache {
+    cache: Arc<PackCache>,
+    pinned: VecDeque<Arc<Matrix>>,
+}
+
+/// One execution shard: a dedicated pool (or `None` for the global
+/// pool) plus its quarantine clock.
+struct Shard {
+    pool: Option<Arc<WorkerPool>>,
+    unhealthy_until: Mutex<Option<Instant>>,
+}
+
+struct QueueState {
+    /// Per-tenant FIFO queues.
+    queues: HashMap<String, VecDeque<Request>>,
+    /// Round-robin order of tenants with queued work.
+    rr: VecDeque<String>,
+    /// Total queued requests across tenants.
+    depth: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    shards: Vec<Shard>,
+    rr_shard: AtomicUsize,
+    tenants: Mutex<HashMap<String, TenantCache>>,
+    /// Per-instance mirror of the process-wide [`SVC`] counters,
+    /// exported by [`GemmService::status_json`].
+    counters: ServiceCounters,
+}
+
+/// The admission-controlled serving front-end. See the module docs for
+/// the ladder it implements; construction spawns the scheduler thread
+/// and (with `cfg.shards > 0`) the dedicated pool shards; drop (or
+/// [`GemmService::shutdown`]) drains every queued request to a typed
+/// resolution before returning.
+pub struct GemmService {
+    inner: Arc<Inner>,
+    scheduler: Option<thread::JoinHandle<()>>,
+}
+
+impl GemmService {
+    /// Start a service with explicit knobs.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let shards = if cfg.shards == 0 {
+            vec![Shard {
+                pool: None,
+                unhealthy_until: Mutex::new(None),
+            }]
+        } else {
+            (0..cfg.shards)
+                .map(|i| Shard {
+                    pool: Some(WorkerPool::new_shard(&format!("svc{i}"))),
+                    unhealthy_until: Mutex::new(None),
+                })
+                .collect()
+        };
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(QueueState {
+                queues: HashMap::new(),
+                rr: VecDeque::new(),
+                depth: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            shards,
+            rr_shard: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            counters: ServiceCounters::new(),
+        });
+        let sched = Arc::clone(&inner);
+        let scheduler = thread::Builder::new()
+            .name("dgemm-service-sched".into())
+            .spawn(move || scheduler_main(sched))
+            .unwrap_or_else(|e| panic!("failed to spawn dgemm service scheduler: {e}"));
+        GemmService {
+            inner,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Start a service configured from the `DGEMM_SERVICE_*` (and
+    /// `DGEMM_*`) environment.
+    pub fn from_env() -> Result<Self, GemmError> {
+        Ok(GemmService::new(ServiceConfig::from_env()?))
+    }
+
+    /// Submit `C := alpha · A · op(B)` for tenant `tenant` under the
+    /// service's default deadline. `A` must be stored `m×k`
+    /// (non-transposed), matching the batch-coalescing contract.
+    ///
+    /// Returns a [`Ticket`] when admitted; a typed [`ServiceError`]
+    /// when shed or refused. Either way the caller has an answer.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        alpha: f64,
+        a: Arc<Matrix>,
+        transb: Transpose,
+        b: Arc<Matrix>,
+    ) -> Result<Ticket, ServiceError> {
+        self.submit_with_deadline(tenant, alpha, a, transb, b, self.inner.cfg.deadline)
+    }
+
+    /// [`GemmService::submit`] with an explicit per-request deadline
+    /// (`None` = unbounded), overriding the service default.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        alpha: f64,
+        a: Arc<Matrix>,
+        transb: Transpose,
+        b: Arc<Matrix>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let inner = &*self.inner;
+        let (m, k) = (a.rows(), a.cols());
+        let (bk, n) = transb.apply_dims(b.rows(), b.cols());
+        if k != bk {
+            inner.count(|c| &c.rejected);
+            return Err(ServiceError::Rejected(
+                "inner dimensions of A and op(B) disagree",
+            ));
+        }
+        if m == 0 || n == 0 || k == 0 {
+            inner.count(|c| &c.rejected);
+            return Err(ServiceError::Rejected("empty matrix dimensions"));
+        }
+        let limit = inner.effective_queue_limit();
+        let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.shutdown {
+            drop(st);
+            inner.count(|c| &c.rejected);
+            return Err(ServiceError::Rejected("service is shut down"));
+        }
+        if st.depth >= limit {
+            let depth = st.depth;
+            drop(st);
+            inner.count(|c| &c.shed_overload);
+            return Err(ServiceError::Overloaded {
+                queue_depth: depth,
+                limit,
+            });
+        }
+        let occupancy = st.queues.get(tenant).map_or(0, VecDeque::len);
+        if occupancy >= inner.cfg.tenant_quota {
+            drop(st);
+            inner.count(|c| &c.shed_quota);
+            return Err(ServiceError::Overloaded {
+                queue_depth: occupancy,
+                limit: inner.cfg.tenant_quota,
+            });
+        }
+        let (tx, rx) = unbounded();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let req = Request {
+            tenant: tenant.to_string(),
+            alpha,
+            a,
+            transb,
+            b,
+            deadline: deadline.map(|d| Instant::now() + d),
+            budget_ms: deadline.map_or(0, |d| d.as_millis() as u64),
+            cancelled: Arc::clone(&cancelled),
+            tx,
+        };
+        let queue = st.queues.entry(tenant.to_string()).or_default();
+        let was_empty = queue.is_empty();
+        queue.push_back(req);
+        if was_empty {
+            st.rr.push_back(tenant.to_string());
+        }
+        st.depth += 1;
+        drop(st);
+        inner.count(|c| &c.admitted);
+        inner.work.notify_one();
+        Ok(Ticket { rx, cancelled })
+    }
+
+    /// Requests currently queued (admitted, not yet executing).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .depth
+    }
+
+    /// Scrapeable `dgemm-telem-v1` snapshot of *this* service instance:
+    /// queue depth, shed/retry/degrade counters, per-tenant occupancy
+    /// and cache bytes, per-shard pool health.
+    pub fn status_json(&self) -> String {
+        self.inner.status_json()
+    }
+
+    /// Stop admitting, drain every queued request to a resolution, wind
+    /// down the shards, and return. Equivalent to dropping the service.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for GemmService {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .inner
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        // Shards wind down when their last `Arc` drops with `Inner`.
+    }
+}
+
+impl Inner {
+    /// Bump one counter on both the process-wide [`SVC`] totals and
+    /// this instance's scrapeable mirror.
+    fn count(&self, sel: fn(&ServiceCounters) -> &AtomicU64) {
+        sel(&SVC).fetch_add(1, Ordering::Relaxed);
+        sel(&self.counters).fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_n(&self, sel: fn(&ServiceCounters) -> &AtomicU64, n: u64) {
+        sel(&SVC).fetch_add(n, Ordering::Relaxed);
+        sel(&self.counters).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The admission bound, shrunk to a quarter while any shard is
+    /// unhealthy — load-shedding driven by pool health and watchdog
+    /// signals, not just queue depth.
+    fn effective_queue_limit(&self) -> usize {
+        let unhealthy = (0..self.shards.len()).any(|i| self.shard_unhealthy(i));
+        if unhealthy {
+            (self.cfg.queue_limit / 4).max(1)
+        } else {
+            self.cfg.queue_limit
+        }
+    }
+
+    /// A shard is unhealthy while its quarantine cooldown runs, or when
+    /// its pool has started workers but none remain alive.
+    fn shard_unhealthy(&self, idx: usize) -> bool {
+        let shard = &self.shards[idx];
+        {
+            let mut until = shard
+                .unhealthy_until
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match *until {
+                Some(t) if Instant::now() < t => return true,
+                Some(_) => *until = None,
+                None => {}
+            }
+        }
+        let st = match &shard.pool {
+            Some(p) => p.status(),
+            None => pool::status(),
+        };
+        st.workers_started > 0 && st.workers_alive == 0
+    }
+
+    fn quarantine(&self, idx: usize) {
+        *self.shards[idx]
+            .unhealthy_until
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) =
+            Some(Instant::now() + self.cfg.unhealthy_cooldown);
+    }
+
+    /// Deliver the one-and-only resolution for `req`, counting the
+    /// outcome. Consumes the request: exactly-once by construction.
+    fn resolve(&self, req: Request, result: Result<Matrix, ServiceError>) {
+        match &result {
+            Ok(_) => self.count(|c| &c.completed),
+            Err(ServiceError::Overloaded { .. }) => self.count(|c| &c.shed_overload),
+            Err(ServiceError::DeadlineExceeded { .. }) => self.count(|c| &c.deadline_misses),
+            Err(ServiceError::Rejected(_)) => self.count(|c| &c.rejected),
+        }
+        // A caller that dropped its ticket just discards the result.
+        let _ = req.tx.send(result);
+    }
+
+    /// Pop the next round-robin tenant's head request plus every queued
+    /// request of that tenant that coalesces with it (bounded by
+    /// `cfg.coalesce`).
+    fn take_group(&self, st: &mut QueueState) -> Vec<Request> {
+        // depth > 0 implies a queued tenant with a non-empty queue; the
+        // defensive empty returns keep a broken invariant from
+        // panicking the scheduler (the loop just re-checks depth).
+        let Some(tenant) = st.rr.pop_front() else {
+            return Vec::new();
+        };
+        let Some(queue) = st.queues.get_mut(&tenant) else {
+            return Vec::new();
+        };
+        let Some(head) = queue.pop_front() else {
+            return Vec::new();
+        };
+        let mut group = vec![head];
+        if self.cfg.coalesce > 1 {
+            let mut rest = std::mem::take(queue);
+            while let Some(req) = rest.pop_front() {
+                if group.len() < self.cfg.coalesce && group[0].coalesces_with(&req) {
+                    group.push(req);
+                } else {
+                    queue.push_back(req);
+                }
+            }
+        }
+        if !queue.is_empty() {
+            st.rr.push_back(tenant);
+        }
+        st.depth -= group.len();
+        group
+    }
+
+    /// Fetch (or create) `tenant`'s pack cache and pin `b` in it.
+    /// Returns `None` when per-tenant caching is disabled.
+    fn tenant_cache(&self, tenant: &str, b: &Arc<Matrix>) -> Option<Arc<PackCache>> {
+        if self.cfg.cache_entries == 0 {
+            return None;
+        }
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantCache {
+                cache: Arc::new(PackCache::with_capacity(0)),
+                pinned: VecDeque::new(),
+            });
+        if let Some(pos) = entry.pinned.iter().position(|w| Arc::ptr_eq(w, b)) {
+            // LRU touch.
+            if let Some(w) = entry.pinned.remove(pos) {
+                entry.pinned.push_back(w);
+            }
+        } else {
+            if entry.pinned.len() >= self.cfg.cache_entries {
+                if let Some(old) = entry.pinned.pop_front() {
+                    entry.cache.invalidate(&old.view());
+                }
+            }
+            entry.pinned.push_back(Arc::clone(b));
+        }
+        // The pinned LRU is the quota unit (weights per tenant); the
+        // cache's byte bound follows it so every pinned weight's packed
+        // image fits. `nr` padding in the packed n dimension is the
+        // only growth over the raw weight, so entries × padded size is
+        // exact. Monotonic max: a small weight pinned after a large one
+        // must not shrink the bound below live entries.
+        let nr = self.cfg.gemm.kernel.nr();
+        let padded_bytes = b.rows() * b.cols().div_ceil(nr) * nr * std::mem::size_of::<f64>();
+        let quota = self.cfg.cache_entries * padded_bytes;
+        if quota > entry.cache.capacity() {
+            entry.cache.set_capacity(quota);
+        }
+        Some(Arc::clone(&entry.cache))
+    }
+
+    /// Run one coalesced group end to end: deadline/cancel triage, the
+    /// retry-with-backoff / degrade-to-serial ladder, panic containment
+    /// with per-request serial recovery — and resolve every member
+    /// exactly once.
+    fn execute_group(&self, group: Vec<Request>) {
+        // Injection site: the queue stalls between dequeue and triage,
+        // so a stall can push queued requests past their deadlines.
+        faults::service_stall_delay();
+        let now = Instant::now();
+        let mut live: Vec<Request> = Vec::with_capacity(group.len());
+        for req in group {
+            if req.cancelled.load(Ordering::Acquire) {
+                self.resolve(req, Err(ServiceError::Rejected("cancelled by caller")));
+            } else if req.deadline.is_some_and(|d| now >= d) {
+                let budget_ms = req.budget_ms;
+                self.resolve(req, Err(ServiceError::DeadlineExceeded { budget_ms }));
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        if live.len() >= 2 {
+            self.count(|c| &c.coalesced_batches);
+            self.count_n(|c| &c.coalesced_requests, live.len() as u64);
+        }
+        let (_, n) = live[0]
+            .transb
+            .apply_dims(live[0].b.rows(), live[0].b.cols());
+        let mut outs: Vec<Matrix> = live.iter().map(|r| Matrix::zeros(r.a.rows(), n)).collect();
+        match catch_unwind(AssertUnwindSafe(|| self.run_group(&live, &mut outs))) {
+            Ok(Ok(())) => {
+                for (req, c) in live.into_iter().zip(outs) {
+                    self.resolve(req, Ok(c));
+                }
+            }
+            Ok(Err(_)) => {
+                for req in live {
+                    self.resolve(
+                        req,
+                        Err(ServiceError::Rejected(
+                            "pool fault persisted through retries and serial fallback",
+                        )),
+                    );
+                }
+            }
+            Err(_) => {
+                // Injection site aftermath (or a genuine scheduler-side
+                // panic): contain it and recover each member with an
+                // independent, serial, bit-identical execution so one
+                // poisoned group member cannot take down its peers.
+                self.count(|c| &c.panics_contained);
+                for req in live {
+                    self.recover_serially(req);
+                }
+            }
+        }
+    }
+
+    /// The retry/degrade ladder for one group. On `Ok(())` every matrix
+    /// in `outs` holds the bit-exact result (including the served
+    /// watchdog-recovery case).
+    fn run_group(&self, live: &[Request], outs: &mut [Matrix]) -> Result<(), GemmError> {
+        // Injection site: a panic in the middle of a coalesced batch.
+        faults::panic_in_service();
+        let shard_idx = self.rr_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let cache = self.tenant_cache(&live[0].tenant, &live[0].b);
+        let mut attempt: u32 = 0;
+        loop {
+            let degrade = self.shard_unhealthy(shard_idx);
+            if degrade {
+                self.count(|c| &c.degraded);
+            }
+            let cfg = if degrade {
+                self.cfg.gemm.with_parallelism(Parallelism::Serial)
+            } else {
+                self.cfg.gemm
+            };
+            let a_views: Vec<MatrixView<'_>> = live.iter().map(|r| r.a.view()).collect();
+            let mut c_views: Vec<MatrixViewMut<'_>> =
+                outs.iter_mut().map(Matrix::view_mut).collect();
+            let b_view = live[0].b.view();
+            let mut run = || {
+                gemm_batch_with_cache(
+                    live[0].alpha,
+                    &a_views,
+                    live[0].transb,
+                    &b_view,
+                    0.0,
+                    &mut c_views,
+                    &cfg,
+                    cache.as_deref(),
+                )
+            };
+            let result = match (&self.shards[shard_idx].pool, degrade) {
+                (Some(p), false) => pool::with_pool(p, run),
+                _ => run(),
+            };
+            drop(c_views);
+            match result {
+                Ok(()) => return Ok(()),
+                // The watchdog contract (DESIGN.md §12): the caller
+                // recomputed the missing blocks serially, so `C` is
+                // bit-exact. Serve it, quarantine the shard.
+                Err(GemmError::EpochTimeout { .. }) => {
+                    self.quarantine(shard_idx);
+                    self.count(|c| &c.degraded);
+                    return Ok(());
+                }
+                Err(GemmError::WorkerFault { .. } | GemmError::AllocFailure { .. })
+                    if attempt < self.cfg.max_retries =>
+                {
+                    attempt += 1;
+                    self.count(|c| &c.retries);
+                    self.quarantine(shard_idx);
+                    // WorkerFault leaves C unspecified: re-zero before
+                    // the retry so β = 0 semantics still hold.
+                    for c in outs.iter_mut() {
+                        c.as_mut_slice().fill(0.0);
+                    }
+                    thread::sleep(Duration::from_millis(1 << attempt.min(4)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Last-ditch per-request recovery after a contained panic: an
+    /// independent serial execution, itself panic-contained. Resolves
+    /// the request either way.
+    fn recover_serially(&self, req: Request) {
+        let (_, n) = req.transb.apply_dims(req.b.rows(), req.b.cols());
+        let mut c = Matrix::zeros(req.a.rows(), n);
+        let cfg = self.cfg.gemm.with_parallelism(Parallelism::Serial);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let a_views = [req.a.view()];
+            let mut c_views = [c.view_mut()];
+            gemm_batch_with_cache(
+                req.alpha,
+                &a_views,
+                req.transb,
+                &req.b.view(),
+                0.0,
+                &mut c_views,
+                &cfg,
+                None,
+            )
+        }));
+        self.count(|c| &c.degraded);
+        match result {
+            Ok(Ok(())) => self.resolve(req, Ok(c)),
+            _ => self.resolve(
+                req,
+                Err(ServiceError::Rejected(
+                    "execution panicked even in serial recovery",
+                )),
+            ),
+        }
+    }
+
+    fn status_json(&self) -> String {
+        let (depth, tenants_occ, shutdown) = {
+            let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let occ: Vec<(String, usize)> = st
+                .queues
+                .iter()
+                .map(|(t, q)| (t.clone(), q.len()))
+                .collect();
+            (st.depth, occ, st.shutdown)
+        };
+        let c = &self.counters;
+        let ld = Ordering::Relaxed;
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"schema\":\"dgemm-telem-v1\",\"kind\":\"service\"");
+        s.push_str(&format!(
+            ",\"queue_depth\":{depth},\"queue_limit\":{},\"effective_queue_limit\":{},\"shutdown\":{shutdown}",
+            self.cfg.queue_limit,
+            self.effective_queue_limit(),
+        ));
+        s.push_str(&format!(
+            ",\"counters\":{{\"admitted\":{},\"completed\":{},\"shed_overload\":{},\"shed_quota\":{},\"rejected\":{},\"deadline_misses\":{},\"retries\":{},\"degraded\":{},\"coalesced_batches\":{},\"coalesced_requests\":{},\"panics_contained\":{}}}",
+            c.admitted.load(ld),
+            c.completed.load(ld),
+            c.shed_overload.load(ld),
+            c.shed_quota.load(ld),
+            c.rejected.load(ld),
+            c.deadline_misses.load(ld),
+            c.retries.load(ld),
+            c.degraded.load(ld),
+            c.coalesced_batches.load(ld),
+            c.coalesced_requests.load(ld),
+            c.panics_contained.load(ld),
+        ));
+        s.push_str(",\"tenants\":[");
+        let caches = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut names: Vec<&String> = tenants_occ.iter().map(|(t, _)| t).collect();
+        names.extend(
+            caches
+                .keys()
+                .filter(|k| !tenants_occ.iter().any(|(t, _)| t == *k)),
+        );
+        names.sort();
+        names.dedup();
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let queued = tenants_occ
+                .iter()
+                .find(|(t, _)| t == *name)
+                .map_or(0, |(_, q)| *q);
+            let (bytes, entries) = caches
+                .get(*name)
+                .map_or((0, 0), |t| (t.cache.bytes(), t.pinned.len()));
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"queued\":{queued},\"cache_bytes\":{bytes},\"cache_entries\":{entries}}}",
+                json_escape(name),
+            ));
+        }
+        drop(caches);
+        s.push_str("],\"shards\":[");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let st = match &shard.pool {
+                Some(p) => p.status(),
+                None => pool::status(),
+            };
+            s.push_str(&format!(
+                "{{\"label\":\"{}\",\"workers_alive\":{},\"deaths\":{},\"respawns\":{},\"spawn_failures\":{},\"unhealthy\":{}}}",
+                if shard.pool.is_some() { format!("svc{i}") } else { "global".to_string() },
+                st.workers_alive,
+                st.deaths,
+                st.respawns,
+                st.spawn_failures,
+                self.shard_unhealthy(i),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// The scheduler loop: wait for work, take one coalesced group, run it.
+/// On shutdown the queue is drained to empty — every admitted request
+/// resolves — before the thread exits.
+fn scheduler_main(inner: Arc<Inner>) {
+    loop {
+        let group = {
+            let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if st.depth > 0 {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            inner.take_group(&mut st)
+        };
+        inner.execute_group(group);
+    }
+}
+
+/// Minimal JSON string escaping for tenant names (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_error_displays_are_stable() {
+        let o = ServiceError::Overloaded {
+            queue_depth: 9,
+            limit: 8,
+        };
+        assert_eq!(
+            o.to_string(),
+            "service overloaded: 9 queued against limit 8"
+        );
+        let d = ServiceError::DeadlineExceeded { budget_ms: 5 };
+        assert_eq!(d.to_string(), "deadline of 5 ms exceeded before completion");
+        let r = ServiceError::Rejected("nope");
+        assert_eq!(r.to_string(), "request rejected: nope");
+    }
+
+    #[test]
+    fn coalescing_key_requires_same_weight_shape_and_alpha() {
+        let b = Arc::new(Matrix::random(6, 6, 1));
+        let b2 = Arc::new(Matrix::random(6, 6, 1));
+        let mk = |alpha: f64, a_rows: usize, b: &Arc<Matrix>| {
+            let (tx, _rx) = unbounded();
+            Request {
+                tenant: "t".into(),
+                alpha,
+                a: Arc::new(Matrix::random(a_rows, 6, 2)),
+                transb: Transpose::No,
+                b: Arc::clone(b),
+                deadline: None,
+                budget_ms: 0,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                tx,
+            }
+        };
+        let head = mk(1.0, 4, &b);
+        assert!(head.coalesces_with(&mk(1.0, 4, &b)));
+        assert!(!head.coalesces_with(&mk(2.0, 4, &b)), "alpha differs");
+        assert!(!head.coalesces_with(&mk(1.0, 5, &b)), "A shape differs");
+        assert!(
+            !head.coalesces_with(&mk(1.0, 4, &b2)),
+            "weight identity differs"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

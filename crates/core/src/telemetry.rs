@@ -215,6 +215,100 @@ pub(crate) fn cache_invalidate(n: u64) {
     PACK_CACHE.invalidations.fetch_add(n, Ordering::Relaxed);
 }
 
+// ---------------------------------------------------------------------
+// Always-on service-layer counters.
+//
+// Process-wide totals across every `crate::service::GemmService`
+// instance (each service also keeps per-instance copies for its own
+// scrapeable snapshot). Like `RT` they survive a no-default-features
+// build and are never zeroed by [`reset`]: the serving robustness
+// contract — every admitted request resolves exactly once — is audited
+// against these.
+// ---------------------------------------------------------------------
+
+pub(crate) struct ServiceCounters {
+    pub(crate) admitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) shed_overload: AtomicU64,
+    pub(crate) shed_quota: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) deadline_misses: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) coalesced_batches: AtomicU64,
+    pub(crate) coalesced_requests: AtomicU64,
+    pub(crate) panics_contained: AtomicU64,
+}
+
+impl ServiceCounters {
+    /// A zeroed counter block (`const` so it also backs the `SVC`
+    /// static and per-service-instance mirrors).
+    pub(crate) const fn new() -> ServiceCounters {
+        ServiceCounters {
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+        }
+    }
+}
+
+pub(crate) static SVC: ServiceCounters = ServiceCounters::new();
+
+/// Service-layer activity since process start, across every
+/// [`crate::service::GemmService`] instance (see DESIGN.md §15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Requests accepted past admission control.
+    pub admitted: u64,
+    /// Admitted requests resolved with a successful result.
+    pub completed: u64,
+    /// Requests shed at admission because the queue was full (or
+    /// health-shrunk).
+    pub shed_overload: u64,
+    /// Requests shed at admission by a tenant's queue quota.
+    pub shed_quota: u64,
+    /// Requests resolved with [`crate::service::ServiceError::Rejected`]
+    /// (shutdown, cancellation, invalid shapes, exhausted retries).
+    pub rejected: u64,
+    /// Requests resolved with `DeadlineExceeded`.
+    pub deadline_misses: u64,
+    /// Execution retries after a recoverable pool fault.
+    pub retries: u64,
+    /// Request groups executed serially because a shard was unhealthy
+    /// (graceful degradation), plus watchdog-recovered epochs served.
+    pub degraded: u64,
+    /// Coalesced `batch` executions (group size ≥ 2).
+    pub coalesced_batches: u64,
+    /// Requests served through a coalesced batch.
+    pub coalesced_requests: u64,
+    /// Service-layer panics contained by the scheduler's catch_unwind.
+    pub panics_contained: u64,
+}
+
+fn service_snapshot() -> ServiceSnapshot {
+    ServiceSnapshot {
+        admitted: SVC.admitted.load(Ordering::Relaxed),
+        completed: SVC.completed.load(Ordering::Relaxed),
+        shed_overload: SVC.shed_overload.load(Ordering::Relaxed),
+        shed_quota: SVC.shed_quota.load(Ordering::Relaxed),
+        rejected: SVC.rejected.load(Ordering::Relaxed),
+        deadline_misses: SVC.deadline_misses.load(Ordering::Relaxed),
+        retries: SVC.retries.load(Ordering::Relaxed),
+        degraded: SVC.degraded.load(Ordering::Relaxed),
+        coalesced_batches: SVC.coalesced_batches.load(Ordering::Relaxed),
+        coalesced_requests: SVC.coalesced_requests.load(Ordering::Relaxed),
+        panics_contained: SVC.panics_contained.load(Ordering::Relaxed),
+    }
+}
+
 /// Pack-cache activity since the last [`reset`] (process start if
 /// never reset), across every per-type [`crate::prepack::PackCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -391,6 +485,8 @@ pub struct Snapshot {
     pub runtime: RuntimeSnapshot,
     /// Pack-cache activity since the last [`reset`].
     pub cache: CacheSnapshot,
+    /// Service-layer totals since process start.
+    pub service: ServiceSnapshot,
 }
 
 impl Snapshot {
@@ -460,6 +556,7 @@ pub fn snapshot() -> Snapshot {
         threads: record::thread_snapshots(),
         runtime: runtime_snapshot(),
         cache: cache_snapshot(),
+        service: service_snapshot(),
     }
 }
 
@@ -1197,6 +1294,7 @@ impl GemmReport {
         }
         let rt = &snap.runtime;
         let cc = &snap.cache;
+        let sv = &snap.service;
         format!(
             "{{\"schema\":\"dgemm-telem-v1\",\"m\":{},\"n\":{},\"k\":{},\"calls\":{},\
              \"threads\":{},\"elapsed_s\":{:.6},\"flops\":{},\"flops_counted\":{},\
@@ -1211,7 +1309,11 @@ impl GemmReport {
              \"runtime\":{{\"tasks\":{},\"dynamic_epochs\":{},\"static_epochs\":{},\
              \"deaths\":{},\"respawns\":{},\"spawn_failures\":{},\"faults_contained\":{},\
              \"timeouts\":{},\"dispatch_serial\":{},\"dispatch_pool\":{},\
-             \"grid_epochs\":{}}},\"threads_detail\":[{}]}}",
+             \"grid_epochs\":{}}},\
+             \"service\":{{\"admitted\":{},\"completed\":{},\"shed_overload\":{},\
+             \"shed_quota\":{},\"rejected\":{},\"deadline_misses\":{},\"retries\":{},\
+             \"degraded\":{},\"coalesced_batches\":{},\"coalesced_requests\":{},\
+             \"panics_contained\":{}}},\"threads_detail\":[{}]}}",
             self.m,
             self.n,
             self.k,
@@ -1250,6 +1352,17 @@ impl GemmReport {
             rt.dispatch_serial,
             rt.dispatch_pool,
             rt.grid_epochs,
+            sv.admitted,
+            sv.completed,
+            sv.shed_overload,
+            sv.shed_quota,
+            sv.rejected,
+            sv.deadline_misses,
+            sv.retries,
+            sv.degraded,
+            sv.coalesced_batches,
+            sv.coalesced_requests,
+            sv.panics_contained,
             threads_json,
         )
     }

@@ -50,6 +50,8 @@ fn entry_for(class: &ShapeClass, kc: usize, mc: usize, nc: usize) -> TuneEntry {
         untuned_gflops: 9.0,
         achieved_vs_bound: 0.5,
         candidates: 7,
+        tuned_at: 1_700_000_000,
+        version: autotune::LIB_VERSION.to_owned(),
     }
 }
 
@@ -222,6 +224,43 @@ fn full_mode_tunes_persists_and_rereads() {
     assert!(db.host(autotune::cpu_id()).is_some());
     std::env::remove_var("DGEMM_TUNE_DB");
     std::env::remove_var("DGEMM_AUTOTUNE");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The first Full-mode miss of a shape class must not stall the caller
+/// behind a multi-second sweep: it serves the analytic config
+/// immediately and runs the sweep on a warm-up thread; once the winner
+/// lands in the DB, subsequent calls of the class serve it.
+#[test]
+fn full_mode_first_miss_tunes_in_the_background() {
+    let _guard = env_lock();
+    let path = scratch("background.json");
+    let _ = std::fs::remove_file(&path);
+    autotune::invalidate_db_cache();
+    std::env::set_var("DGEMM_TUNE_DB", &path);
+    std::env::set_var("DGEMM_AUTOTUNE_BUDGET", "2");
+    std::env::set_var("DGEMM_AUTOTUNE_REPS", "1");
+    let mut cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1);
+    cfg.autotune = AutotuneMode::Full;
+    let first = autotune::tuned_f64(&cfg, 64, 64, 64);
+    // Served analytically, unchanged: the sweep is off-thread.
+    assert_eq!(first.blocks.label(), cfg.blocks.label());
+    assert_eq!(first.kernel, cfg.kernel);
+    autotune::wait_for_background_tuning();
+    autotune::invalidate_db_cache();
+    let class = ShapeClass::of(64, 64, 64);
+    let entry = autotune::load_db(&path)
+        .find(autotune::cpu_id(), "f64", &class.label())
+        .cloned()
+        .expect("background sweep persisted a winner");
+    assert_eq!(entry.version, autotune::LIB_VERSION);
+    assert!(entry.tuned_at > 0, "sweep stamps its wall-clock time");
+    // The next call of the class picks the stored winner up.
+    let second = autotune::tuned_f64(&cfg, 64, 64, 64);
+    assert_eq!(second.blocks.label(), entry.blocks().label());
+    std::env::remove_var("DGEMM_TUNE_DB");
+    std::env::remove_var("DGEMM_AUTOTUNE_BUDGET");
+    std::env::remove_var("DGEMM_AUTOTUNE_REPS");
     let _ = std::fs::remove_file(&path);
 }
 
