@@ -11,9 +11,13 @@
 //! measure channel round-trip latency instead of throughput.
 //!
 //! Besides the criterion lines, one accounting line with the measured
-//! ratio is appended to `BENCH_service.json`, and the service's
-//! scrapeable `dgemm-telem-v1` status snapshot is written to
-//! `STATUS_service.json`.
+//! ratio is appended to `BENCH_service.json`, the service's scrapeable
+//! `dgemm-telem-v1` status snapshot is written to
+//! `STATUS_service.json`, and the phase-attribution report for the
+//! accounting pass (`GemmReport::to_json`, the same artifact the other
+//! pooled benches emit) goes to `TELEM_service.json`. With the default
+//! `trace` feature on, the accounting pass therefore measures the
+//! ring-mode tracing overhead too — the 5% gate covers it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dgemm_core::gemm::{gemm, GemmConfig};
@@ -21,6 +25,7 @@ use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
 use dgemm_core::pool::Parallelism;
 use dgemm_core::service::{GemmService, ServiceConfig};
+use dgemm_core::telemetry::{self, GemmReport};
 use dgemm_core::util::gemm_flops;
 use dgemm_core::Transpose;
 use std::hint::black_box;
@@ -118,6 +123,8 @@ fn bench_service(c: &mut Criterion) {
     const REPS: usize = 16;
     run_direct(&a_stream, &b, &cfg); // warm pool + pack cache
     run_service(&svc, &a_arcs, &b_arc);
+    telemetry::reset();
+    let telem_t0 = Instant::now();
     let mut direct_ns = u128::MAX;
     let mut service_ns = u128::MAX;
     let mut ratios = Vec::with_capacity(REPS);
@@ -137,6 +144,8 @@ fn bench_service(c: &mut Criterion) {
     // machine-wide drift (a noisy neighbour slowing both phases of a
     // pair) cancels within the pair, and the median discards the
     // outlier pairs it cannot cancel in either direction.
+    let telem_elapsed = telem_t0.elapsed();
+    let snap = telemetry::snapshot();
     ratios.sort_by(f64::total_cmp);
     let ratio = ratios[REPS / 2];
     eprintln!(
@@ -160,6 +169,22 @@ fn bench_service(c: &mut Criterion) {
             let _ = f.write_all(line.as_bytes());
         }
         Err(e) => eprintln!("accounting export failed for {path}: {e}"),
+    }
+    // Phase attribution for the accounting pass (both paths together:
+    // 2 × REPS × STREAM calls), same artifact shape as the other pooled
+    // benches so downstream tooling reads one schema.
+    let report = GemmReport::from_run(
+        (M, N, K),
+        2 * (REPS as u64) * (STREAM as u64),
+        threads,
+        telem_elapsed,
+        &cfg.blocks,
+        &snap,
+    );
+    telemetry::emit(&report, &snap);
+    let telem_path = format!("{dir}/TELEM_service.json");
+    if let Err(e) = std::fs::write(&telem_path, report.to_json(&snap) + "\n") {
+        eprintln!("telemetry export failed for {telem_path}: {e}");
     }
     // The scrapeable status snapshot (schema dgemm-telem-v1).
     let status_path = format!("{dir}/STATUS_service.json");

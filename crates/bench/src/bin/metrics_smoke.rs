@@ -1,0 +1,245 @@
+//! CI smoke for the observability surface (DESIGN.md §16): stand up a
+//! [`GemmService`] with a deliberately small queue, push a burst of
+//! mixed-tenant requests through it (some of which shed), optionally
+//! inject one seeded fault, then scrape the loopback `/metrics` and
+//! `/status` endpoint over real TCP and export everything for the
+//! workflow's parser gate:
+//!
+//! * `$BENCH_JSON_DIR/METRICS_service.prom` — the raw `/metrics` body
+//!   (Prometheus text exposition format).
+//! * `$BENCH_JSON_DIR/STATUS_smoke.json` — the raw `/status` body
+//!   (`dgemm-telem-v1`).
+//! * `$BENCH_JSON_DIR/TRACE_service.json` — a chrome-trace
+//!   (`trace_events`) export of the run, openable in Perfetto or
+//!   `chrome://tracing`.
+//!
+//! With the `fault-injection` feature compiled in, `DGEMM_FAULT_SEED`
+//! selects the fault ([`FaultPlan::from_seed_service`] — the same
+//! mapping the chaos-soak suite sweeps); unset, a default seed that
+//! arms a service-layer site is used so the health journal always has
+//! a `fault_injected` entry to assert against. The binary exits
+//! nonzero if the scrape fails, the journal lost the fault, or the
+//! trace chain of a served request is missing its lifecycle events.
+
+use dgemm_core::gemm::GemmConfig;
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::pool::Parallelism;
+use dgemm_core::service::{GemmService, ServiceConfig, ServiceError};
+use dgemm_core::trace::{self, HealthEventKind, TraceKind};
+use dgemm_core::Transpose;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TENANTS: [&str; 3] = ["tenant-a", "tenant-b", "tenant-c"];
+const REQUESTS: usize = 100;
+const M: usize = 96;
+const N: usize = 128;
+const K: usize = 128;
+
+/// Default `from_seed_service` seed when `DGEMM_FAULT_SEED` is unset:
+/// chosen (stable, asserted in core's fault tests' 7-way mapping) to
+/// arm a *service-layer* site so the fault fires under this binary's
+/// workload and lands in the health journal with a trace ID.
+#[cfg(feature = "fault-injection")]
+const DEFAULT_SEED: u64 = 5;
+
+fn scrape(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to metricsd");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("socket timeout");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").expect("send request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    let (head, body) = out
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response head for {path}: {out:?}"));
+    (head.to_string(), body.to_string())
+}
+
+/// Returns the seed and whether the armed site fires inside a request
+/// context (service scheduler or a pool job carrying a trace), i.e.
+/// whether its journal entry must carry a nonzero trace ID.
+#[cfg(feature = "fault-injection")]
+fn install_fault() -> (u64, bool) {
+    use dgemm_core::faults::{self, FaultPlan};
+    let seed = std::env::var("DGEMM_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let plan = FaultPlan::from_seed_service(seed);
+    eprintln!("metrics_smoke: DGEMM_FAULT_SEED={seed} -> {plan:?}");
+    let request_scoped = plan.service_stall.is_some()
+        || plan.service_panic.is_some()
+        || plan.worker_panic.is_some()
+        || plan.slow_worker.is_some();
+    faults::install(plan);
+    (seed, request_scoped)
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get().clamp(2, 4));
+    #[cfg(feature = "fault-injection")]
+    let (seed, fault_request_scoped) = install_fault();
+
+    // Small queue + tight per-tenant quota: the 100-request burst below
+    // must overrun them, so the shed paths (and their health-journal
+    // entries) are exercised on every run.
+    let svc = GemmService::new(ServiceConfig {
+        queue_limit: 24,
+        tenant_quota: 10,
+        coalesce: 8,
+        shards: 1,
+        gemm: GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads)
+            .with_parallelism(Parallelism::Pool(threads))
+            .with_pack_cache(true),
+        ..ServiceConfig::default()
+    });
+    let endpoint = match std::env::var("DGEMM_METRICS_ADDR") {
+        Ok(_) => svc
+            .serve_metrics_from_env()
+            .expect("bind DGEMM_METRICS_ADDR")
+            .expect("DGEMM_METRICS_ADDR is set"),
+        Err(_) => svc.serve_metrics("127.0.0.1:0").expect("bind loopback"),
+    };
+    let addr = endpoint.local_addr();
+    eprintln!("metrics_smoke: scrape endpoint on {addr}");
+
+    let b = Arc::new(Matrix::random(K, N, 2));
+    let a_mats: Vec<Arc<Matrix>> = (0..8)
+        .map(|i| Arc::new(Matrix::random(M, K, 100 + i)))
+        .collect();
+
+    // Burst the whole batch before waiting on any ticket so the queue
+    // bound and tenant quotas actually bite.
+    let mut tickets = Vec::new();
+    let (mut shed, mut rejected) = (0usize, 0usize);
+    for i in 0..REQUESTS {
+        let tenant = TENANTS[i % TENANTS.len()];
+        match svc.submit(
+            tenant,
+            1.0,
+            Arc::clone(&a_mats[i % a_mats.len()]),
+            Transpose::No,
+            Arc::clone(&b),
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(ServiceError::Overloaded { .. }) => shed += 1,
+            Err(e) => {
+                eprintln!("unexpected submit error: {e}");
+                rejected += 1;
+            }
+        }
+    }
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    let mut served_ticket_id = None;
+    for t in tickets {
+        let id = t.id();
+        match t.wait() {
+            Ok(c) => {
+                std::hint::black_box(c.get(0, 0));
+                served += 1;
+                served_ticket_id.get_or_insert(id);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    eprintln!(
+        "metrics_smoke: {served} served, {shed} shed, {failed} failed, {rejected} rejected \
+         of {REQUESTS} submitted"
+    );
+    assert!(served > 0, "smoke must serve some requests");
+    assert!(shed > 0, "the burst must overrun the small queue");
+
+    // Scrape over real TCP (the point of the smoke: the endpoint, not
+    // just the renderer).
+    let (head, metrics_body) = scrape(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "metrics scrape: {head}");
+    assert!(
+        metrics_body.contains("dgemm_service_admitted_total"),
+        "metrics body missing service counters"
+    );
+    let (head, status_body) = scrape(addr, "/status");
+    assert!(head.starts_with("HTTP/1.1 200"), "status scrape: {head}");
+    assert!(
+        status_body.starts_with("{\"schema\":\"dgemm-telem-v1\""),
+        "status body is not dgemm-telem-v1: {}",
+        &status_body[..status_body.len().min(80)]
+    );
+    let (head, _) = scrape(addr, "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "404 route: {head}");
+
+    // The journal must carry the shed events; with fault-injection on,
+    // the injected fault too (the point of the chaos leg: a failure
+    // observed by the user is attributable in the journal).
+    let counts = trace::health_counts();
+    let shed_total = counts
+        .iter()
+        .find(|(k, _)| *k == HealthEventKind::Shed)
+        .map_or(0, |(_, n)| *n);
+    assert!(
+        shed_total as usize >= shed,
+        "journal lost shed events: {shed_total} < {shed}"
+    );
+    #[cfg(feature = "fault-injection")]
+    {
+        let events = trace::health_events();
+        let injected: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == HealthEventKind::FaultInjected)
+            .collect();
+        eprintln!(
+            "metrics_smoke: seed {seed}: {} fault_injected journal entries",
+            injected.len()
+        );
+        assert!(
+            !injected.is_empty(),
+            "seeded fault (seed {seed}) never fired under the smoke workload"
+        );
+        if fault_request_scoped && trace::enabled() {
+            assert!(
+                injected.iter().any(|e| e.trace != 0),
+                "request-scoped fault lost its trace ID: {injected:?}"
+            );
+        }
+    }
+
+    // Trace-chain sanity on one served request (only meaningful while
+    // the ring actually records).
+    if trace::enabled() && trace::mode() != trace::TraceMode::Off {
+        let id = served_ticket_id.expect("served > 0");
+        let chain = svc.trace_of(id);
+        for kind in [
+            TraceKind::Submitted,
+            TraceKind::Admitted,
+            TraceKind::Resolved,
+        ] {
+            assert!(
+                chain.iter().any(|e| e.kind == kind),
+                "trace {id} chain missing {kind:?}: {chain:?}"
+            );
+        }
+        assert!(
+            chain.windows(2).all(|w| w[0].start_ns <= w[1].start_ns),
+            "trace {id} timestamps not monotone: {chain:?}"
+        );
+    }
+
+    // Artifacts for the workflow's parser gate + Perfetto.
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    std::fs::write(format!("{dir}/METRICS_service.prom"), &metrics_body)
+        .expect("write metrics artifact");
+    std::fs::write(format!("{dir}/STATUS_smoke.json"), status_body + "\n")
+        .expect("write status artifact");
+    let chrome = trace::chrome_trace_json(&trace::recent_events(8192));
+    std::fs::write(format!("{dir}/TRACE_service.json"), chrome + "\n")
+        .expect("write chrome-trace artifact");
+    eprintln!("metrics_smoke: artifacts in {dir}/ (METRICS_service.prom, STATUS_smoke.json, TRACE_service.json)");
+
+    drop(endpoint);
+    svc.shutdown();
+}

@@ -320,6 +320,22 @@ pub(crate) fn record(mut decision: DispatchDecision, elapsed: Duration) {
     } else {
         decision.predicted_serial_ms
     };
+    // Mispredict accounting: the model chose this runtime, yet the
+    // measured time exceeded what it predicted for the *other* one —
+    // the choice was contradicted by the measurement. Forced decisions
+    // carry no prediction claim, so they are excluded.
+    let alt_predicted = if pool {
+        decision.predicted_serial_ms
+    } else {
+        decision.predicted_pool_ms
+    };
+    if !decision.forced
+        && measured.is_finite()
+        && alt_predicted.is_finite()
+        && measured > alt_predicted
+    {
+        RT.dispatch_mispredicts.fetch_add(1, Ordering::Relaxed);
+    }
     let prev = calibration(pool);
     // `predicted` already carries `prev`; divide it back out so the
     // ratio tracks measured/raw-model, not a compounding feedback loop.

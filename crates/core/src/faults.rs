@@ -45,6 +45,7 @@ pub use enabled::*;
 
 #[cfg(feature = "fault-injection")]
 mod enabled {
+    use crate::trace::{self, HealthEventKind};
     use crate::util::SplitMix64;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Mutex, PoisonError};
@@ -219,6 +220,14 @@ mod enabled {
         trigger.hits(occurrence)
     }
 
+    /// Journal a fired injection site so chaos runs can correlate the
+    /// observed failure with its cause (DESIGN.md §16). The trace ID is
+    /// whatever request context is current on this thread (0 when the
+    /// site fires outside any request, e.g. spawn during pool bring-up).
+    fn injected(site: &'static str) {
+        trace::health_event(HealthEventKind::FaultInjected, trace::current_id(), 0, site);
+    }
+
     fn on_pool_thread() -> bool {
         std::thread::current()
             .name()
@@ -228,6 +237,7 @@ mod enabled {
     /// Injection site: start of a pool job. Panics when the plan says so.
     pub(crate) fn panic_in_job() {
         if fired(&PANIC_HITS, plan().and_then(|p| p.worker_panic)) {
+            injected("worker_panic");
             panic!("injected worker panic (dgemm fault-injection)");
         }
     }
@@ -239,24 +249,37 @@ mod enabled {
             return;
         };
         if on_pool_thread() && fired(&SLOW_HITS, Some(trigger)) {
+            injected("slow_worker");
             std::thread::sleep(delay);
         }
     }
 
     /// Injection site: worker-thread spawn. `true` = pretend it failed.
     pub(crate) fn fail_spawn() -> bool {
-        fired(&SPAWN_HITS, plan().and_then(|p| p.spawn_fail))
+        let hit = fired(&SPAWN_HITS, plan().and_then(|p| p.spawn_fail));
+        if hit {
+            injected("spawn_fail");
+        }
+        hit
     }
 
     /// Injection site: buffer `try_reserve`. `true` = pretend it failed.
     pub(crate) fn fail_alloc() -> bool {
-        fired(&ALLOC_HITS, plan().and_then(|p| p.alloc_fail))
+        let hit = fired(&ALLOC_HITS, plan().and_then(|p| p.alloc_fail));
+        if hit {
+            injected("alloc_fail");
+        }
+        hit
     }
 
     /// Injection site: end of a worker's task loop iteration. `true` =
     /// the worker should exit (simulated death; respawn path).
     pub(crate) fn take_worker_kill() -> bool {
-        fired(&KILL_HITS, plan().and_then(|p| p.worker_kill))
+        let hit = fired(&KILL_HITS, plan().and_then(|p| p.worker_kill));
+        if hit {
+            injected("worker_kill");
+        }
+        hit
     }
 
     /// Injection site: service scheduler about to execute a request
@@ -266,6 +289,7 @@ mod enabled {
             return;
         };
         if fired(&SERVICE_STALL_HITS, Some(trigger)) {
+            injected("service_stall");
             std::thread::sleep(delay);
         }
     }
@@ -275,6 +299,7 @@ mod enabled {
     /// `catch_unwind`, exercising its retry/degrade ladder).
     pub(crate) fn panic_in_service() {
         if fired(&SERVICE_PANIC_HITS, plan().and_then(|p| p.service_panic)) {
+            injected("service_panic");
             panic!("injected service-layer panic (dgemm fault-injection)");
         }
     }

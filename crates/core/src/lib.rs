@@ -47,6 +47,8 @@
 //! | [`batch`] | — | batched GEMM with shared-operand packing reuse |
 //! | [`sgemm`] | — | single-precision GEMM from the same analytic design (12×8, γ=9.6) |
 //! | [`telemetry`] | — | per-thread counters, phase spans, model-vs-measured attribution |
+//! | [`trace`] | — | request-scoped trace spans, latency histograms, health-event journal |
+//! | [`metricsd`] | — | dependency-free `/metrics` + `/status` scrape endpoint |
 //! | [`autotune`] | — | closed-loop, model-seeded autotuner with a persistent per-host tuning DB |
 //! | [`mod@reference`] | — | naive triple-loop oracle for validation |
 
@@ -70,6 +72,7 @@ pub mod gemm;
 pub mod level3;
 pub mod lu;
 pub mod matrix;
+pub mod metricsd;
 pub mod microkernel;
 pub mod pack;
 pub mod parallel;
@@ -81,6 +84,7 @@ pub mod service;
 pub mod sgemm;
 pub mod telemetry;
 pub mod tile;
+pub mod trace;
 pub mod util;
 
 pub use pool::Parallelism;

@@ -125,10 +125,16 @@ pub fn run_layer3_scoped<T: Scalar, K: KernelSet<T>>(
         .zip(tiles)
         .map(|(&(start, _), tile)| Mutex::new(Some((start, tile))))
         .collect();
+    // Carry the caller's request-trace context onto the scoped band
+    // threads so bridged pack/compute phase spans attribute to the
+    // request that caused them (DESIGN.md §16), matching the persistent
+    // pool's `submit_run` propagation.
+    let trace_ctx = crate::trace::capture();
     std::thread::scope(|scope| {
         let mut orphaned = Vec::new();
         for cell in &cells {
             let work = || {
+                let _trace = crate::trace::adopt(trace_ctx.clone());
                 let taken = cell.lock().unwrap_or_else(PoisonError::into_inner).take();
                 if let Some((start, tile)) = taken {
                     let mut pa = PackedA::new(params.kernel.mr());

@@ -772,7 +772,12 @@ fn submit_run<T: PoolScalar, K: KernelSet<T>>(
     tx: Sender<Done<T>>,
     seq: u64,
 ) {
+    // Capture the caller's request trace context (if any) so worker-side
+    // phase spans and fault events attribute to the request that
+    // submitted the epoch, not to the worker thread.
+    let trace_ctx = crate::trace::capture();
     pool.submit(Box::new(move || {
+        let _trace = crate::trace::adopt(trace_ctx);
         let cap = slots.len();
         let mut guard = RunGuard {
             todo: slots,
@@ -1408,6 +1413,12 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
         match recovered {
             Ok(()) => {
                 RT.faults_contained.fetch_add(1, Ordering::Relaxed);
+                crate::trace::health_event(
+                    crate::trace::HealthEventKind::FaultContained,
+                    crate::trace::current_id(),
+                    slot.row0 as u64,
+                    "worker panic contained; block recomputed serially",
+                );
             }
             Err(e @ GemmError::WorkerFault { .. }) => {
                 // Double fault: C is unspecified, but finish the call so
@@ -1434,6 +1445,12 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
             .collect();
         if outcome.timed_out {
             RT.timeouts.fetch_add(1, Ordering::Relaxed);
+            crate::trace::health_event(
+                crate::trace::HealthEventKind::WatchdogFire,
+                crate::trace::current_id(),
+                missing.len() as u64,
+                "epoch watchdog expired; missing blocks recomputed serially",
+            );
             *degraded = true;
             if worst.is_none() {
                 *worst = Some(GemmError::EpochTimeout {
@@ -1472,6 +1489,12 @@ fn settle_epoch_faults<T: PoolScalar, K: KernelSet<T>>(
             match recovered {
                 Ok(()) => {
                     RT.faults_contained.fetch_add(1, Ordering::Relaxed);
+                    crate::trace::health_event(
+                        crate::trace::HealthEventKind::FaultContained,
+                        crate::trace::current_id(),
+                        slot.row0 as u64,
+                        "lost block recomputed serially after watchdog expiry",
+                    );
                 }
                 Err(e @ GemmError::WorkerFault { .. }) => *worst = Some(e),
                 Err(e) => return Err(e),

@@ -36,11 +36,14 @@ use crate::batch::gemm_batch_with_cache;
 use crate::faults;
 use crate::gemm::{env_u64, GemmConfig};
 use crate::matrix::{Matrix, MatrixView, MatrixViewMut};
+use crate::metricsd::{self, MetricsServer, MetricsSource};
 use crate::pool::{self, Parallelism, WorkerPool};
 use crate::prepack::PackCache;
 use crate::telemetry::{ServiceCounters, SVC};
+use crate::trace::{self, HealthEventKind, LatencyHistogram, TraceEventRec, TraceKind};
 use crate::{GemmError, Transpose};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use perfmodel::tuning::ShapeClass;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -232,6 +235,10 @@ struct Request {
     budget_ms: u64,
     cancelled: Arc<AtomicBool>,
     tx: Sender<Result<Matrix, ServiceError>>,
+    /// Trace identity (also the ticket ID) and the monotonic submit
+    /// timestamp every latency figure is anchored to.
+    trace: u64,
+    submitted_ns: u64,
 }
 
 impl Request {
@@ -254,17 +261,27 @@ impl Request {
 pub struct Ticket {
     rx: Receiver<Result<Matrix, ServiceError>>,
     cancelled: Arc<AtomicBool>,
+    id: u64,
 }
 
 impl core::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Ticket")
+            .field("id", &self.id)
             .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
 
 impl Ticket {
+    /// This request's trace ID: pass it to
+    /// [`GemmService::trace_of`] for the recorded span chain. Stable
+    /// for the life of the ticket and process-unique.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Block until the request resolves. Consumes the ticket — the
     /// resolution is delivered exactly once.
     pub fn wait(self) -> Result<Matrix, ServiceError> {
@@ -313,6 +330,30 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Per-(tenant, shape-class) request latency histograms: end-to-end
+/// latency, queue wait, compute and pack time (the latter two bridged
+/// from telemetry phase spans; for a coalesced group every member
+/// observes the shared batch's phase totals).
+#[derive(Debug, Default)]
+struct RequestHists {
+    total: LatencyHistogram,
+    queue: LatencyHistogram,
+    compute: LatencyHistogram,
+    pack: LatencyHistogram,
+}
+
+impl RequestHists {
+    /// The four metrics in stable schema order.
+    fn metrics(&self) -> [(&'static str, &LatencyHistogram); 4] {
+        [
+            ("total", &self.total),
+            ("queue", &self.queue),
+            ("compute", &self.compute),
+            ("pack", &self.pack),
+        ]
+    }
+}
+
 struct Inner {
     cfg: ServiceConfig,
     state: Mutex<QueueState>,
@@ -323,6 +364,11 @@ struct Inner {
     /// Per-instance mirror of the process-wide [`SVC`] counters,
     /// exported by [`GemmService::status_json`].
     counters: ServiceCounters,
+    /// Latency histograms keyed by `(tenant, shape-class label)`.
+    hists: Mutex<HashMap<(String, String), Arc<RequestHists>>>,
+    /// Snapshot ordering for scrapers: bumped by every `status_json` /
+    /// `/metrics` render.
+    snapshot_seq: AtomicU64,
 }
 
 /// The admission-controlled serving front-end. See the module docs for
@@ -364,6 +410,8 @@ impl GemmService {
             rr_shard: AtomicUsize::new(0),
             tenants: Mutex::new(HashMap::new()),
             counters: ServiceCounters::new(),
+            hists: Mutex::new(HashMap::new()),
+            snapshot_seq: AtomicU64::new(0),
         });
         let sched = Arc::clone(&inner);
         let scheduler = thread::Builder::new()
@@ -411,16 +459,21 @@ impl GemmService {
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServiceError> {
         let inner = &*self.inner;
+        let trace_id = trace::next_trace_id();
+        let submitted_ns = trace::now_ns();
+        trace::record_event(trace_id, TraceKind::Submitted, 0, 0);
         let (m, k) = (a.rows(), a.cols());
         let (bk, n) = transb.apply_dims(b.rows(), b.cols());
         if k != bk {
             inner.count(|c| &c.rejected);
+            trace::record_event(trace_id, TraceKind::Rejected, 0, 0);
             return Err(ServiceError::Rejected(
                 "inner dimensions of A and op(B) disagree",
             ));
         }
         if m == 0 || n == 0 || k == 0 {
             inner.count(|c| &c.rejected);
+            trace::record_event(trace_id, TraceKind::Rejected, 0, 0);
             return Err(ServiceError::Rejected("empty matrix dimensions"));
         }
         let limit = inner.effective_queue_limit();
@@ -428,12 +481,25 @@ impl GemmService {
         if st.shutdown {
             drop(st);
             inner.count(|c| &c.rejected);
+            trace::record_event(trace_id, TraceKind::Rejected, 0, 0);
             return Err(ServiceError::Rejected("service is shut down"));
         }
         if st.depth >= limit {
             let depth = st.depth;
             drop(st);
             inner.count(|c| &c.shed_overload);
+            trace::record_event(
+                trace_id,
+                TraceKind::ShedOverload,
+                depth as u64,
+                limit as u64,
+            );
+            trace::health_event(
+                HealthEventKind::Shed,
+                trace_id,
+                depth as u64,
+                "global queue bound hit at admission",
+            );
             return Err(ServiceError::Overloaded {
                 queue_depth: depth,
                 limit,
@@ -443,6 +509,18 @@ impl GemmService {
         if occupancy >= inner.cfg.tenant_quota {
             drop(st);
             inner.count(|c| &c.shed_quota);
+            trace::record_event(
+                trace_id,
+                TraceKind::ShedQuota,
+                occupancy as u64,
+                inner.cfg.tenant_quota as u64,
+            );
+            trace::health_event(
+                HealthEventKind::Shed,
+                trace_id,
+                occupancy as u64,
+                "tenant quota hit at admission",
+            );
             return Err(ServiceError::Overloaded {
                 queue_depth: occupancy,
                 limit: inner.cfg.tenant_quota,
@@ -460,6 +538,8 @@ impl GemmService {
             budget_ms: deadline.map_or(0, |d| d.as_millis() as u64),
             cancelled: Arc::clone(&cancelled),
             tx,
+            trace: trace_id,
+            submitted_ns,
         };
         let queue = st.queues.entry(tenant.to_string()).or_default();
         let was_empty = queue.is_empty();
@@ -470,8 +550,13 @@ impl GemmService {
         st.depth += 1;
         drop(st);
         inner.count(|c| &c.admitted);
+        trace::record_event(trace_id, TraceKind::Admitted, 0, 0);
         inner.work.notify_one();
-        Ok(Ticket { rx, cancelled })
+        Ok(Ticket {
+            rx,
+            cancelled,
+            id: trace_id,
+        })
     }
 
     /// Requests currently queued (admitted, not yet executing).
@@ -490,9 +575,61 @@ impl GemmService {
         self.inner.status_json()
     }
 
+    /// The `/metrics` body for this instance: Prometheus text
+    /// exposition format (counters, gauges and the per-tenant /
+    /// shape-class latency histograms). What
+    /// [`GemmService::serve_metrics`] serves; exposed directly so tests
+    /// and embedders can scrape without a socket.
+    pub fn metrics_text(&self) -> String {
+        self.inner.prometheus_text()
+    }
+
+    /// The recorded span chain for a ticket ([`Ticket::id`]), oldest
+    /// first — the request debug API. Spans survive in the bounded
+    /// trace ring until overwritten; empty when the `trace` feature is
+    /// off, `DGEMM_TRACE=off`, or the ring has recycled the entries.
+    pub fn trace_of(&self, ticket_id: u64) -> Vec<TraceEventRec> {
+        trace::events_for(ticket_id)
+    }
+
+    /// Bind a [`crate::metricsd`] scrape endpoint on `addr` (e.g.
+    /// `"127.0.0.1:9464"`; port 0 picks a free port) serving this
+    /// instance's `/metrics` and `/status`. The endpoint lives until
+    /// the returned handle drops and holds its own reference to the
+    /// service internals, so it stays scrapeable (final counters)
+    /// even after the service shuts down.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<MetricsServer> {
+        let source: Arc<dyn MetricsSource> = Arc::new(ScrapeSource(Arc::clone(&self.inner)));
+        MetricsServer::spawn(addr, source)
+    }
+
+    /// [`GemmService::serve_metrics`] bound to `DGEMM_METRICS_ADDR`;
+    /// `Ok(None)` when the variable is unset or empty.
+    pub fn serve_metrics_from_env(&self) -> std::io::Result<Option<MetricsServer>> {
+        match metricsd::addr_from_env()? {
+            Some(addr) => Ok(Some(self.serve_metrics(&addr)?)),
+            None => Ok(None),
+        }
+    }
+
     /// Stop admitting, drain every queued request to a resolution, wind
     /// down the shards, and return. Equivalent to dropping the service.
     pub fn shutdown(self) {}
+}
+
+/// The [`MetricsSource`] adapter handed to [`crate::metricsd`]: holds
+/// its own `Arc<Inner>` so the scrape surface outlives the service
+/// handle.
+struct ScrapeSource(Arc<Inner>);
+
+impl MetricsSource for ScrapeSource {
+    fn metrics_text(&self) -> String {
+        self.0.prometheus_text()
+    }
+
+    fn status_json(&self) -> String {
+        self.0.status_json()
+    }
 }
 
 impl Drop for GemmService {
@@ -568,15 +705,70 @@ impl Inner {
             Some(Instant::now() + self.cfg.unhealthy_cooldown);
     }
 
+    /// The latency histograms for `req`'s `(tenant, shape-class)` key.
+    fn hists_for(&self, req: &Request) -> Arc<RequestHists> {
+        let (_, n) = req.transb.apply_dims(req.b.rows(), req.b.cols());
+        let class = ShapeClass::of(req.a.rows(), n, req.a.cols()).label();
+        let mut map = self.hists.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry((req.tenant.clone(), class)).or_default())
+    }
+
+    /// Record one request's queue/compute/pack observations and its
+    /// `Executed` span (the group-attempt wall clock). Compute and pack
+    /// come from the phase accumulators the trace context bridged from
+    /// telemetry spans; without them (feature off, `telemetry` off, or
+    /// a fully degraded path) compute falls back to the attempt wall
+    /// clock.
+    fn observe_request(
+        &self,
+        req: &Request,
+        dequeue_ns: u64,
+        exec_start_ns: u64,
+        exec_ns: u64,
+        ctx: Option<&trace::TraceCtx>,
+    ) {
+        trace::record_span(req.trace, TraceKind::Executed, exec_start_ns, exec_ns, 0, 0);
+        let h = self.hists_for(req);
+        h.queue
+            .record_us(dequeue_ns.saturating_sub(req.submitted_ns) / 1_000);
+        let compute_ns = ctx.map_or(0, |c| c.compute_ns());
+        h.compute.record_us(if compute_ns > 0 {
+            compute_ns / 1_000
+        } else {
+            exec_ns / 1_000
+        });
+        h.pack.record_us(ctx.map_or(0, |c| c.pack_ns()) / 1_000);
+    }
+
     /// Deliver the one-and-only resolution for `req`, counting the
     /// outcome. Consumes the request: exactly-once by construction.
+    /// Also the tail of the trace chain: records the `Resolved` event,
+    /// the end-to-end latency histogram sample, and (in
+    /// `DGEMM_TRACE=json` mode) prints the request's chrome-trace line.
     fn resolve(&self, req: Request, result: Result<Matrix, ServiceError>) {
-        match &result {
-            Ok(_) => self.count(|c| &c.completed),
-            Err(ServiceError::Overloaded { .. }) => self.count(|c| &c.shed_overload),
-            Err(ServiceError::DeadlineExceeded { .. }) => self.count(|c| &c.deadline_misses),
-            Err(ServiceError::Rejected(_)) => self.count(|c| &c.rejected),
-        }
+        let outcome: u64 = match &result {
+            Ok(_) => {
+                self.count(|c| &c.completed);
+                0
+            }
+            Err(ServiceError::Overloaded { .. }) => {
+                self.count(|c| &c.shed_overload);
+                1
+            }
+            Err(ServiceError::DeadlineExceeded { .. }) => {
+                self.count(|c| &c.deadline_misses);
+                2
+            }
+            Err(ServiceError::Rejected(_)) => {
+                self.count(|c| &c.rejected);
+                3
+            }
+        };
+        self.hists_for(&req)
+            .total
+            .record_us(trace::now_ns().saturating_sub(req.submitted_ns) / 1_000);
+        trace::record_event(req.trace, TraceKind::Resolved, outcome, 0);
+        trace::emit_json(req.trace);
         // A caller that dropped its ticket just discards the result.
         let _ = req.tx.send(result);
     }
@@ -661,9 +853,28 @@ impl Inner {
     /// with per-request serial recovery — and resolve every member
     /// exactly once.
     fn execute_group(&self, group: Vec<Request>) {
+        // The group leader's trace context is installed on this thread
+        // (and propagated into pool job closures) for the whole
+        // execution, so telemetry phase spans, injected faults and
+        // journal entries attribute to the request that caused them.
+        // Shared batch work lands on the leader; members carry a
+        // `Coalesced` pointer at the leader's trace/batch ID.
+        let leader_ctx = group.first().map(|r| trace::TraceCtx::new(r.trace));
+        let _scope = trace::adopt(leader_ctx.clone());
         // Injection site: the queue stalls between dequeue and triage,
         // so a stall can push queued requests past their deadlines.
         faults::service_stall_delay();
+        let dequeue_ns = trace::now_ns();
+        for req in &group {
+            trace::record_span(
+                req.trace,
+                TraceKind::Queued,
+                req.submitted_ns,
+                dequeue_ns.saturating_sub(req.submitted_ns),
+                0,
+                0,
+            );
+        }
         let now = Instant::now();
         let mut live: Vec<Request> = Vec::with_capacity(group.len());
         for req in group {
@@ -682,12 +893,22 @@ impl Inner {
         if live.len() >= 2 {
             self.count(|c| &c.coalesced_batches);
             self.count_n(|c| &c.coalesced_requests, live.len() as u64);
+            let batch_id = live[0].trace;
+            for req in &live {
+                trace::record_event(req.trace, TraceKind::Coalesced, batch_id, live.len() as u64);
+            }
         }
         let (_, n) = live[0]
             .transb
             .apply_dims(live[0].b.rows(), live[0].b.cols());
         let mut outs: Vec<Matrix> = live.iter().map(|r| Matrix::zeros(r.a.rows(), n)).collect();
-        match catch_unwind(AssertUnwindSafe(|| self.run_group(&live, &mut outs))) {
+        let exec_start_ns = trace::now_ns();
+        let result = catch_unwind(AssertUnwindSafe(|| self.run_group(&live, &mut outs)));
+        let exec_ns = trace::now_ns().saturating_sub(exec_start_ns);
+        for req in &live {
+            self.observe_request(req, dequeue_ns, exec_start_ns, exec_ns, leader_ctx.as_ref());
+        }
+        match result {
             Ok(Ok(())) => {
                 for (req, c) in live.into_iter().zip(outs) {
                     self.resolve(req, Ok(c));
@@ -709,6 +930,12 @@ impl Inner {
                 // independent, serial, bit-identical execution so one
                 // poisoned group member cannot take down its peers.
                 self.count(|c| &c.panics_contained);
+                trace::health_event(
+                    HealthEventKind::PanicContained,
+                    live.first().map_or(0, |r| r.trace),
+                    live.len() as u64,
+                    "group execution panicked; per-request serial recovery",
+                );
                 for req in live {
                     self.recover_serially(req);
                 }
@@ -729,6 +956,21 @@ impl Inner {
             let degrade = self.shard_unhealthy(shard_idx);
             if degrade {
                 self.count(|c| &c.degraded);
+                trace::health_event(
+                    HealthEventKind::DegradeSerial,
+                    live[0].trace,
+                    shard_idx as u64,
+                    "shard unhealthy: group degraded to the serial runtime",
+                );
+                for req in live {
+                    trace::record_event(req.trace, TraceKind::Degrade, shard_idx as u64, 0);
+                }
+            }
+            if attempt == 0 {
+                let pooled = u64::from(self.shards[shard_idx].pool.is_some() && !degrade);
+                for req in live {
+                    trace::record_event(req.trace, TraceKind::Dispatched, shard_idx as u64, pooled);
+                }
             }
             let cfg = if degrade {
                 self.cfg.gemm.with_parallelism(Parallelism::Serial)
@@ -764,6 +1006,15 @@ impl Inner {
                 Err(GemmError::EpochTimeout { .. }) => {
                     self.quarantine(shard_idx);
                     self.count(|c| &c.degraded);
+                    trace::health_event(
+                        HealthEventKind::Quarantine,
+                        live[0].trace,
+                        shard_idx as u64,
+                        "epoch watchdog expired; recovered result served, shard quarantined",
+                    );
+                    for req in live {
+                        trace::record_event(req.trace, TraceKind::Degrade, shard_idx as u64, 1);
+                    }
                     return Ok(());
                 }
                 Err(GemmError::WorkerFault { .. } | GemmError::AllocFailure { .. })
@@ -771,7 +1022,22 @@ impl Inner {
                 {
                     attempt += 1;
                     self.count(|c| &c.retries);
+                    trace::health_event(
+                        HealthEventKind::Retry,
+                        live[0].trace,
+                        u64::from(attempt),
+                        "recoverable pool fault; backoff retry",
+                    );
+                    for req in live {
+                        trace::record_event(req.trace, TraceKind::Retry, u64::from(attempt), 0);
+                    }
                     self.quarantine(shard_idx);
+                    trace::health_event(
+                        HealthEventKind::Quarantine,
+                        live[0].trace,
+                        shard_idx as u64,
+                        "shard quarantined after recoverable fault",
+                    );
                     // WorkerFault leaves C unspecified: re-zero before
                     // the retry so β = 0 semantics still hold.
                     for c in outs.iter_mut() {
@@ -788,6 +1054,10 @@ impl Inner {
     /// independent serial execution, itself panic-contained. Resolves
     /// the request either way.
     fn recover_serially(&self, req: Request) {
+        // Recovery computes one request at a time, so its bridged
+        // pack/compute spans attribute to the member's own trace, not
+        // the failed batch leader's.
+        let _scope = trace::adopt(Some(trace::TraceCtx::new(req.trace)));
         let (_, n) = req.transb.apply_dims(req.b.rows(), req.b.cols());
         let mut c = Matrix::zeros(req.a.rows(), n);
         let cfg = self.cfg.gemm.with_parallelism(Parallelism::Serial);
@@ -806,6 +1076,7 @@ impl Inner {
             )
         }));
         self.count(|c| &c.degraded);
+        trace::record_event(req.trace, TraceKind::SerialRecovery, 0, 0);
         match result {
             Ok(Ok(())) => self.resolve(req, Ok(c)),
             _ => self.resolve(
@@ -835,6 +1106,14 @@ impl Inner {
             ",\"queue_depth\":{depth},\"queue_limit\":{},\"effective_queue_limit\":{},\"shutdown\":{shutdown}",
             self.cfg.queue_limit,
             self.effective_queue_limit(),
+        ));
+        // Scraper ordering/staleness signals + the dispatch-model
+        // quality counter (additive dgemm-telem-v1 fields).
+        s.push_str(&format!(
+            ",\"snapshot_seq\":{},\"uptime_ms\":{},\"dispatch_mispredicts\":{}",
+            self.snapshot_seq.fetch_add(1, Ordering::Relaxed),
+            trace::uptime_ms(),
+            crate::telemetry::snapshot().runtime.dispatch_mispredicts,
         ));
         s.push_str(&format!(
             ",\"counters\":{{\"admitted\":{},\"completed\":{},\"shed_overload\":{},\"shed_quota\":{},\"rejected\":{},\"deadline_misses\":{},\"retries\":{},\"degraded\":{},\"coalesced_batches\":{},\"coalesced_requests\":{},\"panics_contained\":{}}}",
@@ -896,7 +1175,248 @@ impl Inner {
                 self.shard_unhealthy(i),
             ));
         }
+        s.push_str("],\"histograms\":[");
+        let mut first = true;
+        for ((tenant, shape), h) in self.sorted_hists() {
+            for (metric, hist) in h.metrics() {
+                if hist.count() == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!(
+                    "{{\"tenant\":\"{}\",\"shape\":\"{}\",\"metric\":\"{metric}\",\
+                     \"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+                    json_escape(&tenant),
+                    json_escape(&shape),
+                    hist.count(),
+                    hist.sum_us(),
+                    hist.quantile_us(0.50).unwrap_or(0),
+                    hist.quantile_us(0.90).unwrap_or(0),
+                    hist.quantile_us(0.99).unwrap_or(0),
+                ));
+            }
+        }
+        s.push_str("],\"events\":[");
+        let events = trace::health_events();
+        let tail = &events[events.len().saturating_sub(64)..];
+        for (i, e) in tail.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"seq\":{},\"ts_ms\":{},\"kind\":\"{}\",\"trace\":{},\"detail\":{},\"cause\":\"{}\"}}",
+                e.seq,
+                e.ts_ns / 1_000_000,
+                e.kind.label(),
+                e.trace,
+                e.detail,
+                json_escape(e.cause),
+            ));
+        }
         s.push_str("]}");
+        s
+    }
+
+    /// The latency histograms in stable `(tenant, shape)` order.
+    fn sorted_hists(&self) -> Vec<((String, String), Arc<RequestHists>)> {
+        let map = self.hists.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut entries: Vec<_> = map
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Render the Prometheus text exposition body served at `/metrics`:
+    /// service/runtime/cache counters, queue and shard gauges, health
+    /// event totals, and the per-(tenant, shape-class) latency
+    /// histograms with cumulative log2 `le` buckets.
+    fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let ld = Ordering::Relaxed;
+        let mut s = String::with_capacity(8192);
+
+        let _ = writeln!(s, "# TYPE dgemm_uptime_ms gauge");
+        let _ = writeln!(s, "dgemm_uptime_ms {}", trace::uptime_ms());
+        let _ = writeln!(s, "# TYPE dgemm_snapshots_total counter");
+        let _ = writeln!(
+            s,
+            "dgemm_snapshots_total {}",
+            self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1
+        );
+
+        let (depth, tenants_occ) = {
+            let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let occ: Vec<(String, usize)> = st
+                .queues
+                .iter()
+                .map(|(t, q)| (t.clone(), q.len()))
+                .collect();
+            (st.depth, occ)
+        };
+        let _ = writeln!(s, "# TYPE dgemm_service_queue_depth gauge");
+        let _ = writeln!(s, "dgemm_service_queue_depth {depth}");
+        let _ = writeln!(s, "# TYPE dgemm_service_queue_limit gauge");
+        let _ = writeln!(s, "dgemm_service_queue_limit {}", self.cfg.queue_limit);
+        let _ = writeln!(s, "# TYPE dgemm_service_effective_queue_limit gauge");
+        let _ = writeln!(
+            s,
+            "dgemm_service_effective_queue_limit {}",
+            self.effective_queue_limit()
+        );
+
+        let c = &self.counters;
+        let service_counters: [(&str, u64); 11] = [
+            ("admitted", c.admitted.load(ld)),
+            ("completed", c.completed.load(ld)),
+            ("shed_overload", c.shed_overload.load(ld)),
+            ("shed_quota", c.shed_quota.load(ld)),
+            ("rejected", c.rejected.load(ld)),
+            ("deadline_misses", c.deadline_misses.load(ld)),
+            ("retries", c.retries.load(ld)),
+            ("degraded", c.degraded.load(ld)),
+            ("coalesced_batches", c.coalesced_batches.load(ld)),
+            ("coalesced_requests", c.coalesced_requests.load(ld)),
+            ("panics_contained", c.panics_contained.load(ld)),
+        ];
+        for (name, v) in service_counters {
+            let _ = writeln!(s, "# TYPE dgemm_service_{name}_total counter");
+            let _ = writeln!(s, "dgemm_service_{name}_total {v}");
+        }
+
+        let snap = crate::telemetry::snapshot();
+        let rt = &snap.runtime;
+        let runtime_counters: [(&str, u64); 12] = [
+            ("tasks", rt.tasks),
+            ("dynamic_epochs", rt.dynamic_epochs),
+            ("static_epochs", rt.static_epochs),
+            ("grid_epochs", rt.grid_epochs),
+            ("deaths", rt.deaths),
+            ("respawns", rt.respawns),
+            ("spawn_failures", rt.spawn_failures),
+            ("faults_contained", rt.faults_contained),
+            ("timeouts", rt.timeouts),
+            ("dispatch_serial", rt.dispatch_serial),
+            ("dispatch_pool", rt.dispatch_pool),
+            ("dispatch_mispredicts", rt.dispatch_mispredicts),
+        ];
+        for (name, v) in runtime_counters {
+            let _ = writeln!(s, "# TYPE dgemm_runtime_{name}_total counter");
+            let _ = writeln!(s, "dgemm_runtime_{name}_total {v}");
+        }
+        let cache_counters: [(&str, u64); 5] = [
+            ("hits", snap.cache.hits),
+            ("misses", snap.cache.misses),
+            ("evictions", snap.cache.evictions),
+            ("invalidations", snap.cache.invalidations),
+            ("bytes_saved", snap.cache.bytes_saved),
+        ];
+        for (name, v) in cache_counters {
+            let _ = writeln!(s, "# TYPE dgemm_pack_cache_{name}_total counter");
+            let _ = writeln!(s, "dgemm_pack_cache_{name}_total {v}");
+        }
+
+        let _ = writeln!(s, "# TYPE dgemm_health_events_total counter");
+        for (kind, n) in trace::health_counts() {
+            let _ = writeln!(
+                s,
+                "dgemm_health_events_total{{kind=\"{}\"}} {n}",
+                kind.label()
+            );
+        }
+
+        let _ = writeln!(s, "# TYPE dgemm_tenant_queued gauge");
+        let _ = writeln!(s, "# TYPE dgemm_tenant_cache_bytes gauge");
+        let caches = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut names: Vec<String> = tenants_occ.iter().map(|(t, _)| t.clone()).collect();
+        names.extend(caches.keys().cloned());
+        names.sort();
+        names.dedup();
+        for name in &names {
+            let queued = tenants_occ
+                .iter()
+                .find(|(t, _)| t == name)
+                .map_or(0, |(_, q)| *q);
+            let bytes = caches.get(name).map_or(0, |t| t.cache.bytes());
+            let esc = prom_label_escape(name);
+            let _ = writeln!(s, "dgemm_tenant_queued{{tenant=\"{esc}\"}} {queued}");
+            let _ = writeln!(s, "dgemm_tenant_cache_bytes{{tenant=\"{esc}\"}} {bytes}");
+        }
+        drop(caches);
+
+        let _ = writeln!(s, "# TYPE dgemm_shard_workers_alive gauge");
+        let _ = writeln!(s, "# TYPE dgemm_shard_unhealthy gauge");
+        for (i, shard) in self.shards.iter().enumerate() {
+            let st = match &shard.pool {
+                Some(p) => p.status(),
+                None => pool::status(),
+            };
+            let label = if shard.pool.is_some() {
+                format!("svc{i}")
+            } else {
+                "global".to_string()
+            };
+            let _ = writeln!(
+                s,
+                "dgemm_shard_workers_alive{{shard=\"{label}\"}} {}",
+                st.workers_alive
+            );
+            let _ = writeln!(
+                s,
+                "dgemm_shard_unhealthy{{shard=\"{label}\"}} {}",
+                u8::from(self.shard_unhealthy(i))
+            );
+        }
+
+        // One Prometheus histogram family per metric; each
+        // (tenant, shape) pair is a labelled series with cumulative
+        // buckets (monotone by construction: cum only grows).
+        let hists = self.sorted_hists();
+        for metric in ["total", "queue", "compute", "pack"] {
+            let family = format!("dgemm_request_{metric}_latency_us");
+            let series: Vec<_> = hists
+                .iter()
+                .filter_map(|((tenant, shape), h)| {
+                    let hist = h
+                        .metrics()
+                        .into_iter()
+                        .find(|(m, _)| *m == metric)
+                        .map(|(_, hist)| hist)?;
+                    (hist.count() > 0).then(|| (tenant.clone(), shape.clone(), hist))
+                })
+                .collect();
+            if series.is_empty() {
+                continue;
+            }
+            let _ = writeln!(s, "# TYPE {family} histogram");
+            for (tenant, shape, hist) in series {
+                let labels = format!(
+                    "tenant=\"{}\",shape=\"{}\"",
+                    prom_label_escape(&tenant),
+                    prom_label_escape(&shape)
+                );
+                let mut cum = 0u64;
+                for (i, n) in hist.bucket_counts().into_iter().enumerate() {
+                    cum += n;
+                    let _ = writeln!(
+                        s,
+                        "{family}_bucket{{{labels},le=\"{}\"}} {cum}",
+                        LatencyHistogram::bucket_edge(i)
+                    );
+                }
+                cum += hist.overflow_count();
+                let _ = writeln!(s, "{family}_bucket{{{labels},le=\"+Inf\"}} {cum}");
+                let _ = writeln!(s, "{family}_sum{{{labels}}} {}", hist.sum_us());
+                // `_count` repeats the +Inf cumulative (not the count
+                // atomic) so the exposition is internally consistent
+                // even if a recording lands mid-render.
+                let _ = writeln!(s, "{family}_count{{{labels}}} {cum}");
+            }
+        }
         s
     }
 }
@@ -921,6 +1441,21 @@ fn scheduler_main(inner: Arc<Inner>) {
         };
         inner.execute_group(group);
     }
+}
+
+/// Prometheus label-value escaping: backslash, double quote and
+/// newline (the exposition format's only label escapes).
+fn prom_label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Minimal JSON string escaping for tenant names (quotes, backslashes,
@@ -974,6 +1509,8 @@ mod tests {
                 budget_ms: 0,
                 cancelled: Arc::new(AtomicBool::new(false)),
                 tx,
+                trace: 0,
+                submitted_ns: 0,
             }
         };
         let head = mk(1.0, 4, &b);

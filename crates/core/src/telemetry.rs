@@ -152,6 +152,9 @@ pub(crate) struct RuntimeCounters {
     pub(crate) dispatch_serial: AtomicU64,
     /// Dispatch decisions that chose the pool runtime.
     pub(crate) dispatch_pool: AtomicU64,
+    /// Dispatch decisions whose chosen runtime measured slower than
+    /// the alternative's calibrated prediction (model mispredicts).
+    pub(crate) dispatch_mispredicts: AtomicU64,
     /// Epochs scheduled as a 2-D grid (`n_split > 1` column chunks).
     pub(crate) grid_epochs: AtomicU64,
 }
@@ -167,6 +170,7 @@ pub(crate) static RT: RuntimeCounters = RuntimeCounters {
     timeouts: AtomicU64::new(0),
     dispatch_serial: AtomicU64::new(0),
     dispatch_pool: AtomicU64::new(0),
+    dispatch_mispredicts: AtomicU64::new(0),
     grid_epochs: AtomicU64::new(0),
 };
 
@@ -368,6 +372,9 @@ pub struct RuntimeSnapshot {
     pub dispatch_serial: u64,
     /// Dispatch decisions that chose the pool runtime.
     pub dispatch_pool: u64,
+    /// Dispatch decisions whose chosen runtime measured slower than
+    /// the alternative's calibrated prediction (model mispredicts).
+    pub dispatch_mispredicts: u64,
     /// Epochs scheduled as a 2-D grid (`n_split > 1` column chunks).
     pub grid_epochs: u64,
 }
@@ -392,6 +399,7 @@ fn runtime_snapshot() -> RuntimeSnapshot {
         timeouts: RT.timeouts.load(Ordering::Relaxed),
         dispatch_serial: RT.dispatch_serial.load(Ordering::Relaxed),
         dispatch_pool: RT.dispatch_pool.load(Ordering::Relaxed),
+        dispatch_mispredicts: RT.dispatch_mispredicts.load(Ordering::Relaxed),
         grid_epochs: RT.grid_epochs.load(Ordering::Relaxed),
     }
 }
@@ -585,8 +593,7 @@ mod record {
     use super::{Phase, ThreadSnapshot, TraceEvent, PHASES};
     use std::cell::RefCell;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
-    use std::time::Instant;
+    use std::sync::{Arc, Mutex, PoisonError};
 
     /// Spans kept per thread; older entries are overwritten. 1024 spans
     /// cover several full GEPP sweeps of a large GEMM (4 spans per
@@ -684,10 +691,10 @@ mod record {
     });
 
     /// Process-wide monotonic clock origin for span timestamps.
+    /// Shares [`crate::trace::now_ns`]'s epoch so bridged phase spans
+    /// and request lifecycle spans live on one timeline.
     fn now_ns() -> u64 {
-        static EPOCH: OnceLock<Instant> = OnceLock::new();
-        let elapsed = EPOCH.get_or_init(Instant::now).elapsed();
-        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+        crate::trace::now_ns()
     }
 
     struct Handle {
@@ -823,6 +830,10 @@ mod record {
         fn drop(&mut self) {
             let end = now_ns();
             let dur = end.saturating_sub(self.start);
+            // Request-scoped bridge: if this thread currently carries a
+            // service trace context, the span also lands on that
+            // request's trace (one thread-local read when it doesn't).
+            crate::trace::bridge_phase(self.phase.index(), self.start, dur);
             with_slot(|s| {
                 let idx = self.phase.index();
                 s.phase_ns[idx].fetch_add(dur, Ordering::Relaxed);
@@ -1309,7 +1320,7 @@ impl GemmReport {
              \"runtime\":{{\"tasks\":{},\"dynamic_epochs\":{},\"static_epochs\":{},\
              \"deaths\":{},\"respawns\":{},\"spawn_failures\":{},\"faults_contained\":{},\
              \"timeouts\":{},\"dispatch_serial\":{},\"dispatch_pool\":{},\
-             \"grid_epochs\":{}}},\
+             \"dispatch_mispredicts\":{},\"grid_epochs\":{}}},\
              \"service\":{{\"admitted\":{},\"completed\":{},\"shed_overload\":{},\
              \"shed_quota\":{},\"rejected\":{},\"deadline_misses\":{},\"retries\":{},\
              \"degraded\":{},\"coalesced_batches\":{},\"coalesced_requests\":{},\
@@ -1351,6 +1362,7 @@ impl GemmReport {
             rt.timeouts,
             rt.dispatch_serial,
             rt.dispatch_pool,
+            rt.dispatch_mispredicts,
             rt.grid_epochs,
             sv.admitted,
             sv.completed,
