@@ -1,0 +1,326 @@
+//! Store-conformance bench: proves the weight store's two headline
+//! claims with numbers (DESIGN.md §17).
+//!
+//! 1. **Zero-pack warm start** — a service booted with a populated
+//!    `DGEMM_WEIGHT_STORE` serves its first request per weight with
+//!    `packed_b_bytes == 0` (telemetry delta across the serve phase),
+//!    and its time-to-first-result beats the cold service that has to
+//!    pack live.
+//! 2. **Corruption is typed** — a seeded fuzzer over real on-disk
+//!    blobs: every mutation decodes to `GemmError::BadStore`, never a
+//!    panic, never an `Ok`.
+//!
+//! Modes (combinable; no mode flag runs all three in-process):
+//!
+//! * `--build`   — pack the fixed weight set and save blobs to the
+//!   store directory. Run in its *own process* by CI so the serve
+//!   process demonstrates cross-process reuse through the page cache.
+//! * `--serve`   — measure cold (no store) vs warm (store-backed)
+//!   boot + first-call latency and pack telemetry; writes
+//!   `$BENCH_JSON_DIR/BENCH_store.json`.
+//! * `--fuzz N`  — replay N seeded mutations against the first blob
+//!   on disk; exits nonzero if any mutation decodes `Ok` or with a
+//!   non-`BadStore` error.
+//! * `--dir D`   — store directory (default: `$DGEMM_WEIGHT_STORE`,
+//!   else a temp dir).
+//!
+//! The CI `store-conformance` job gates on the emitted JSON:
+//! `warm.pack_b_bytes == 0`, `warm.total_first_call_ns <
+//! cold.total_first_call_ns`, and `fuzz.typed == fuzz.mutations ≥ 64`.
+
+use dgemm_core::gemm::GemmConfig;
+use dgemm_core::matrix::Matrix;
+use dgemm_core::microkernel::MicroKernelKind;
+use dgemm_core::prepack::PrepackedB;
+use dgemm_core::service::{GemmService, ServiceConfig};
+use dgemm_core::store;
+use dgemm_core::{GemmError, Transpose};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The fixed weight set: serving-shaped problems (fat weights, thin
+/// activations) where pack cost dominates the first call.
+const WEIGHTS: usize = 3;
+const K: usize = 640;
+const N: usize = 512;
+const M: usize = 8;
+const WEIGHT_SEED: u64 = 9100;
+
+fn gemm_cfg() -> GemmConfig {
+    GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1).with_pack_cache(true)
+}
+
+fn weight(i: usize) -> Matrix {
+    Matrix::random(K, N, WEIGHT_SEED + i as u64)
+}
+
+fn blob_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("w{i}.dgemmpb"))
+}
+
+fn total_packed_b_bytes() -> u64 {
+    dgemm_core::telemetry::snapshot()
+        .threads
+        .iter()
+        .map(|t| t.packed_b_bytes)
+        .sum()
+}
+
+/// SplitMix64, seeded: the same mutation schedule the store test
+/// battery and the CI replay sweep use.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn build(dir: &Path) -> (u64, Vec<u64>) {
+    std::fs::create_dir_all(dir).expect("create store dir");
+    let cfg = gemm_cfg();
+    let t0 = Instant::now();
+    let mut blob_bytes = Vec::new();
+    for i in 0..WEIGHTS {
+        let b = weight(i);
+        let pre = PrepackedB::from_matrix(&cfg, &b.view()).expect("prepack weight");
+        let path = blob_path(dir, i);
+        store::save(&path, &pre).expect("save blob");
+        blob_bytes.push(std::fs::metadata(&path).expect("stat blob").len());
+    }
+    let build_ns = t0.elapsed().as_nanos() as u64;
+    eprintln!(
+        "store_warmstart: built {WEIGHTS} blobs ({} bytes) in {} in {:.2} ms",
+        blob_bytes.iter().sum::<u64>(),
+        dir.display(),
+        build_ns as f64 / 1e6
+    );
+    (build_ns, blob_bytes)
+}
+
+struct Phase {
+    boot_ns: u64,
+    first_call_ns: Vec<u64>,
+    pack_b_bytes: u64,
+    /// Store-counter deltas across this phase only (loads,
+    /// load_failures, verifies, verify_failures, attaches).
+    store: [u64; 5],
+}
+
+fn store_counters() -> [u64; 5] {
+    let s = dgemm_core::telemetry::snapshot().store;
+    [
+        s.loads,
+        s.load_failures,
+        s.verifies,
+        s.verify_failures,
+        s.attaches,
+    ]
+}
+
+/// Boot a service (with or without the store) and time the first
+/// request against each weight. The weights are freshly allocated
+/// `Arc<Matrix>`es with the same *contents* as the stored set — the
+/// attach path verifies by source digest, not pointer identity.
+fn serve_phase(label: &str, weight_store: Option<PathBuf>) -> Phase {
+    let pack0 = total_packed_b_bytes();
+    let store0 = store_counters();
+    let t0 = Instant::now();
+    let svc = GemmService::new(ServiceConfig {
+        weight_store,
+        gemm: gemm_cfg(),
+        ..ServiceConfig::default()
+    });
+    let boot_ns = t0.elapsed().as_nanos() as u64;
+    let mut first_call_ns = Vec::new();
+    for i in 0..WEIGHTS {
+        let a = Arc::new(Matrix::random(M, K, 7_000 + i as u64));
+        let b = Arc::new(weight(i));
+        let t = Instant::now();
+        let c = svc
+            .submit(
+                &format!("{label}-{i}"),
+                1.0,
+                Arc::clone(&a),
+                Transpose::No,
+                Arc::clone(&b),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        first_call_ns.push(t.elapsed().as_nanos() as u64);
+        std::hint::black_box(c.get(0, 0));
+    }
+    svc.shutdown();
+    let pack_b_bytes = total_packed_b_bytes() - pack0;
+    let store1 = store_counters();
+    let mut store = [0u64; 5];
+    for (d, (a, b)) in store.iter_mut().zip(store1.iter().zip(store0)) {
+        *d = a - b;
+    }
+    eprintln!(
+        "store_warmstart: {label}: boot {:.2} ms, first calls {:?} us, packed B {pack_b_bytes} bytes",
+        boot_ns as f64 / 1e6,
+        first_call_ns
+            .iter()
+            .map(|ns| ns / 1_000)
+            .collect::<Vec<_>>()
+    );
+    Phase {
+        boot_ns,
+        first_call_ns,
+        pack_b_bytes,
+        store,
+    }
+}
+
+struct Fuzz {
+    mutations: usize,
+    typed: usize,
+    decoded_ok: usize,
+}
+
+/// Replay `n` seeded mutations against the first blob on disk. Every
+/// mutated blob must decode to `Err(BadStore)`.
+fn fuzz(dir: &Path, n: usize) -> Fuzz {
+    let blob = std::fs::read(blob_path(dir, 0)).expect("read blob 0 for fuzzing");
+    let mut rng = SplitMix64(0x5eed_0123_4567_89ab);
+    let (mut typed, mut decoded_ok) = (0usize, 0usize);
+    for i in 0..n {
+        let mut bad = blob.clone();
+        match i % 4 {
+            0 => {
+                let pos = rng.below(bad.len());
+                bad[pos] ^= (rng.next() as u8) | 1;
+            }
+            1 => {
+                let pos = rng.below(store::HEADER_LEN);
+                bad[pos] ^= (rng.next() as u8) | 1;
+            }
+            2 => bad.truncate(rng.below(bad.len())),
+            _ => bad.extend(std::iter::repeat_n(0xA5, 1 + rng.below(64))),
+        }
+        match store::decode::<f64>(&bad) {
+            Err(GemmError::BadStore(_)) => typed += 1,
+            Err(e) => eprintln!("store_warmstart: fuzz {i}: non-store error {e}"),
+            Ok(_) => {
+                decoded_ok += 1;
+                eprintln!("store_warmstart: fuzz {i}: mutated blob decoded Ok");
+            }
+        }
+    }
+    eprintln!("store_warmstart: fuzz: {typed}/{n} typed, {decoded_ok} decoded Ok");
+    Fuzz {
+        mutations: n,
+        typed,
+        decoded_ok,
+    }
+}
+
+fn json_list(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = std::env::var("DGEMM_WEIGHT_STORE").ok().map(PathBuf::from);
+    let (mut do_build, mut do_serve) = (false, false);
+    let mut fuzz_n: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--build" => do_build = true,
+            "--serve" => do_serve = true,
+            "--fuzz" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fuzz takes a mutation count");
+                fuzz_n = Some(n);
+            }
+            "--dir" => {
+                dir = Some(PathBuf::from(it.next().expect("--dir takes a path")));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if !do_build && !do_serve && fuzz_n.is_none() {
+        (do_build, do_serve, fuzz_n) = (true, true, Some(96));
+    }
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("dgemm-store-bench-{}", std::process::id()))
+    });
+
+    let (build_ns, mut blob_bytes) = if do_build {
+        build(&dir)
+    } else {
+        (0, Vec::new())
+    };
+    if blob_bytes.is_empty() {
+        blob_bytes = (0..WEIGHTS)
+            .filter_map(|i| std::fs::metadata(blob_path(&dir, i)).ok().map(|m| m.len()))
+            .collect();
+    }
+
+    let serve = do_serve.then(|| {
+        let cold = serve_phase("cold", None);
+        let warm = serve_phase("warm", Some(dir.clone()));
+        (cold, warm)
+    });
+    let fz = fuzz_n.map(|n| fuzz(&dir, n));
+
+    // Failure of either claim is this binary's exit code, so the CI
+    // job fails even before the JSON gate parses anything.
+    if let Some(f) = &fz {
+        assert_eq!(f.typed, f.mutations, "every mutation must be typed");
+        assert_eq!(f.decoded_ok, 0, "no mutation may decode Ok");
+    }
+
+    if let Some((cold, warm)) = &serve {
+        let dirjson = dir.display().to_string().replace('\\', "/");
+        let fuzz_json = fz.as_ref().map_or("null".to_string(), |f| {
+            format!(
+                "{{\"mutations\":{},\"typed\":{},\"decoded_ok\":{}}}",
+                f.mutations, f.typed, f.decoded_ok
+            )
+        });
+        let json = format!(
+            "{{\"schema\":\"dgemm-store-v1\",\"weights\":{WEIGHTS},\"m\":{M},\"n\":{N},\"k\":{K},\
+             \"store_dir\":\"{dirjson}\",\"blob_bytes\":{},\"build_ns\":{build_ns},\
+             \"cold\":{{\"boot_ns\":{},\"first_call_ns\":{},\"total_first_call_ns\":{},\"pack_b_bytes\":{}}},\
+             \"warm\":{{\"boot_ns\":{},\"first_call_ns\":{},\"total_first_call_ns\":{},\"pack_b_bytes\":{},\
+             \"loads\":{},\"load_failures\":{},\"verifies\":{},\"verify_failures\":{},\"attaches\":{}}},\
+             \"fuzz\":{fuzz_json}}}\n",
+            json_list(&blob_bytes),
+            cold.boot_ns,
+            json_list(&cold.first_call_ns),
+            cold.first_call_ns.iter().sum::<u64>(),
+            cold.pack_b_bytes,
+            warm.boot_ns,
+            json_list(&warm.first_call_ns),
+            warm.first_call_ns.iter().sum::<u64>(),
+            warm.pack_b_bytes,
+            warm.store[0],
+            warm.store[1],
+            warm.store[2],
+            warm.store[3],
+            warm.store[4],
+        );
+        let out = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| "results".into());
+        std::fs::create_dir_all(&out).expect("create artifact dir");
+        let path = format!("{out}/BENCH_store.json");
+        std::fs::write(&path, &json).expect("write BENCH_store.json");
+        eprintln!("store_warmstart: wrote {path}");
+        print!("{json}");
+    }
+}

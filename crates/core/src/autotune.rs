@@ -218,6 +218,35 @@ pub fn db_path() -> Result<Option<PathBuf>, GemmError> {
     }
 }
 
+/// Age bound on tuned entries: `DGEMM_TUNE_MAX_AGE_DAYS` as a day
+/// count (`None` when unset — entries never expire by age, the
+/// pre-existing behavior). `0` expires every dated entry immediately;
+/// garbage is a typed error ([`crate::gemm::GemmConfig::auto`]
+/// validates this eagerly so a bad value fails config construction,
+/// not a later consultation).
+pub fn max_age_from_env() -> Result<Option<u64>, GemmError> {
+    crate::gemm::env_u64(
+        "DGEMM_TUNE_MAX_AGE_DAYS",
+        "DGEMM_TUNE_MAX_AGE_DAYS must be an integer day count",
+    )
+}
+
+/// Whether `entry` is older than `max_age_days`. Entries with an
+/// unknown sweep time (`tuned_at == 0`) never expire — age-based
+/// re-tuning must not churn on DBs written before timestamps existed.
+fn entry_expired(entry: &TuneEntry, max_age_days: Option<u64>) -> bool {
+    let Some(days) = max_age_days else {
+        return false;
+    };
+    if entry.tuned_at == 0 {
+        return false;
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    now.saturating_sub(entry.tuned_at) > days.saturating_mul(86_400)
+}
+
 /// Stable identifier of the host CPU the tunings belong to: the
 /// `/proc/cpuinfo` model name slugged to `[a-z0-9.-]` plus the logical
 /// core count, e.g. `intel-r-xeon-r-cpu-...-8c`. Falls back to the
@@ -285,8 +314,11 @@ pub struct TuneEntry {
     pub achieved_vs_bound: f64,
     /// Configurations the sweep considered (≤ [`MAX_CANDIDATES`]).
     pub candidates: usize,
-    /// Seconds since the Unix epoch when the sweep ran (0 = unknown;
-    /// diagnostic only — staleness is decided by `version`).
+    /// Seconds since the Unix epoch when the sweep ran (0 = unknown).
+    /// Staleness is decided by `version` (mismatches are dropped at
+    /// parse) *and*, when `DGEMM_TUNE_MAX_AGE_DAYS` is set, by age:
+    /// under Full mode an over-age entry is treated as a miss and
+    /// re-tuned in the background ([`max_age_from_env`]).
     pub tuned_at: u64,
     /// [`LIB_VERSION`] of the build that produced the entry; a
     /// mismatch marks the entry stale and the parser drops it.
@@ -1228,9 +1260,20 @@ pub fn tuned_f64(
         return *cfg;
     };
     let class = ShapeClass::of(m, n, k);
-    let entry = load_db(&path)
+    let mut entry = load_db(&path)
         .find(cpu_id(), "f64", &class.label())
         .cloned();
+    // Age expiry (DGEMM_TUNE_MAX_AGE_DAYS): under Full an over-age
+    // entry is a miss — drop it so the background re-tune below fires
+    // and the analytic config serves meanwhile. Under Read the stale
+    // winner still applies (Read never measures, and a dated winner
+    // beats the untuned default).
+    let max_age = max_age_from_env().unwrap_or(None);
+    if cfg.autotune == AutotuneMode::Full
+        && entry.as_ref().is_some_and(|e| entry_expired(e, max_age))
+    {
+        entry = None;
+    }
     if entry.is_none() && cfg.autotune == AutotuneMode::Full && first_attempt("f64", &class) {
         // First miss of this class under Full mode: tune on a warm-up
         // thread and serve the analytic config *now* — the triggering
@@ -1278,9 +1321,16 @@ pub fn tuned_f32(
         return *cfg;
     };
     let class = ShapeClass::of(m, n, k);
-    let entry = load_db(&path)
+    let mut entry = load_db(&path)
         .find(cpu_id(), "f32", &class.label())
         .cloned();
+    // Same age-expiry contract as the f64 path above.
+    let max_age = max_age_from_env().unwrap_or(None);
+    if cfg.autotune == AutotuneMode::Full
+        && entry.as_ref().is_some_and(|e| entry_expired(e, max_age))
+    {
+        entry = None;
+    }
     if entry.is_none() && cfg.autotune == AutotuneMode::Full && first_attempt("f32", &class) {
         // Same warm-up-thread contract as the f64 path above.
         let opts = TuneOptions::from_env().unwrap_or_default();

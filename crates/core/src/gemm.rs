@@ -118,6 +118,7 @@ impl GemmConfig {
             // dispatcher calibration from the DB once per process.
             crate::autotune::db_path()?;
             crate::autotune::TuneOptions::from_env()?;
+            crate::autotune::max_age_from_env()?;
             crate::autotune::seed_dispatch_calibration();
         }
         Ok(GemmConfig::for_kernel(MicroKernelKind::Mk8x6, threads)

@@ -50,6 +50,7 @@
 //! | [`trace`] | — | request-scoped trace spans, latency histograms, health-event journal |
 //! | [`metricsd`] | — | dependency-free `/metrics` + `/status` scrape endpoint |
 //! | [`autotune`] | — | closed-loop, model-seeded autotuner with a persistent per-host tuning DB |
+//! | [`store`] | — | versioned on-disk format for pre-packed weights (zero-pack warm start) |
 //! | [`mod@reference`] | — | naive triple-loop oracle for validation |
 
 #![warn(missing_docs)]
@@ -82,6 +83,7 @@ pub mod reference;
 pub mod scalar;
 pub mod service;
 pub mod sgemm;
+pub mod store;
 pub mod telemetry;
 pub mod tile;
 pub mod trace;
@@ -160,6 +162,11 @@ pub enum GemmError {
         /// Which buffer failed (e.g. `"packed A"`, `"C staging"`).
         what: &'static str,
     },
+    /// A serialized weight-store blob failed validation: truncated,
+    /// corrupt (checksum mismatch), version-skewed, wrong dtype, or
+    /// geometry-inconsistent (see DESIGN.md §17). The blob was rejected
+    /// before any panel was consumed, so results are never affected.
+    BadStore(&'static str),
 }
 
 impl core::fmt::Display for GemmError {
@@ -191,6 +198,7 @@ impl core::fmt::Display for GemmError {
             GemmError::AllocFailure { what } => {
                 write!(f, "failed to allocate memory for {what}")
             }
+            GemmError::BadStore(msg) => write!(f, "bad weight store: {msg}"),
         }
     }
 }

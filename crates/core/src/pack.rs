@@ -335,6 +335,29 @@ impl<T: Scalar> PackedB<T> {
         Ok(())
     }
 
+    /// Adopt an already-laid-out sliver buffer — the *construction-free*
+    /// constructor that makes a panel loaded from the on-disk weight
+    /// store (DESIGN.md §17) interchangeable with a live pack. The
+    /// buffer must be in exactly the layout [`PackedB::pack`] produces
+    /// for a `kc×nc` panel at sliver width `nr`: `⌈nc/nr⌉` slivers of
+    /// `nr*kc` elements, ragged edge zero-padded. Only the length is
+    /// checkable here; content validity is the store's checksum's job.
+    ///
+    /// Deliberately does **not** record `packed_b_bytes` telemetry: no
+    /// element was gathered from a source matrix, which is precisely
+    /// the zero-pack-cost property the warm-start bench asserts.
+    pub fn from_layout(nr: usize, kc: usize, nc: usize, buf: Vec<T>) -> Result<Self, GemmError> {
+        if nr == 0 {
+            return Err(GemmError::BadStore("panel sliver width nr is zero"));
+        }
+        if buf.len() != nc.div_ceil(nr) * nr * kc {
+            return Err(GemmError::BadStore(
+                "panel buffer length mismatches geometry",
+            ));
+        }
+        Ok(PackedB { buf, kc, nc, nr })
+    }
+
     /// Re-aim a recycled buffer at a (possibly different) kernel's
     /// sliver width, keeping the allocation. The buffer is empty until
     /// the next [`PackedB::pack`].

@@ -45,6 +45,90 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// type. Tune per cache with [`PackCache::set_capacity`].
 pub const DEFAULT_CACHE_CAPACITY: usize = 256 * 1024 * 1024;
 
+/// The *layout* half of a pre-packed operand, split from panel
+/// *construction* so a blob loaded from the on-disk store
+/// ([`crate::store`]) and a live pack describe their tiles through one
+/// vocabulary. Everything about the tile grid — tile count, walk
+/// order, per-tile effective dimensions, padded element counts — is a
+/// pure function of these six numbers; no panel data is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PanelGeometry {
+    /// Rows of `op(B)` (the inner GEMM dimension).
+    pub k: usize,
+    /// Columns of `op(B)`.
+    pub n: usize,
+    /// The `op(B)` selector the layout was derived under.
+    pub trans: Transpose,
+    /// Depth blocking.
+    pub kc: usize,
+    /// Column blocking.
+    pub nc: usize,
+    /// Kernel sliver width.
+    pub nr: usize,
+}
+
+impl PanelGeometry {
+    /// Validate the blocking parameters (all must be positive).
+    pub fn validate(&self) -> Result<(), GemmError> {
+        if self.nr == 0 || self.kc == 0 || self.nc == 0 {
+            return Err(GemmError::BadConfig("prepack blocking must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The tile walk in GEPP consumption order (`jj`-major, then `kk`):
+    /// yields `(jj, kk, nc_eff, kc_eff)` for every tile. Both the live
+    /// builder and the store loader iterate exactly this sequence, which
+    /// is what makes on-disk panel offsets computable without an index
+    /// table.
+    pub fn tiles(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
+        let (k, n, kc, nc) = (self.k, self.n, self.kc, self.nc);
+        (0..n.div_ceil(nc)).flat_map(move |j| {
+            let jj = j * nc;
+            let nc_eff = nc.min(n - jj);
+            (0..k.div_ceil(kc)).map(move |i| {
+                let kk = i * kc;
+                (jj, kk, nc_eff, kc.min(k - kk))
+            })
+        })
+    }
+
+    /// Number of tiles in the grid.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.n.div_ceil(self.nc) * self.k.div_ceil(self.kc)
+    }
+
+    /// Padded element count of the `(nc_eff, kc_eff)` tile — the length
+    /// [`PackedB::pack`] gives its sliver buffer.
+    #[must_use]
+    pub fn panel_elems(&self, nc_eff: usize, kc_eff: usize) -> usize {
+        nc_eff.div_ceil(self.nr) * self.nr * kc_eff
+    }
+
+    /// Total padded elements across all tiles (the store payload length).
+    #[must_use]
+    pub fn total_elems(&self) -> usize {
+        self.tiles()
+            .map(|(_, _, nc_eff, kc_eff)| self.panel_elems(nc_eff, kc_eff))
+            .sum()
+    }
+}
+
+/// Anything that can serve packed `kc×nc` tiles of one `op(B)` under a
+/// fixed [`PanelGeometry`] — the seam behind which a live
+/// [`PrepackedB`] and a store-loaded blob are interchangeable
+/// ([`crate::store::encode`] serializes through this trait, not a
+/// concrete builder).
+pub trait PanelSource<T: Scalar> {
+    /// The layout every tile conforms to.
+    fn geometry(&self) -> PanelGeometry;
+    /// The tile covering GEPP offsets `(jj, kk)`.
+    fn panel(&self, jj: usize, kk: usize) -> &PackedB<T>;
+    /// Total packed (padded) panel bytes.
+    fn bytes(&self) -> usize;
+}
+
 /// An immutable pre-packed B operand: every `kc×nc` tile of `op(B)`,
 /// packed into `nr`-sliver layout, in the order the GEPP loops consume
 /// them (`jj`-major, then `kk`).
@@ -77,28 +161,26 @@ impl<T: Scalar> PrepackedB<T> {
         kc: usize,
         nc: usize,
     ) -> Result<Self, GemmError> {
-        if nr == 0 || kc == 0 || nc == 0 {
-            return Err(GemmError::BadConfig("prepack blocking must be positive"));
-        }
         let (k, n) = trans.apply_dims(b.rows(), b.cols());
+        let geom = PanelGeometry {
+            k,
+            n,
+            trans,
+            kc,
+            nc,
+            nr,
+        };
+        geom.validate()?;
         let mut panels = Vec::new();
         let mut bytes = 0usize;
-        let mut jj = 0usize;
-        while jj < n {
-            let nc_eff = nc.min(n - jj);
-            let mut kk = 0usize;
-            while kk < k {
-                let kc_eff = kc.min(k - kk);
-                // `PackedB::try_pack` is the same choke point the
-                // per-call paths use, so layout, telemetry bytes and
-                // the PackB phase span are recorded identically here.
-                let mut panel = PackedB::new(nr);
-                panel.try_pack(b, trans, kk, jj, kc_eff, nc_eff)?;
-                bytes += std::mem::size_of_val(panel.buf());
-                panels.push(Arc::new(panel));
-                kk += kc_eff;
-            }
-            jj += nc_eff;
+        for (jj, kk, nc_eff, kc_eff) in geom.tiles() {
+            // `PackedB::try_pack` is the same choke point the
+            // per-call paths use, so layout, telemetry bytes and
+            // the PackB phase span are recorded identically here.
+            let mut panel = PackedB::new(nr);
+            panel.try_pack(b, trans, kk, jj, kc_eff, nc_eff)?;
+            bytes += std::mem::size_of_val(panel.buf());
+            panels.push(Arc::new(panel));
         }
         Ok(PrepackedB {
             panels,
@@ -110,6 +192,58 @@ impl<T: Scalar> PrepackedB<T> {
             nr,
             bytes,
         })
+    }
+
+    /// Assemble a pre-packed operand from already-laid-out panels — the
+    /// construction-free path the store loader uses. Each panel must be
+    /// in tile-walk order ([`PanelGeometry::tiles`]) and structurally
+    /// consistent with the grid cell it covers; violations surface as
+    /// [`GemmError::BadStore`] so a malformed blob can never reach the
+    /// compute layers.
+    pub fn from_panels(
+        geom: PanelGeometry,
+        panels: Vec<Arc<PackedB<T>>>,
+    ) -> Result<Self, GemmError> {
+        if geom.validate().is_err() {
+            return Err(GemmError::BadStore("blob blocking geometry is zero"));
+        }
+        if panels.len() != geom.tile_count() {
+            return Err(GemmError::BadStore("blob panel count mismatches tile grid"));
+        }
+        let mut bytes = 0usize;
+        for ((_, _, nc_eff, kc_eff), panel) in geom.tiles().zip(&panels) {
+            if panel.nr() != geom.nr
+                || panel.kc() != kc_eff
+                || panel.nc() != nc_eff
+                || panel.buf().len() != geom.panel_elems(nc_eff, kc_eff)
+            {
+                return Err(GemmError::BadStore("blob panel mismatches its grid cell"));
+            }
+            bytes += std::mem::size_of_val(panel.buf());
+        }
+        Ok(PrepackedB {
+            panels,
+            k: geom.k,
+            n: geom.n,
+            trans: geom.trans,
+            kc: geom.kc,
+            nc: geom.nc,
+            nr: geom.nr,
+            bytes,
+        })
+    }
+
+    /// The layout these tiles conform to.
+    #[must_use]
+    pub fn geometry(&self) -> PanelGeometry {
+        PanelGeometry {
+            k: self.k,
+            n: self.n,
+            trans: self.trans,
+            kc: self.kc,
+            nc: self.nc,
+            nr: self.nr,
+        }
     }
 
     /// Pre-pack `b` (used as stored) for `cfg`'s kernel and blocking —
@@ -231,6 +365,20 @@ impl<T: Scalar> PrepackedB<T> {
     #[must_use]
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+}
+
+impl<T: Scalar> PanelSource<T> for PrepackedB<T> {
+    fn geometry(&self) -> PanelGeometry {
+        PrepackedB::geometry(self)
+    }
+
+    fn panel(&self, jj: usize, kk: usize) -> &PackedB<T> {
+        PrepackedB::panel(self, jj, kk)
+    }
+
+    fn bytes(&self) -> usize {
+        PrepackedB::bytes(self)
     }
 }
 
@@ -393,6 +541,87 @@ impl<T: Scalar> PackCache<T> {
             st.evict_over_capacity(Some(key));
         }
         Some(panels)
+    }
+
+    /// Seed the cache with externally built panels (typically a blob
+    /// loaded from [`crate::store`]) so the next `get_or_pack` for this
+    /// operand hits without ever packing. The entry is keyed on the
+    /// *current* generation — after a [`PackCache::bump_generation`]
+    /// the blob must be re-attached, which is the coherence story for
+    /// warm-started weights too. Neither the hit/miss counters nor
+    /// `bytes_saved` move here: seeding is not a lookup.
+    ///
+    /// Fails with [`GemmError::BadStore`] if `panels` was not built for
+    /// exactly `op(b)`'s dimensions; an entry larger than the whole
+    /// capacity is rejected the same way `get_or_pack` would not retain
+    /// it (silently, `Ok`), so callers can always attach-then-serve.
+    pub fn insert_prepacked(
+        &self,
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        panels: Arc<PrepackedB<T>>,
+    ) -> Result<(), GemmError> {
+        let (k, n) = trans.apply_dims(b.rows(), b.cols());
+        if !panels.matches(k, n, trans, panels.nr(), panels.kc(), panels.nc()) {
+            return Err(GemmError::BadStore("panels do not cover op(B)"));
+        }
+        let mut st = self.lock();
+        let key = CacheKey {
+            ptr: b.data().as_ptr() as usize,
+            rows: b.rows(),
+            cols: b.cols(),
+            ld: b.ld(),
+            trans,
+            nr: panels.nr(),
+            kc: panels.kc(),
+            nc: panels.nc(),
+            generation: st.generation,
+        };
+        st.tick += 1;
+        let tick = st.tick;
+        if panels.bytes() > st.capacity {
+            return Ok(());
+        }
+        if let Some(i) = st.entries.iter().position(|e| e.key == key) {
+            st.entries[i].panels = panels;
+            st.entries[i].last_used = tick;
+            return Ok(());
+        }
+        st.entries.push(CacheEntry {
+            key,
+            panels,
+            last_used: tick,
+        });
+        st.evict_over_capacity(Some(key));
+        Ok(())
+    }
+
+    /// Whether a lookup for `(b, trans, nr, kc, nc)` would hit right
+    /// now (current generation). A pure probe: no stats move, no LRU
+    /// touch, no packing — the service's attach path uses this to
+    /// decide when a warm-start blob needs (re-)seeding.
+    #[must_use]
+    pub fn contains(
+        &self,
+        b: &MatrixView<'_, T>,
+        trans: Transpose,
+        nr: usize,
+        kc: usize,
+        nc: usize,
+    ) -> bool {
+        let st = self.lock();
+        let key = CacheKey {
+            ptr: b.data().as_ptr() as usize,
+            rows: b.rows(),
+            cols: b.cols(),
+            ld: b.ld(),
+            trans,
+            nr,
+            kc,
+            nc,
+            generation: st.generation,
+        };
+        st.entries.iter().any(|e| e.key == key)
     }
 
     /// Drop every entry whose packed source overlaps `b`'s storage —

@@ -34,6 +34,9 @@ pub trait Scalar:
     const BYTES: usize;
     /// Unit roundoff.
     const EPSILON: Self;
+    /// Dtype tag used by the on-disk weight store (DESIGN.md §17).
+    /// Stable across releases: 1 = f64, 2 = f32.
+    const DTYPE_CODE: u32;
 
     /// Convert from `f64` (rounding for `f32`).
     fn from_f64(v: f64) -> Self;
@@ -41,6 +44,12 @@ pub trait Scalar:
     fn to_f64(self) -> f64;
     /// Absolute value.
     fn abs(self) -> Self;
+    /// Raw bit pattern widened to 64 bits (exact; the store round-trips
+    /// panels through this, so NaN payloads and -0.0 survive).
+    fn to_bits64(self) -> u64;
+    /// Inverse of [`Scalar::to_bits64`]; upper bits beyond the element
+    /// width are ignored.
+    fn from_bits64(bits: u64) -> Self;
 }
 
 impl Scalar for f64 {
@@ -48,6 +57,7 @@ impl Scalar for f64 {
     const ONE: Self = 1.0;
     const BYTES: usize = 8;
     const EPSILON: Self = f64::EPSILON;
+    const DTYPE_CODE: u32 = 1;
 
     fn from_f64(v: f64) -> Self {
         v
@@ -60,6 +70,14 @@ impl Scalar for f64 {
     fn abs(self) -> Self {
         f64::abs(self)
     }
+
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
 }
 
 impl Scalar for f32 {
@@ -67,6 +85,7 @@ impl Scalar for f32 {
     const ONE: Self = 1.0;
     const BYTES: usize = 4;
     const EPSILON: Self = f32::EPSILON;
+    const DTYPE_CODE: u32 = 2;
 
     fn from_f64(v: f64) -> Self {
         v as f32
@@ -78,6 +97,14 @@ impl Scalar for f32 {
 
     fn abs(self) -> Self {
         f32::abs(self)
+    }
+
+    fn to_bits64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
     }
 }
 
@@ -104,5 +131,18 @@ mod tests {
     fn f32_narrowing() {
         let x = f32::from_f64(0.1);
         assert!((x.to_f64() - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bit_roundtrip_is_exact() {
+        for v in [0.0f64, -0.0, 1.5, -1.0e-300, f64::NAN, f64::INFINITY] {
+            let back = f64::from_bits64(v.to_bits64());
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        for v in [0.0f32, -0.0, 1.5, -1.0e-30, f32::NAN, f32::NEG_INFINITY] {
+            let back = f32::from_bits64(v.to_bits64());
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        assert_ne!(<f64 as Scalar>::DTYPE_CODE, <f32 as Scalar>::DTYPE_CODE);
     }
 }

@@ -38,7 +38,8 @@ use crate::gemm::{env_u64, GemmConfig};
 use crate::matrix::{Matrix, MatrixView, MatrixViewMut};
 use crate::metricsd::{self, MetricsServer, MetricsSource};
 use crate::pool::{self, Parallelism, WorkerPool};
-use crate::prepack::PackCache;
+use crate::prepack::{PackCache, PrepackedB};
+use crate::store;
 use crate::telemetry::{ServiceCounters, SVC};
 use crate::trace::{self, HealthEventKind, LatencyHistogram, TraceEventRec, TraceKind};
 use crate::{GemmError, Transpose};
@@ -128,6 +129,15 @@ pub struct ServiceConfig {
     /// How long a shard stays quarantined (serial execution) after a
     /// watchdog timeout or contained fault before it is retried.
     pub unhealthy_cooldown: Duration,
+    /// Directory of pre-packed weight blobs (`DGEMM_WEIGHT_STORE`,
+    /// absent = no warm start). Every readable blob whose geometry
+    /// matches this service's GEMM config is loaded at boot onto the
+    /// *shelf*; the first request against a weight whose source digest
+    /// matches a shelved blob attaches the blob to the tenant's cache
+    /// instead of packing — zero `packed_b_bytes` on the warm path,
+    /// and automatic re-attach after a cache generation bump (the
+    /// worker-pool-restart failover story).
+    pub weight_store: Option<std::path::PathBuf>,
     /// The GEMM configuration executions run under. Dedicated shards
     /// are honoured by routing [`Parallelism::Pool`] epochs to the
     /// shard via [`pool::with_pool`].
@@ -145,6 +155,7 @@ impl Default for ServiceConfig {
             coalesce: 8,
             cache_entries: 8,
             unhealthy_cooldown: Duration::from_millis(250),
+            weight_store: None,
             gemm: GemmConfig::default()
                 .with_parallelism(Parallelism::Pool(WorkerPool::max_workers())),
         }
@@ -219,6 +230,17 @@ impl ServiceConfig {
             "DGEMM_SERVICE_CACHE_ENTRIES must be an integer",
         )? {
             cfg.cache_entries = e as usize;
+        }
+        match std::env::var("DGEMM_WEIGHT_STORE") {
+            Ok(dir) if !dir.is_empty() => {
+                cfg.weight_store = Some(std::path::PathBuf::from(dir));
+            }
+            Ok(_) | Err(std::env::VarError::NotPresent) => {}
+            Err(std::env::VarError::NotUnicode(_)) => {
+                return Err(GemmError::BadConfig(
+                    "DGEMM_WEIGHT_STORE must be a unicode path",
+                ));
+            }
         }
         Ok(cfg)
     }
@@ -354,6 +376,23 @@ impl RequestHists {
     }
 }
 
+/// One warm-start blob loaded at boot, awaiting its weight matrix: the
+/// reconstructed panels plus the source digest used to prove, at attach
+/// time, that a submitted weight is bit-identical to what was packed
+/// offline (identity can't be pointer-based across processes).
+struct ShelfEntry {
+    panels: Arc<PrepackedB>,
+    digest: u64,
+}
+
+/// Per-instance weight-store counters (process-wide totals live in
+/// [`crate::telemetry::Snapshot::store`]).
+struct StoreCounters {
+    loads: AtomicU64,
+    load_failures: AtomicU64,
+    attaches: AtomicU64,
+}
+
 struct Inner {
     cfg: ServiceConfig,
     state: Mutex<QueueState>,
@@ -361,6 +400,9 @@ struct Inner {
     shards: Vec<Shard>,
     rr_shard: AtomicUsize,
     tenants: Mutex<HashMap<String, TenantCache>>,
+    /// Warm-start blobs loaded from `cfg.weight_store` at boot.
+    shelf: Vec<ShelfEntry>,
+    store_counters: StoreCounters,
     /// Per-instance mirror of the process-wide [`SVC`] counters,
     /// exported by [`GemmService::status_json`].
     counters: ServiceCounters,
@@ -369,6 +411,43 @@ struct Inner {
     /// Snapshot ordering for scrapers: bumped by every `status_json` /
     /// `/metrics` render.
     snapshot_seq: AtomicU64,
+}
+
+/// Load every blob under `dir` onto the shelf, in filename order so a
+/// boot is deterministic. Unreadable or corrupt blobs are counted
+/// ([`GemmError::BadStore`] internally) and skipped — a bad blob on
+/// disk must degrade to live packing, never block boot.
+fn load_shelf(dir: &std::path::Path, counters: &StoreCounters) -> Vec<ShelfEntry> {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect(),
+        Err(_) => {
+            // An unreadable directory is one failed "load"; the boot
+            // proceeds cold (live packing) rather than failing.
+            counters.load_failures.fetch_add(1, Ordering::Relaxed);
+            crate::telemetry::store_load_failure();
+            return Vec::new();
+        }
+    };
+    paths.sort();
+    let mut shelf = Vec::new();
+    for path in paths {
+        match store::load::<f64>(&path) {
+            Ok(blob) => {
+                counters.loads.fetch_add(1, Ordering::Relaxed);
+                shelf.push(ShelfEntry {
+                    panels: blob.panels,
+                    digest: blob.source_digest,
+                });
+            }
+            Err(_) => {
+                counters.load_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    shelf
 }
 
 /// The admission-controlled serving front-end. See the module docs for
@@ -397,6 +476,15 @@ impl GemmService {
                 })
                 .collect()
         };
+        let store_counters = StoreCounters {
+            loads: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
+            attaches: AtomicU64::new(0),
+        };
+        let shelf = match &cfg.weight_store {
+            Some(dir) => load_shelf(dir, &store_counters),
+            None => Vec::new(),
+        };
         let inner = Arc::new(Inner {
             cfg,
             state: Mutex::new(QueueState {
@@ -409,6 +497,8 @@ impl GemmService {
             shards,
             rr_shard: AtomicUsize::new(0),
             tenants: Mutex::new(HashMap::new()),
+            shelf,
+            store_counters,
             counters: ServiceCounters::new(),
             hists: Mutex::new(HashMap::new()),
             snapshot_seq: AtomicU64::new(0),
@@ -807,9 +897,17 @@ impl Inner {
         group
     }
 
-    /// Fetch (or create) `tenant`'s pack cache and pin `b` in it.
-    /// Returns `None` when per-tenant caching is disabled.
-    fn tenant_cache(&self, tenant: &str, b: &Arc<Matrix>) -> Option<Arc<PackCache>> {
+    /// Fetch (or create) `tenant`'s pack cache, pin `b` in it, and — on
+    /// the first sight of a weight under the current cache generation —
+    /// try to attach a shelved warm-start blob so the upcoming
+    /// `get_or_pack` hits without packing. Returns `None` when
+    /// per-tenant caching is disabled.
+    fn tenant_cache(
+        &self,
+        tenant: &str,
+        b: &Arc<Matrix>,
+        transb: Transpose,
+    ) -> Option<Arc<PackCache>> {
         if self.cfg.cache_entries == 0 {
             return None;
         }
@@ -845,7 +943,61 @@ impl Inner {
         if quota > entry.cache.capacity() {
             entry.cache.set_capacity(quota);
         }
-        Some(Arc::clone(&entry.cache))
+        let cache = Arc::clone(&entry.cache);
+        drop(tenants);
+        self.attach_from_shelf(&cache, b, transb);
+        Some(cache)
+    }
+
+    /// If the cache would miss on `(b, transb)` under this service's
+    /// packing geometry and a shelved blob covers it, verify the blob's
+    /// source digest against the live weight (a read-only stream — no
+    /// pack telemetry) and seed the cache with its panels. Runs on
+    /// every group, so a generation bump or a fresh cache after a
+    /// worker-pool restart re-attaches automatically: that is the
+    /// instant-failover path.
+    fn attach_from_shelf(&self, cache: &PackCache, b: &Arc<Matrix>, transb: Transpose) {
+        if self.shelf.is_empty() {
+            return;
+        }
+        let nr = self.cfg.gemm.kernel.nr();
+        let (kc, nc) = (self.cfg.gemm.blocks.kc, self.cfg.gemm.blocks.nc);
+        let view = b.view();
+        if cache.contains(&view, transb, nr, kc, nc) {
+            return;
+        }
+        let (k, n) = transb.apply_dims(b.rows(), b.cols());
+        // One digest stream per operand, compared against every
+        // geometry-compatible shelf entry: a multi-weight shelf costs
+        // one read-only pass, and `verify_failures` means "a covering
+        // blob existed but none matched the live bits" — not the
+        // ordinary scan past other tenants' weights.
+        let mut covered = false;
+        let mut digest = 0u64;
+        for entry in &self.shelf {
+            if !entry.panels.matches(k, n, transb, nr, kc, nc) {
+                continue;
+            }
+            if !covered {
+                covered = true;
+                digest = store::matrix_digest(&view, transb, kc, nc);
+            }
+            if entry.digest != digest {
+                continue;
+            }
+            crate::telemetry::store_verify(true);
+            if cache
+                .insert_prepacked(&view, transb, Arc::clone(&entry.panels))
+                .is_ok()
+            {
+                self.store_counters.attaches.fetch_add(1, Ordering::Relaxed);
+                crate::telemetry::store_attach();
+            }
+            return;
+        }
+        if covered {
+            crate::telemetry::store_verify(false);
+        }
     }
 
     /// Run one coalesced group end to end: deadline/cancel triage, the
@@ -950,7 +1102,7 @@ impl Inner {
         // Injection site: a panic in the middle of a coalesced batch.
         faults::panic_in_service();
         let shard_idx = self.rr_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let cache = self.tenant_cache(&live[0].tenant, &live[0].b);
+        let cache = self.tenant_cache(&live[0].tenant, &live[0].b, live[0].transb);
         let mut attempt: u32 = 0;
         loop {
             let degrade = self.shard_unhealthy(shard_idx);
@@ -1128,6 +1280,20 @@ impl Inner {
             c.coalesced_batches.load(ld),
             c.coalesced_requests.load(ld),
             c.panics_contained.load(ld),
+        ));
+        // Warm-start health (additive dgemm-telem-v1 fields): this
+        // instance's shelf plus its load/attach outcomes; `verifies` /
+        // `verify_failures` are process-wide (telemetry snapshot).
+        let store_snap = crate::telemetry::snapshot().store;
+        s.push_str(&format!(
+            ",\"store\":{{\"configured\":{},\"shelf\":{},\"loads\":{},\"load_failures\":{},\"attaches\":{},\"verifies\":{},\"verify_failures\":{}}}",
+            self.cfg.weight_store.is_some(),
+            self.shelf.len(),
+            self.store_counters.loads.load(ld),
+            self.store_counters.load_failures.load(ld),
+            self.store_counters.attaches.load(ld),
+            store_snap.verifies,
+            store_snap.verify_failures,
         ));
         s.push_str(",\"tenants\":[");
         let caches = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
@@ -1319,6 +1485,20 @@ impl Inner {
             let _ = writeln!(s, "# TYPE dgemm_pack_cache_{name}_total counter");
             let _ = writeln!(s, "dgemm_pack_cache_{name}_total {v}");
         }
+        let store_counters: [(&str, u64); 6] = [
+            ("loads", snap.store.loads),
+            ("load_failures", snap.store.load_failures),
+            ("verifies", snap.store.verifies),
+            ("verify_failures", snap.store.verify_failures),
+            ("attaches", snap.store.attaches),
+            ("bytes_loaded", snap.store.bytes_loaded),
+        ];
+        for (name, v) in store_counters {
+            let _ = writeln!(s, "# TYPE dgemm_store_{name}_total counter");
+            let _ = writeln!(s, "dgemm_store_{name}_total {v}");
+        }
+        let _ = writeln!(s, "# TYPE dgemm_store_shelf_entries gauge");
+        let _ = writeln!(s, "dgemm_store_shelf_entries {}", self.shelf.len());
 
         let _ = writeln!(s, "# TYPE dgemm_health_events_total counter");
         for (kind, n) in trace::health_counts() {

@@ -1,0 +1,490 @@
+//! The persistent pre-packed weight store: a versioned, mmap-able
+//! on-disk format for [`PrepackedB`] (DESIGN.md §17).
+//!
+//! The paper's packing discipline makes the packed-B layout a pure
+//! function of `(k, n, trans, nr, kc, nc)` — every sliver offset is
+//! computable from the header alone. That determinism is what lets a
+//! server *serialize* the pack step: pack once offline, write the
+//! panels to disk, and boot with zero pack cost (the warm-start path
+//! records **no** `packed_b_bytes`, which the store bench asserts).
+//! Because the payload sits at a fixed 64-byte-aligned offset and the
+//! tile walk needs no index table, the format is mmap-friendly: N
+//! server processes mapping the same blob share one page-cache copy.
+//!
+//! ## Format (`dgemm-store` layout v1, little-endian)
+//!
+//! A 128-byte header followed by the packed panel payload:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `"DGEMMPB1"` |
+//! | 8      | 4    | layout version (`u32`, = 1) |
+//! | 12     | 4    | dtype code (`u32`: 1 = f64, 2 = f32) |
+//! | 16     | 8    | `k` — rows of `op(B)` (`u64`) |
+//! | 24     | 8    | `n` — cols of `op(B)` (`u64`) |
+//! | 32     | 4    | transpose flag (`u32`: 0 = No, 1 = Yes) |
+//! | 36     | 4    | `nr` sliver width (`u32`) |
+//! | 40     | 4    | `kc` depth blocking (`u32`) |
+//! | 44     | 4    | `nc` column blocking (`u32`) |
+//! | 48     | 8    | payload length in bytes (`u64`) |
+//! | 56     | 8    | source digest of `op(B)` (`u64`, FNV-1a) |
+//! | 64     | 8    | blob checksum (`u64`, FNV-1a) |
+//! | 72     | 56   | reserved, must be zero |
+//! | 128    | —    | payload: panels in tile-walk order |
+//!
+//! The payload is every `kc×nc` tile of `op(B)` in GEPP consumption
+//! order ([`PanelGeometry::tiles`]: `jj`-major, then `kk`), each tile
+//! exactly the `⌈nc_eff/nr⌉·nr·kc_eff` padded elements
+//! [`crate::pack::PackedB::pack`] produces, elements as raw IEEE-754
+//! bits.
+//!
+//! The **checksum** is word-folded FNV-1a (64-bit little-endian words,
+//! trailing bytes folded individually) over every blob byte *except*
+//! the checksum field itself (header bytes 0–63 and 72–127, then the
+//! payload). Every single-byte corruption anywhere in the blob —
+//! including flag bytes like the transpose field that would otherwise
+//! decode structurally clean — therefore fails [`decode`] with a typed
+//! [`GemmError::BadStore`]. The **source digest** is word-folded
+//! FNV-1a over the raw IEEE-754 bits of the *unpadded* elements of
+//! `op(B)` in tile-walk order (one absorb step per element); it is
+//! computable
+//! both from the packed panels ([`source_digest`]) and by streaming a
+//! live matrix ([`matrix_digest`]) without packing it, which is how
+//! the service verifies at attach time that a blob still matches the
+//! weights in memory — a read-only check that keeps the warm start
+//! pack-free.
+//!
+//! ## Failure contract
+//!
+//! Every load path fails typed: truncated, corrupt, version-skewed,
+//! wrong-dtype, or geometry-inconsistent blobs yield
+//! [`GemmError::BadStore`] — never a panic, and never wrong results
+//! (a blob is fully validated before any panel is constructed). The
+//! corruption battery in `tests/store.rs` fuzzes this contract.
+
+#![forbid(unsafe_code)]
+
+use crate::matrix::MatrixView;
+use crate::pack::PackedB;
+use crate::prepack::{PanelGeometry, PanelSource, PrepackedB};
+use crate::scalar::Scalar;
+use crate::{GemmError, Transpose};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes opening every blob.
+pub const MAGIC: [u8; 8] = *b"DGEMMPB1";
+/// The layout version this build reads and writes.
+pub const LAYOUT_VERSION: u32 = 1;
+/// Header size; the payload starts here (64-byte aligned for mmap use).
+pub const HEADER_LEN: usize = 128;
+
+const CHECKSUM_OFF: usize = 64;
+
+// FNV-1a, 64-bit: dependency-free, byte-order independent, and fast
+// enough to verify at boot (the store is read once per process).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Word-folded FNV-1a: one absorb step per 64-bit little-endian word,
+/// trailing bytes folded individually. 8× fewer serial multiply steps
+/// than byte-wise FNV — fast enough that the attach-time source verify
+/// is cheaper than the packing it replaces. Single-byte corruption
+/// detection is preserved: the multiply is by an odd prime (invertible
+/// mod 2⁶⁴), so any change to one absorbed word changes the final
+/// state (the exhaustive flip test below proves it byte by byte).
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_u64(state: u64, v: u64) -> u64 {
+    (state ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// A decoded blob: the panels plus the source digest recorded at build
+/// time, kept so an attach site can verify the blob against the live
+/// operand before serving from it.
+#[derive(Clone, Debug)]
+pub struct StoreBlob<T: Scalar> {
+    /// The reconstructed pre-packed operand, interchangeable with a
+    /// live [`PrepackedB::try_build`] product.
+    pub panels: Arc<PrepackedB<T>>,
+    /// FNV-1a digest of the unpadded `op(B)` elements (tile-walk
+    /// order) the panels were packed from.
+    pub source_digest: u64,
+}
+
+impl<T: Scalar> StoreBlob<T> {
+    /// Whether `op(b)` (under `trans`) still carries the element bits
+    /// the blob was packed from. Streams the matrix read-only — no
+    /// packing, no `packed_b_bytes` — and records a telemetry
+    /// `verifies` / `verify_failures` tick.
+    #[must_use]
+    pub fn verify_source(&self, b: &MatrixView<'_, T>, trans: Transpose) -> bool {
+        let geom = self.panels.geometry();
+        let (k, n) = trans.apply_dims(b.rows(), b.cols());
+        let ok = (k, n, trans) == (geom.k, geom.n, geom.trans)
+            && matrix_digest(b, trans, geom.kc, geom.nc) == self.source_digest;
+        crate::telemetry::store_verify(ok);
+        ok
+    }
+}
+
+/// Digest of the unpadded `op(B)` elements a panel source was packed
+/// from, read back out of the packed slivers in tile-walk order.
+#[must_use]
+pub fn source_digest<T: Scalar, P: PanelSource<T>>(src: &P) -> u64 {
+    let geom = src.geometry();
+    let mut h = FNV_OFFSET;
+    for (jj, kk, nc_eff, kc_eff) in geom.tiles() {
+        let panel = src.panel(jj, kk);
+        let buf = panel.buf();
+        for c in 0..nc_eff {
+            let s = c / geom.nr;
+            let base = s * geom.nr * kc_eff + c % geom.nr;
+            for r in 0..kc_eff {
+                h = fnv1a_u64(h, buf[base + r * geom.nr].to_bits64());
+            }
+        }
+    }
+    h
+}
+
+/// The same digest computed by streaming a live matrix — `op(b)(kk+r,
+/// jj+c)` over the tile walk — without packing anything. Must equal
+/// [`source_digest`] of panels built from the same operand.
+#[must_use]
+pub fn matrix_digest<T: Scalar>(
+    b: &MatrixView<'_, T>,
+    trans: Transpose,
+    kc: usize,
+    nc: usize,
+) -> u64 {
+    let (k, n) = trans.apply_dims(b.rows(), b.cols());
+    let geom = PanelGeometry {
+        k,
+        n,
+        trans,
+        kc,
+        nc,
+        nr: 1, // nr does not enter the digest walk
+    };
+    let mut h = FNV_OFFSET;
+    for (jj, kk, nc_eff, kc_eff) in geom.tiles() {
+        for c in 0..nc_eff {
+            for r in 0..kc_eff {
+                let v = match trans {
+                    Transpose::No => b.get(kk + r, jj + c),
+                    Transpose::Yes => b.get(jj + c, kk + r),
+                };
+                h = fnv1a_u64(h, v.to_bits64());
+            }
+        }
+    }
+    h
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Checksum of a fully assembled blob: every byte except the checksum
+/// field itself.
+fn blob_checksum(blob: &[u8]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &blob[..CHECKSUM_OFF]);
+    h = fnv1a(h, &blob[CHECKSUM_OFF + 8..]);
+    h
+}
+
+/// Serialize a panel source into a self-validating blob. Works for any
+/// [`PanelSource`] — the encoder never touches the source matrix, so
+/// packing offline and serializing are one pass.
+#[must_use]
+pub fn encode<T: Scalar, P: PanelSource<T>>(src: &P) -> Vec<u8> {
+    let geom = src.geometry();
+    let payload_elems = geom.total_elems();
+    let payload_len = payload_elems * T::BYTES;
+    let mut blob = vec![0u8; HEADER_LEN + payload_len];
+    blob[..8].copy_from_slice(&MAGIC);
+    put_u32(&mut blob, 8, LAYOUT_VERSION);
+    put_u32(&mut blob, 12, T::DTYPE_CODE);
+    put_u64(&mut blob, 16, geom.k as u64);
+    put_u64(&mut blob, 24, geom.n as u64);
+    put_u32(
+        &mut blob,
+        32,
+        match geom.trans {
+            Transpose::No => 0,
+            Transpose::Yes => 1,
+        },
+    );
+    put_u32(&mut blob, 36, geom.nr as u32);
+    put_u32(&mut blob, 40, geom.kc as u32);
+    put_u32(&mut blob, 44, geom.nc as u32);
+    put_u64(&mut blob, 48, payload_len as u64);
+    put_u64(&mut blob, 56, source_digest(src));
+    let mut off = HEADER_LEN;
+    for (jj, kk, _, _) in geom.tiles() {
+        for &v in src.panel(jj, kk).buf() {
+            let bits = v.to_bits64().to_le_bytes();
+            blob[off..off + T::BYTES].copy_from_slice(&bits[..T::BYTES]);
+            off += T::BYTES;
+        }
+    }
+    debug_assert_eq!(off, blob.len());
+    let sum = blob_checksum(&blob);
+    put_u64(&mut blob, CHECKSUM_OFF, sum);
+    blob
+}
+
+/// Validate and reconstruct a blob. Every rejection is a typed
+/// [`GemmError::BadStore`]; the checks run header → checksum →
+/// geometry → panel assembly, so no panel is ever built from bytes
+/// that failed an earlier check. Telemetry records a `loads` or
+/// `load_failures` tick per call.
+pub fn decode<T: Scalar>(blob: &[u8]) -> Result<StoreBlob<T>, GemmError> {
+    let r = decode_inner(blob);
+    match &r {
+        Ok(b) => crate::telemetry::store_load(b.panels.bytes() as u64),
+        Err(_) => crate::telemetry::store_load_failure(),
+    }
+    r
+}
+
+fn decode_inner<T: Scalar>(blob: &[u8]) -> Result<StoreBlob<T>, GemmError> {
+    if blob.len() < HEADER_LEN {
+        return Err(GemmError::BadStore("blob shorter than the 128-byte header"));
+    }
+    if blob[..8] != MAGIC {
+        return Err(GemmError::BadStore("bad magic (not a dgemm-store blob)"));
+    }
+    if get_u32(blob, 8) != LAYOUT_VERSION {
+        return Err(GemmError::BadStore("unsupported layout version"));
+    }
+    if get_u32(blob, 12) != T::DTYPE_CODE {
+        return Err(GemmError::BadStore(
+            "blob dtype mismatches the requested element type",
+        ));
+    }
+    // Checksum before any structural interpretation: a blob that fails
+    // here is corrupt no matter how plausible its fields look.
+    if get_u64(blob, CHECKSUM_OFF) != blob_checksum(blob) {
+        return Err(GemmError::BadStore("checksum mismatch (blob is corrupt)"));
+    }
+    if blob[72..HEADER_LEN].iter().any(|&b| b != 0) {
+        return Err(GemmError::BadStore("reserved header bytes are not zero"));
+    }
+    let k = usize::try_from(get_u64(blob, 16))
+        .map_err(|_| GemmError::BadStore("k overflows this platform"))?;
+    let n = usize::try_from(get_u64(blob, 24))
+        .map_err(|_| GemmError::BadStore("n overflows this platform"))?;
+    let trans = match get_u32(blob, 32) {
+        0 => Transpose::No,
+        1 => Transpose::Yes,
+        _ => return Err(GemmError::BadStore("bad transpose flag")),
+    };
+    let nr = get_u32(blob, 36) as usize;
+    let kc = get_u32(blob, 40) as usize;
+    let nc = get_u32(blob, 44) as usize;
+    let geom = PanelGeometry {
+        k,
+        n,
+        trans,
+        kc,
+        nc,
+        nr,
+    };
+    if geom.validate().is_err() {
+        return Err(GemmError::BadStore("blob blocking geometry is zero"));
+    }
+    let payload_len = get_u64(blob, 48);
+    if payload_len != (blob.len() - HEADER_LEN) as u64 {
+        return Err(GemmError::BadStore("payload length mismatches blob size"));
+    }
+    let expected = geom
+        .total_elems()
+        .checked_mul(T::BYTES)
+        .ok_or(GemmError::BadStore("geometry overflows the payload size"))?;
+    if payload_len != expected as u64 {
+        return Err(GemmError::BadStore("payload length mismatches geometry"));
+    }
+    let mut off = HEADER_LEN;
+    let mut panels = Vec::with_capacity(geom.tile_count());
+    for (_, _, nc_eff, kc_eff) in geom.tiles() {
+        let elems = geom.panel_elems(nc_eff, kc_eff);
+        let mut buf = Vec::new();
+        if buf.try_reserve(elems).is_err() {
+            return Err(GemmError::AllocFailure {
+                what: "store panel",
+            });
+        }
+        let end = off + elems * T::BYTES;
+        buf.extend(blob[off..end].chunks_exact(T::BYTES).map(|c| {
+            let mut bits = [0u8; 8];
+            bits[..T::BYTES].copy_from_slice(c);
+            T::from_bits64(u64::from_le_bytes(bits))
+        }));
+        off = end;
+        panels.push(Arc::new(PackedB::from_layout(nr, kc_eff, nc_eff, buf)?));
+    }
+    let panels = Arc::new(PrepackedB::from_panels(geom, panels)?);
+    Ok(StoreBlob {
+        panels,
+        source_digest: get_u64(blob, 56),
+    })
+}
+
+/// Write a panel source to `path` (atomically: temp file + rename, so
+/// a reader never observes a half-written blob).
+pub fn save<T: Scalar, P: PanelSource<T>>(path: &Path, src: &P) -> std::io::Result<()> {
+    let blob = encode(src);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &blob)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Read and validate a blob from `path`. I/O failures surface as
+/// [`GemmError::BadStore`] too — to a warm-start path an unreadable
+/// blob and a corrupt one warrant the same fallback (pack live).
+pub fn load<T: Scalar>(path: &Path) -> Result<StoreBlob<T>, GemmError> {
+    let blob = std::fs::read(path).map_err(|_| {
+        crate::telemetry::store_load_failure();
+        GemmError::BadStore("blob unreadable (missing file or I/O error)")
+    })?;
+    decode(&blob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn build(k: usize, n: usize, trans: Transpose, nr: usize, kc: usize, nc: usize) -> PrepackedB {
+        let (rows, cols) = match trans {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        let b: Matrix = Matrix::random(rows, cols, 7);
+        PrepackedB::try_build(&b.view(), trans, nr, kc, nc).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        for trans in [Transpose::No, Transpose::Yes] {
+            let live = build(37, 29, trans, 6, 16, 12);
+            let blob = encode(&live);
+            let loaded = decode::<f64>(&blob).unwrap();
+            assert!(loaded.panels.matches(37, 29, trans, 6, 16, 12));
+            assert_eq!(loaded.panels.tiles(), live.tiles());
+            for (jj, kk, _, _) in live.geometry().tiles() {
+                assert_eq!(loaded.panels.panel(jj, kk).buf(), live.panel(jj, kk).buf());
+            }
+            assert_eq!(loaded.source_digest, source_digest(&live));
+        }
+    }
+
+    #[test]
+    fn digests_agree_between_panels_and_matrix() {
+        for trans in [Transpose::No, Transpose::Yes] {
+            let (rows, cols) = match trans {
+                Transpose::No => (23, 31),
+                Transpose::Yes => (31, 23),
+            };
+            let b: Matrix = Matrix::random(rows, cols, 3);
+            let pp = PrepackedB::try_build(&b.view(), trans, 6, 8, 10).unwrap();
+            assert_eq!(source_digest(&pp), matrix_digest(&b.view(), trans, 8, 10));
+        }
+    }
+
+    #[test]
+    fn wrong_dtype_is_typed() {
+        let live = build(8, 8, Transpose::No, 4, 4, 4);
+        let blob = encode(&live);
+        assert!(matches!(decode::<f32>(&blob), Err(GemmError::BadStore(_))));
+    }
+
+    #[test]
+    fn truncation_and_magic_are_typed() {
+        let live = build(16, 12, Transpose::No, 6, 8, 8);
+        let blob = encode(&live);
+        for len in [0, 7, HEADER_LEN - 1, HEADER_LEN, blob.len() - 1] {
+            assert!(
+                matches!(decode::<f64>(&blob[..len]), Err(GemmError::BadStore(_))),
+                "truncation to {len} must be typed"
+            );
+        }
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(decode::<f64>(&bad), Err(GemmError::BadStore(_))));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let live = build(10, 9, Transpose::No, 4, 6, 5);
+        let blob = encode(&live);
+        // exhaustive over this small blob: header fields, reserved pad,
+        // checksum itself, payload
+        for pos in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                matches!(decode::<f64>(&bad), Err(GemmError::BadStore(_))),
+                "flip at byte {pos} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_missing_file() {
+        let live = build(20, 14, Transpose::No, 6, 8, 8);
+        let dir = std::env::temp_dir().join(format!("dgemm-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.dgemmpb");
+        save(&path, &live).unwrap();
+        let loaded = load::<f64>(&path).unwrap();
+        assert_eq!(loaded.source_digest, source_digest(&live));
+        assert!(matches!(
+            load::<f64>(&dir.join("absent.dgemmpb")),
+            Err(GemmError::BadStore(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_source_detects_mutation() {
+        let b: Matrix = Matrix::random(18, 15, 9);
+        let pp = PrepackedB::try_build(&b.view(), Transpose::No, 6, 8, 8).unwrap();
+        let blob = decode::<f64>(&encode(&pp)).unwrap();
+        assert!(blob.verify_source(&b.view(), Transpose::No));
+        let mut m = b.clone();
+        m.set(3, 4, -123.0);
+        assert!(!blob.verify_source(&m.view(), Transpose::No));
+        assert!(!blob.verify_source(&b.view(), Transpose::Yes));
+    }
+}

@@ -266,6 +266,83 @@ impl ServiceCounters {
 
 pub(crate) static SVC: ServiceCounters = ServiceCounters::new();
 
+// ---------------------------------------------------------------------
+// Always-on weight-store counters.
+//
+// Process-wide totals for the on-disk pre-packed weight store
+// ([`crate::store`], DESIGN.md §17). Like `SVC` they survive a
+// no-default-features build and are never zeroed by [`reset`]: a
+// fleet audits warm-start health (every boot should load, verify and
+// attach; load_failures > 0 means corrupt blobs on disk) against
+// process-lifetime totals.
+// ---------------------------------------------------------------------
+
+pub(crate) struct StoreCounters {
+    pub(crate) loads: AtomicU64,
+    pub(crate) load_failures: AtomicU64,
+    pub(crate) verifies: AtomicU64,
+    pub(crate) verify_failures: AtomicU64,
+    pub(crate) attaches: AtomicU64,
+    pub(crate) bytes_loaded: AtomicU64,
+}
+
+pub(crate) static STORE: StoreCounters = StoreCounters {
+    loads: AtomicU64::new(0),
+    load_failures: AtomicU64::new(0),
+    verifies: AtomicU64::new(0),
+    verify_failures: AtomicU64::new(0),
+    attaches: AtomicU64::new(0),
+    bytes_loaded: AtomicU64::new(0),
+};
+
+pub(crate) fn store_load(bytes: u64) {
+    STORE.loads.fetch_add(1, Ordering::Relaxed);
+    STORE.bytes_loaded.fetch_add(bytes, Ordering::Relaxed);
+}
+
+pub(crate) fn store_load_failure() {
+    STORE.load_failures.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn store_verify(ok: bool) {
+    STORE.verifies.fetch_add(1, Ordering::Relaxed);
+    if !ok {
+        STORE.verify_failures.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn store_attach() {
+    STORE.attaches.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Weight-store activity since process start (see [`crate::store`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Blobs decoded successfully (header + checksum validated).
+    pub loads: u64,
+    /// Blob decodes rejected with [`crate::GemmError::BadStore`].
+    pub load_failures: u64,
+    /// Source-digest verifications performed at attach time.
+    pub verifies: u64,
+    /// Verifications whose digest did not match the live operand.
+    pub verify_failures: u64,
+    /// Loaded blobs seeded into a [`crate::prepack::PackCache`].
+    pub attaches: u64,
+    /// Total payload bytes of successfully decoded blobs.
+    pub bytes_loaded: u64,
+}
+
+fn store_snapshot() -> StoreSnapshot {
+    StoreSnapshot {
+        loads: STORE.loads.load(Ordering::Relaxed),
+        load_failures: STORE.load_failures.load(Ordering::Relaxed),
+        verifies: STORE.verifies.load(Ordering::Relaxed),
+        verify_failures: STORE.verify_failures.load(Ordering::Relaxed),
+        attaches: STORE.attaches.load(Ordering::Relaxed),
+        bytes_loaded: STORE.bytes_loaded.load(Ordering::Relaxed),
+    }
+}
+
 /// Service-layer activity since process start, across every
 /// [`crate::service::GemmService`] instance (see DESIGN.md §15).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -495,6 +572,8 @@ pub struct Snapshot {
     pub cache: CacheSnapshot,
     /// Service-layer totals since process start.
     pub service: ServiceSnapshot,
+    /// Weight-store totals since process start.
+    pub store: StoreSnapshot,
 }
 
 impl Snapshot {
@@ -565,6 +644,7 @@ pub fn snapshot() -> Snapshot {
         runtime: runtime_snapshot(),
         cache: cache_snapshot(),
         service: service_snapshot(),
+        store: store_snapshot(),
     }
 }
 

@@ -151,6 +151,9 @@ fn malformed_autotune_env_is_a_typed_error() {
     std::env::set_var("DGEMM_AUTOTUNE_BUDGET", "zero");
     assert!(GemmConfig::auto().is_err());
     std::env::remove_var("DGEMM_AUTOTUNE_BUDGET");
+    std::env::set_var("DGEMM_TUNE_MAX_AGE_DAYS", "fortnight");
+    assert!(GemmConfig::auto().is_err());
+    std::env::remove_var("DGEMM_TUNE_MAX_AGE_DAYS");
     assert!(GemmConfig::auto().is_ok());
     std::env::remove_var("DGEMM_AUTOTUNE");
     std::env::remove_var("DGEMM_TUNE_DB");
@@ -259,6 +262,62 @@ fn full_mode_first_miss_tunes_in_the_background() {
     let second = autotune::tuned_f64(&cfg, 64, 64, 64);
     assert_eq!(second.blocks.label(), entry.blocks().label());
     std::env::remove_var("DGEMM_TUNE_DB");
+    std::env::remove_var("DGEMM_AUTOTUNE_BUDGET");
+    std::env::remove_var("DGEMM_AUTOTUNE_REPS");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Entries older than `DGEMM_TUNE_MAX_AGE_DAYS` are a *miss* under
+/// Full mode — the analytic config serves while a background sweep
+/// re-tunes and re-stamps the class — but Read mode still applies the
+/// stale winner (Read never measures; a dated winner beats the
+/// untuned default).
+#[test]
+fn over_age_entries_retune_under_full_but_apply_under_read() {
+    let _guard = env_lock();
+    let path = scratch("age-expiry.json");
+    let _ = std::fs::remove_file(&path);
+    // A class no other Full-mode test touches: the per-process
+    // first-attempt gate must still be open for it here.
+    let class = ShapeClass::of(32, 32, 32);
+    let stale = entry_for(&class, 96, 40, 126); // tuned_at ≈ Nov 2023
+    let mut db = TuneDb::default();
+    db.upsert(stale.clone());
+    autotune::store_db(&path, &db).expect("store");
+    autotune::invalidate_db_cache();
+    std::env::set_var("DGEMM_TUNE_DB", &path);
+    std::env::set_var("DGEMM_TUNE_MAX_AGE_DAYS", "30");
+    std::env::set_var("DGEMM_AUTOTUNE_BUDGET", "2");
+    std::env::set_var("DGEMM_AUTOTUNE_REPS", "1");
+
+    // Read mode: the over-age entry still applies.
+    let mut cfg = GemmConfig::for_kernel(MicroKernelKind::Mk8x6, 1);
+    cfg.autotune = AutotuneMode::Read;
+    let read = autotune::tuned_f64(&cfg, 32, 32, 32);
+    assert_eq!(read.blocks.label(), "8x6x96x40x126");
+
+    // Full mode: expired ⇒ miss ⇒ analytic now, re-tune off-thread.
+    cfg.autotune = AutotuneMode::Full;
+    let first = autotune::tuned_f64(&cfg, 32, 32, 32);
+    assert_eq!(
+        first.blocks.label(),
+        cfg.blocks.label(),
+        "analytic config serves while the re-tune runs"
+    );
+    autotune::wait_for_background_tuning();
+    autotune::invalidate_db_cache();
+    let entry = autotune::load_db(&path)
+        .find(autotune::cpu_id(), "f64", &class.label())
+        .cloned()
+        .expect("re-tune persisted a fresh winner");
+    assert!(entry.tuned_at > stale.tuned_at, "tuned_at was re-stamped");
+    // The refreshed winner is inside the age window: the next Full-mode
+    // call serves it instead of the analytic fallback.
+    let second = autotune::tuned_f64(&cfg, 32, 32, 32);
+    assert_eq!(second.blocks.label(), entry.blocks().label());
+
+    std::env::remove_var("DGEMM_TUNE_DB");
+    std::env::remove_var("DGEMM_TUNE_MAX_AGE_DAYS");
     std::env::remove_var("DGEMM_AUTOTUNE_BUDGET");
     std::env::remove_var("DGEMM_AUTOTUNE_REPS");
     let _ = std::fs::remove_file(&path);

@@ -29,7 +29,9 @@ use dgemm_core::gemm::{try_gemm, GemmConfig};
 use dgemm_core::matrix::Matrix;
 use dgemm_core::microkernel::MicroKernelKind;
 use dgemm_core::pool::PoolScalar;
+use dgemm_core::prepack::PrepackedB;
 use dgemm_core::reference::naive_gemm;
+use dgemm_core::store;
 use dgemm_core::util::gemm_tolerance;
 use dgemm_core::{Parallelism, Transpose};
 use proptest::prelude::*;
@@ -439,6 +441,54 @@ fn alpha_zero_never_reads_operands() {
         }
     }
     f64::pack_cache().invalidate(&b.view());
+}
+
+/// Store-loaded panels vs live packing, through the full oracle: for
+/// every kernel, a B pre-packed → serialized → decoded → seeded into
+/// the global pack cache must leave every `runtime × caching` run
+/// accurate against the naive oracle and bit-identical to the serial
+/// uncached (live-packing) baseline — a blob from disk is
+/// indistinguishable from panels packed this instant. Ragged edges
+/// included: `n % nc != 0`, `n % nr != 0`, `k % kc != 0`.
+#[test]
+fn store_loaded_panels_conform() {
+    for (kind, tb) in [
+        (MicroKernelKind::Mk8x6, Transpose::No),
+        (MicroKernelKind::Mk8x4, Transpose::Yes),
+        (MicroKernelKind::Mk4x4, Transpose::No),
+    ] {
+        let (mr, nr) = (kind.mr(), kind.nr());
+        let kc = 16;
+        let nc = 2 * nr;
+        let (m, n, k) = (2 * mr + 3, nc + nr + 1, kc + 7);
+        let (br, bc) = stored_dims(tb, k, n);
+        let a = Matrix::random(m, k, 141);
+        let b = Matrix::random(br, bc, 142);
+        let c0 = Matrix::random(m, n, 143);
+
+        // Live pack → blob → decode → seed the cache the cached runs use.
+        let live = PrepackedB::try_build(&b.view(), tb, nr, kc, nc).expect("live pack");
+        let loaded = store::decode::<f64>(&store::encode(&live)).expect("roundtrip");
+        f64::pack_cache()
+            .insert_prepacked(&b.view(), tb, loaded.panels)
+            .expect("attach");
+
+        // check_all_runtimes' cached legs now consume the loaded blob;
+        // its uncached legs pack live — one oracle over both, plus the
+        // trailing invalidate cleanup.
+        check_all_runtimes(
+            kind,
+            Transpose::No,
+            tb,
+            1.25,
+            -0.5,
+            &a,
+            &b,
+            &c0,
+            Some((kc, 2 * mr, nc)),
+            k,
+        );
+    }
 }
 
 /// Shape-adaptive dispatch must never change results. Every mode —
